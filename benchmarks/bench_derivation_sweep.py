@@ -1,0 +1,43 @@
+"""Experiment ``ablation-derivation``: DREAD-threshold policy derivation sweep.
+
+The paper notes that smaller threats can be handled by best practice
+rather than enforced policy.  This ablation sweeps the DREAD threshold
+above which threats receive enforced policies and reports the derived
+rule count, threat coverage and residual (unenforced) risk at each
+point.
+
+Expected shape (asserted): coverage falls and residual risk rises
+monotonically as the threshold increases; at threshold 0 every Table I
+threat is enforced and residual risk is zero.
+"""
+
+from repro.analysis.coverage import run_derivation_sweep
+
+THRESHOLDS = (0.0, 4.5, 5.0, 5.5, 6.0, 6.5, 7.0)
+
+
+def test_bench_derivation_sweep(benchmark):
+    sweep = benchmark.pedantic(
+        run_derivation_sweep, kwargs={"thresholds": THRESHOLDS}, rounds=1, iterations=1
+    )
+    print("\n" + sweep.render())
+    assert len(sweep.points) == len(THRESHOLDS)
+    assert sweep.is_monotonic()
+    first, last = sweep.points[0], sweep.points[-1]
+    assert first.coverage == 1.0
+    assert first.residual_risk == 0.0
+    assert last.coverage < 0.25
+    assert last.access_rules < first.access_rules
+
+
+def test_bench_single_derivation(benchmark, builder):
+    """Cost of one full policy derivation over the sixteen-entry threat model."""
+    from repro.casestudy.connected_car import build_threat_policy_entries
+    from repro.core.derivation import PolicyDerivation
+
+    entries = build_threat_policy_entries(builder.catalog)
+    derivation = PolicyDerivation(builder.catalog)
+
+    result = benchmark(derivation.derive, entries)
+    assert len(result.policy.access_rules) >= 25
+    assert result.selinux_module is not None

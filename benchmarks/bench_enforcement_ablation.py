@@ -1,0 +1,66 @@
+"""Experiment ``ablation-enforce``: attack outcomes per enforcement configuration.
+
+Supports the paper's central argument by quantifying it: the sixteen
+Table I attack scenarios are run against the connected car under four
+enforcement configurations -- unprotected, SELinux only, hardware policy
+engines only, and both.
+
+Expected shape (asserted): the unprotected baseline loses every
+scenario; SELinux alone stops only the software-installation pathway;
+the HPE stops all CAN-level attacks; the combination stops everything
+except the documented residual-risk row (T12, forged display values
+from a legitimate producer).
+"""
+
+import pytest
+
+from repro.attacks.campaign import AttackCampaign
+from repro.analysis.comparison import compare_enforcement_configurations
+from repro.core.enforcement import EnforcementConfig
+
+CONFIGURATIONS = (
+    ("unprotected", None),
+    ("selinux-only", EnforcementConfig.software_only()),
+    ("hpe-only", EnforcementConfig.hardware_only()),
+    ("hpe+selinux", EnforcementConfig.full()),
+)
+
+
+@pytest.mark.parametrize("name, config", CONFIGURATIONS, ids=[c[0] for c in CONFIGURATIONS])
+def test_bench_campaign_per_configuration(benchmark, builder, name, config):
+    campaign = AttackCampaign(builder.factory(config), configuration_name=name)
+    result = benchmark.pedantic(campaign.run, rounds=1, iterations=1)
+    print(
+        f"\n{name}: attack success {result.attack_success_rate:.2f}, "
+        f"mitigated {len(result.mitigated)}/{result.total}, "
+        f"frames blocked {result.frames_blocked}"
+    )
+    expected_max_success = {
+        "unprotected": 1.0,
+        "selinux-only": 1.0,
+        "hpe-only": 0.2,
+        "hpe+selinux": 0.1,
+    }[name]
+    assert result.attack_success_rate <= expected_max_success
+
+
+def test_bench_ablation_matrix(benchmark, builder):
+    comparison = benchmark.pedantic(
+        compare_enforcement_configurations,
+        kwargs={"configurations": CONFIGURATIONS, "builder": builder},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + comparison.render())
+    rates = comparison.success_rates()
+    assert rates["unprotected"] == 1.0
+    assert rates["selinux-only"] < rates["unprotected"]
+    assert rates["hpe-only"] < rates["selinux-only"]
+    assert rates["hpe+selinux"] <= rates["hpe-only"]
+    assert rates["hpe+selinux"] <= 1 / 16 + 1e-9
+    # Per-scenario shape: T08 falls only to configurations with SELinux,
+    # T12 survives everything (residual risk), T01 falls to any HPE config.
+    matrix = comparison.scenario_matrix()
+    assert not matrix["T08"]["hpe-only"] and matrix["T08"]["hpe+selinux"]
+    assert not matrix["T12"]["hpe+selinux"]
+    assert matrix["T01"]["hpe-only"] and matrix["T01"]["hpe+selinux"]

@@ -1,0 +1,39 @@
+"""Experiment ``fig1``: the secure product development life-cycle (Fig. 1).
+
+Paper artefact: the step-wise illustration of the secure product
+development life-cycle, where the device security model bridges
+application threat modelling and secure application testing.
+
+Reproduction check: the regenerated stage flow covers every life-cycle
+stage, in order, with the security model placed between threat
+modelling and design/testing.
+"""
+
+from repro.analysis.figures import FIG1_GROUPS, fig1_stage_flow, render_fig1_lifecycle
+from repro.core.lifecycle import STAGE_ORDER, LifecycleStage, SecureDevelopmentLifecycle
+
+
+def test_bench_fig1_stage_flow(benchmark):
+    flow = benchmark(fig1_stage_flow)
+    print("\n" + render_fig1_lifecycle())
+    assert len(flow) == len(STAGE_ORDER)
+    stages = [stage for stage, _ in flow]
+    assert stages.index("security-model") > stages.index("threat-modelling")
+    assert stages.index("security-model") < stages.index("security-testing")
+    assert set(FIG1_GROUPS) == {
+        "application-threat-modelling", "device-security-model",
+        "secure-application-testing",
+    }
+
+
+def test_bench_fig1_lifecycle_walkthrough(benchmark):
+    """Walking a product through the full life-cycle is cheap and ordered."""
+
+    def run_lifecycle():
+        lifecycle = SecureDevelopmentLifecycle("connected-car")
+        lifecycle.complete_through(LifecycleStage.DEPLOYMENT)
+        return lifecycle
+
+    lifecycle = benchmark(run_lifecycle)
+    assert lifecycle.deployed
+    assert lifecycle.current_stage is LifecycleStage.MAINTENANCE

@@ -1,0 +1,49 @@
+"""Experiment ``fig3``: CAN node internal architecture (Fig. 3).
+
+Paper artefact: the block diagram of a CAN node -- transceiver, CAN
+controller and processor -- attached to the shared 2-wire bus, with the
+conventional software-configured acceptance filters in the controller.
+
+Reproduction check: the regenerated structure shows the same three-stage
+architecture, and the software filters demonstrably stop filtering when
+the node firmware is compromised (the weakness motivating Fig. 4).
+"""
+
+from repro.analysis.figures import fig3_node_structure, render_fig3_can_node
+from repro.can.bus import CANBus
+from repro.can.frame import CANFrame
+from repro.can.node import CANNode
+
+
+def test_bench_fig3_node_structure(benchmark):
+    structure = benchmark(fig3_node_structure)
+    print("\n" + render_fig3_can_node())
+    assert structure["transceiver"] == "CANTransceiver"
+    assert structure["controller"] == "CANController"
+    assert "firmware" in structure["processor"]
+
+
+def test_bench_fig3_software_filter_bypass(benchmark):
+    """Quantify the Fig. 3 weakness: a compromised node's software filters
+    pass everything, so junk deliveries jump from zero to all."""
+
+    def run_with_and_without_compromise():
+        results = {}
+        for compromised in (False, True):
+            bus = CANBus()
+            sender, receiver = CANNode("sender"), CANNode("receiver")
+            receiver.controller.rx_filters.set_default_reject()
+            receiver.controller.rx_filters.add_exact(0x100)
+            bus.attach(sender)
+            bus.attach(receiver)
+            if compromised:
+                receiver.compromise_firmware()
+            for can_id in range(0x200, 0x240):
+                sender.send(CANFrame(can_id=can_id))
+            bus.run_until_idle()
+            results[compromised] = len(receiver.inbox)
+        return results
+
+    deliveries = benchmark(run_with_and_without_compromise)
+    assert deliveries[False] == 0
+    assert deliveries[True] == 64

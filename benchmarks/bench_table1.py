@@ -1,0 +1,38 @@
+"""Experiment ``table1``: regenerate the paper's Table I.
+
+Paper artefact: Table I, "Threat modelling of a connected car application
+use case" -- sixteen threats over seven critical assets, each with entry
+points, STRIDE classification, DREAD scores (with average) and the
+derived R/W/RW policy.
+
+Reproduction check: all sixteen rows are regenerated from the library's
+threat model and policy derivation, and every computed DREAD average
+matches the value printed in the paper.
+"""
+
+from repro.analysis.tables import reproduce_table1
+
+
+def test_bench_table1_reproduction(benchmark):
+    table = benchmark(reproduce_table1)
+    print("\n" + table.render())
+    assert table.row_count == 16
+    assert table.agreement == 1.0
+    assert table.assets()[0] == "EV-ECU"
+
+
+def test_bench_table1_policy_column_backed_by_rules(benchmark, builder):
+    """Every Table I row's policy is backed by enforceable artefacts."""
+
+    def derived_rule_counts():
+        policy = builder.model.policy
+        return {
+            threat_id: len(policy.rules_derived_from(threat_id))
+            for threat_id in (f"T{i:02d}" for i in range(1, 17))
+        }
+
+    counts = benchmark(derived_rule_counts)
+    # T08 is enforced purely via SELinux statements and T12 is documented
+    # residual risk; every other row has at least one CAN-level rule.
+    can_level = {tid for tid, count in counts.items() if count > 0}
+    assert can_level >= {f"T{i:02d}" for i in range(1, 17)} - {"T08", "T12"}

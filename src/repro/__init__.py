@@ -1,0 +1,26 @@
+"""Policy-based security modelling and enforcement for embedded architectures.
+
+A reproduction of Hagan, Siddiqui & Sezer, *"Policy-Based Security
+Modelling and Enforcement Approach for Emerging Embedded Architectures"*
+(IEEE SOCC 2018): application threat modelling with STRIDE/DREAD, policy
+derivation, software (SELinux-like) and hardware (HPE) policy
+enforcement, a CAN-bus connected-car simulation substrate, the sixteen
+Table I attack scenarios and the evaluation harness that regenerates
+every table and figure of the paper.
+
+Subpackages
+-----------
+``repro.threat``     -- threat modelling (STRIDE, DREAD, assets, risk).
+``repro.can``        -- CAN bus simulation substrate.
+``repro.hpe``        -- hardware policy engine.
+``repro.selinux``    -- SELinux-like software MAC enforcement.
+``repro.vehicle``    -- the connected-car application substrate.
+``repro.attacks``    -- attack injection and the Table I scenarios.
+``repro.core``       -- policy model, derivation, enforcement, updates.
+``repro.casestudy``  -- the connected-car case-study dataset and builders.
+``repro.analysis``   -- tables, figures, metrics and comparisons.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,45 @@
+"""Evaluation harness.
+
+Regenerates every table and figure of the paper and provides the
+quantitative ablations that back its qualitative claims.
+
+Modules
+-------
+* :mod:`repro.analysis.tables` -- Table I reproduction.
+* :mod:`repro.analysis.figures` -- Figures 1-4 as data plus ASCII renderings.
+* :mod:`repro.analysis.metrics` -- attack-campaign and overhead metrics.
+* :mod:`repro.analysis.comparison` -- enforcement ablation and the
+  policy-update vs redesign response comparison.
+* :mod:`repro.analysis.coverage` -- DREAD-threshold derivation sweep.
+"""
+
+from repro.analysis.comparison import (
+    EnforcementComparison,
+    compare_enforcement_configurations,
+    response_comparison_rows,
+)
+from repro.analysis.coverage import DerivationSweep, SweepPoint
+from repro.analysis.figures import (
+    render_fig1_lifecycle,
+    render_fig2_topology,
+    render_fig3_can_node,
+    render_fig4_hpe_node,
+)
+from repro.analysis.metrics import CampaignMetrics, OverheadMetrics
+from repro.analysis.tables import Table1Reproduction, reproduce_table1
+
+__all__ = [
+    "CampaignMetrics",
+    "DerivationSweep",
+    "EnforcementComparison",
+    "OverheadMetrics",
+    "SweepPoint",
+    "Table1Reproduction",
+    "compare_enforcement_configurations",
+    "render_fig1_lifecycle",
+    "render_fig2_topology",
+    "render_fig3_can_node",
+    "render_fig4_hpe_node",
+    "reproduce_table1",
+    "response_comparison_rows",
+]

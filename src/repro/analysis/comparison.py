@@ -1,0 +1,136 @@
+"""Enforcement ablation and the policy-vs-redesign response comparison.
+
+Two comparisons back the paper's claims:
+
+* :func:`compare_enforcement_configurations` runs the sixteen Table I
+  attack scenarios against vehicles fitted with different enforcement
+  configurations (none, SELinux only, HPE only, both) and tabulates the
+  attack-success rates -- the quantitative version of Section V-A's
+  walk-through.
+* :func:`response_comparison_rows` tabulates the response time and cost
+  of a post-deployment policy update against the guideline-based
+  alternatives (software redesign, hardware respin, recall,
+  functionality reduction) using the parametric life-cycle model -- the
+  quantitative version of Section V-A.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attacks.campaign import AttackCampaign, CampaignResult
+from repro.casestudy.builder import CaseStudyBuilder
+from repro.core.enforcement import EnforcementConfig
+from repro.core.guidelines import RemediationPath
+from repro.core.lifecycle import ResponseModel
+from repro.threat.report import render_table
+
+#: The enforcement configurations compared by the ablation, in report order.
+DEFAULT_CONFIGURATIONS: tuple[tuple[str, EnforcementConfig | None], ...] = (
+    ("unprotected", None),
+    ("selinux-only", EnforcementConfig.software_only()),
+    ("hpe-only", EnforcementConfig.hardware_only()),
+    ("hpe+selinux", EnforcementConfig.full()),
+)
+
+
+@dataclass
+class EnforcementComparison:
+    """Campaign results across enforcement configurations."""
+
+    results: dict[str, CampaignResult] = field(default_factory=dict)
+
+    def configurations(self) -> list[str]:
+        """Configuration names in insertion order."""
+        return list(self.results)
+
+    def success_rates(self) -> dict[str, float]:
+        """Attack-success rate per configuration."""
+        return {name: result.attack_success_rate for name, result in self.results.items()}
+
+    def mitigation_rates(self) -> dict[str, float]:
+        """Mitigation rate per configuration."""
+        return {name: result.mitigation_rate for name, result in self.results.items()}
+
+    def scenario_matrix(self) -> dict[str, dict[str, bool]]:
+        """Per-scenario outcome matrix: threat id -> {configuration: mitigated}."""
+        matrix: dict[str, dict[str, bool]] = {}
+        for name, result in self.results.items():
+            for record in result.records:
+                matrix.setdefault(record.threat_id, {})[name] = record.mitigated
+        return matrix
+
+    def rows(self) -> list[tuple[str, ...]]:
+        """Per-scenario rows for reporting (threat id + one column per config)."""
+        matrix = self.scenario_matrix()
+        rows = []
+        for threat_id in sorted(matrix):
+            row = [threat_id]
+            for name in self.configurations():
+                row.append("mitigated" if matrix[threat_id].get(name) else "SUCCEEDED")
+            rows.append(tuple(row))
+        return rows
+
+    def render(self) -> str:
+        """ASCII table of the per-scenario outcome matrix."""
+        headers = ("Threat",) + tuple(self.configurations())
+        body = self.rows()
+        summary_row = ("success rate",) + tuple(
+            f"{self.results[name].attack_success_rate:.2f}" for name in self.configurations()
+        )
+        return render_table(headers, list(body) + [summary_row])
+
+
+def compare_enforcement_configurations(
+    configurations: tuple[tuple[str, EnforcementConfig | None], ...] = DEFAULT_CONFIGURATIONS,
+    builder: CaseStudyBuilder | None = None,
+) -> EnforcementComparison:
+    """Run the Table I attack campaign under each enforcement configuration."""
+    builder = builder if builder is not None else CaseStudyBuilder()
+    comparison = EnforcementComparison()
+    for name, config in configurations:
+        campaign = AttackCampaign(builder.factory(config), configuration_name=name)
+        comparison.results[name] = campaign.run()
+    return comparison
+
+
+def response_comparison_rows(
+    fleet_size: int = 100_000,
+) -> list[tuple[str, str, float, float, float]]:
+    """Policy-update vs guideline remediation comparison rows.
+
+    Each row is ``(approach, remediation, response_days, total_cost,
+    speedup_vs_policy)``.
+    """
+    model = ResponseModel(fleet_size=fleet_size)
+    policy = model.policy_response()
+    rows: list[tuple[str, str, float, float, float]] = [
+        ("policy", policy.remediation, policy.response_days, policy.total_cost, 1.0)
+    ]
+    for path in (
+        RemediationPath.SOFTWARE_REDESIGN,
+        RemediationPath.HARDWARE_REDESIGN,
+        RemediationPath.PRODUCT_RECALL,
+        RemediationPath.FUNCTIONALITY_REDUCTION,
+    ):
+        estimate = model.guideline_response(path)
+        rows.append(
+            (
+                "guideline",
+                estimate.remediation,
+                estimate.response_days,
+                estimate.total_cost,
+                estimate.response_days / policy.response_days,
+            )
+        )
+    return rows
+
+
+def render_response_comparison(fleet_size: int = 100_000) -> str:
+    """ASCII table of the response comparison."""
+    headers = ("Approach", "Remediation", "Response (days)", "Total cost", "Slowdown vs policy")
+    rows = [
+        (approach, remediation, f"{days:.1f}", f"{cost:,.0f}", f"{slowdown:.1f}x")
+        for approach, remediation, days, cost, slowdown in response_comparison_rows(fleet_size)
+    ]
+    return render_table(headers, rows)

@@ -1,0 +1,116 @@
+"""DREAD-threshold derivation sweep.
+
+The paper notes that "smaller threats could be catered using best
+security practises" -- i.e. only threats above some risk threshold get
+enforced policies.  This ablation sweeps that threshold and reports how
+the derived rule count, threat coverage and residual risk change,
+showing the trade-off an OEM makes when choosing where to draw the line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.casestudy.connected_car import build_threat_model, build_threat_policy_entries
+from repro.core.derivation import PolicyDerivation
+from repro.threat.risk import RiskAssessment
+from repro.threat.report import render_table
+from repro.vehicle.messages import MessageCatalog, standard_catalog
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Derivation outcome at one DREAD threshold."""
+
+    threshold: float
+    access_rules: int
+    app_statements: int
+    enforced_threats: int
+    skipped_threats: int
+    coverage: float
+    residual_risk: float
+
+
+@dataclass
+class DerivationSweep:
+    """The full threshold sweep."""
+
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def thresholds(self) -> list[float]:
+        """Swept threshold values in order."""
+        return [p.threshold for p in self.points]
+
+    def coverage_series(self) -> list[float]:
+        """Threat coverage at each threshold."""
+        return [p.coverage for p in self.points]
+
+    def residual_risk_series(self) -> list[float]:
+        """Residual (unenforced) risk at each threshold."""
+        return [p.residual_risk for p in self.points]
+
+    def is_monotonic(self) -> bool:
+        """Coverage never increases and residual risk never decreases as the
+        threshold rises (the expected shape of the trade-off curve)."""
+        coverage_ok = all(
+            earlier >= later
+            for earlier, later in zip(self.coverage_series(), self.coverage_series()[1:])
+        )
+        residual_ok = all(
+            earlier <= later
+            for earlier, later in zip(
+                self.residual_risk_series(), self.residual_risk_series()[1:]
+            )
+        )
+        return coverage_ok and residual_ok
+
+    def render(self) -> str:
+        """ASCII table of the sweep."""
+        headers = (
+            "DREAD threshold", "Access rules", "App statements",
+            "Enforced threats", "Skipped threats", "Coverage", "Residual risk",
+        )
+        rows = [
+            (
+                f"{p.threshold:.1f}", str(p.access_rules), str(p.app_statements),
+                str(p.enforced_threats), str(p.skipped_threats),
+                f"{p.coverage:.2f}", f"{p.residual_risk:.1f}",
+            )
+            for p in self.points
+        ]
+        return render_table(headers, rows)
+
+
+def run_derivation_sweep(
+    thresholds: tuple[float, ...] = (0.0, 4.5, 5.0, 5.5, 6.0, 6.5, 7.0),
+    catalog: MessageCatalog | None = None,
+) -> DerivationSweep:
+    """Derive the case-study policy at each DREAD threshold."""
+    catalog = catalog if catalog is not None else standard_catalog()
+    threat_model = build_threat_model()
+    entries = build_threat_policy_entries(catalog)
+    assessment = RiskAssessment(threat_model.threats, threat_model.assets)
+    total_threats = len(threat_model.threats)
+
+    sweep = DerivationSweep()
+    for threshold in thresholds:
+        derivation = PolicyDerivation(catalog, dread_threshold=threshold).derive(entries)
+        mitigated = derivation.policy.mitigated_threats() | {
+            cm_threat
+            for cm in derivation.countermeasures
+            if cm.is_policy
+            for cm_threat in cm.mitigates
+        }
+        enforced = len(mitigated)
+        sweep.points.append(
+            SweepPoint(
+                threshold=threshold,
+                access_rules=len(derivation.policy.access_rules),
+                app_statements=len(derivation.policy.app_statements),
+                enforced_threats=enforced,
+                skipped_threats=len(derivation.skipped_threats),
+                coverage=enforced / total_threats if total_threats else 1.0,
+                residual_risk=assessment.residual_risk(mitigated),
+            )
+        )
+    return sweep

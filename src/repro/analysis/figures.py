@@ -1,0 +1,192 @@
+"""Figures 1-4 as data structures plus ASCII renderings.
+
+The paper's figures are architecture diagrams rather than data plots; we
+regenerate each one from the corresponding live objects so the diagrams
+are guaranteed to reflect what the library actually builds:
+
+* Fig. 1 -- the secure product development life-cycle, from the
+  :class:`~repro.core.lifecycle.SecureDevelopmentLifecycle` stage order.
+* Fig. 2 -- the connected-car topology, from
+  :meth:`repro.vehicle.car.ConnectedCar.topology`.
+* Fig. 3 -- the internal architecture of a CAN node, from a live
+  :class:`~repro.can.node.CANNode`.
+* Fig. 4 -- a CAN node with an integrated hardware policy engine, from a
+  live :class:`~repro.hpe.engine.HardwarePolicyEngine`.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.can.node import CANNode
+from repro.core.lifecycle import STAGE_ORDER, LifecycleStage
+from repro.hpe.engine import HardwarePolicyEngine
+from repro.vehicle.car import ConnectedCar
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 -- secure product development life-cycle
+# ---------------------------------------------------------------------------
+
+#: Which life-cycle stages belong to which half of Fig. 1.  The security
+#: model bridges application threat modelling and secure application testing.
+FIG1_GROUPS: dict[str, tuple[LifecycleStage, ...]] = {
+    "application-threat-modelling": (
+        LifecycleStage.REQUIREMENTS,
+        LifecycleStage.RISK_ASSESSMENT,
+        LifecycleStage.THREAT_MODELLING,
+    ),
+    "device-security-model": (LifecycleStage.SECURITY_MODEL,),
+    "secure-application-testing": (
+        LifecycleStage.DESIGN,
+        LifecycleStage.IMPLEMENTATION,
+        LifecycleStage.SECURITY_TESTING,
+        LifecycleStage.DEPLOYMENT,
+        LifecycleStage.MAINTENANCE,
+    ),
+}
+
+
+def fig1_stage_flow() -> list[tuple[str, str]]:
+    """The Fig. 1 stage flow as (stage, group) pairs in order."""
+    flow: list[tuple[str, str]] = []
+    for stage in STAGE_ORDER:
+        for group, stages in FIG1_GROUPS.items():
+            if stage in stages:
+                flow.append((stage.value, group))
+                break
+    return flow
+
+
+def render_fig1_lifecycle() -> str:
+    """ASCII rendering of the Fig. 1 life-cycle."""
+    lines = ["Fig. 1 - Secure product development life-cycle", ""]
+    for group, stages in FIG1_GROUPS.items():
+        lines.append(f"[{group}]")
+        for stage in stages:
+            lines.append(f"    -> {stage.value}")
+    lines.append("")
+    lines.append(
+        "The device security model bridges threat modelling and secure testing;"
+    )
+    lines.append(
+        "in the policy-based approach it is expressed as enforceable access policies."
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 -- connected-car topology
+# ---------------------------------------------------------------------------
+
+
+def fig2_topology_graph(car: ConnectedCar | None = None) -> nx.Graph:
+    """The Fig. 2 topology graph (built from a live or fresh vehicle)."""
+    car = car if car is not None else ConnectedCar()
+    return car.topology()
+
+
+def render_fig2_topology(car: ConnectedCar | None = None) -> str:
+    """ASCII rendering of the Fig. 2 component/bus topology."""
+    graph = fig2_topology_graph(car)
+    bus_nodes = [n for n, data in graph.nodes(data=True) if data.get("kind") == "bus"]
+    ecu_nodes = [n for n, data in graph.nodes(data=True) if data.get("kind") == "ecu"]
+    externals = [
+        n for n, data in graph.nodes(data=True) if data.get("kind") == "external-interface"
+    ]
+    lines = ["Fig. 2 - Connected car components on the shared CAN bus", ""]
+    for bus in bus_nodes:
+        lines.append(f"CAN bus: {bus}")
+        for ecu in ecu_nodes:
+            lines.append(f"    |== {ecu}")
+    if externals:
+        lines.append("")
+        lines.append("External interfaces:")
+        for external in externals:
+            attached = [n for n in graph.neighbors(external)]
+            lines.append(f"    {external} --> {', '.join(attached)}")
+    lines.append("")
+    lines.append(
+        f"nodes={graph.number_of_nodes()} edges={graph.number_of_edges()}"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 -- CAN node internal architecture
+# ---------------------------------------------------------------------------
+
+
+def fig3_node_structure(node: CANNode | None = None) -> dict[str, str]:
+    """The Fig. 3 component structure of a CAN node."""
+    node = node if node is not None else CANNode("example-node")
+    return {
+        "node": node.name,
+        "transceiver": type(node.transceiver).__name__,
+        "controller": type(node.controller).__name__,
+        "processor": "application firmware (VehicleECU subclasses in this library)",
+        "rx_filters": f"{len(node.controller.rx_filters)} software acceptance filters",
+        "tx_filters": f"{len(node.controller.tx_filters)} software transmit filters",
+    }
+
+
+def render_fig3_can_node(node: CANNode | None = None) -> str:
+    """ASCII rendering of the Fig. 3 CAN node architecture."""
+    structure = fig3_node_structure(node)
+    return "\n".join(
+        [
+            f"Fig. 3 - CAN node architecture ({structure['node']})",
+            "",
+            "  CAN-H/CAN-L ==> [ CAN Transceiver ] ==> [ CAN Controller ] ==> [ Processor ]",
+            f"                   {structure['transceiver']:<20} {structure['controller']:<18} firmware",
+            f"  software filters: rx={structure['rx_filters']}, tx={structure['tx_filters']}",
+            "  (software filters are firmware-configured and bypassed when the",
+            "   firmware is compromised)",
+        ]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 -- CAN node with integrated hardware policy engine
+# ---------------------------------------------------------------------------
+
+
+def fig4_hpe_structure(engine: HardwarePolicyEngine | None = None) -> dict[str, object]:
+    """The Fig. 4 structure of an HPE-equipped node."""
+    engine = (
+        engine
+        if engine is not None
+        else HardwarePolicyEngine(
+            "example-node", approved_reads=(0x020, 0x050), approved_writes=(0x012,)
+        )
+    )
+    return {
+        "node": engine.node_name,
+        "approved_read_ids": sorted(engine.approved_read_ids),
+        "approved_write_ids": sorted(engine.approved_write_ids),
+        "read_filter": type(engine.read_filter).__name__,
+        "write_filter": type(engine.write_filter).__name__,
+        "decision_block": type(engine.read_filter.decision_block).__name__,
+        "tamper_rejections": len(engine.tamper_log.rejected()),
+    }
+
+
+def render_fig4_hpe_node(engine: HardwarePolicyEngine | None = None) -> str:
+    """ASCII rendering of the Fig. 4 HPE-integrated CAN node."""
+    structure = fig4_hpe_structure(engine)
+    reads = ", ".join(f"0x{i:03X}" for i in structure["approved_read_ids"]) or "(none)"
+    writes = ", ".join(f"0x{i:03X}" for i in structure["approved_write_ids"]) or "(none)"
+    return "\n".join(
+        [
+            f"Fig. 4 - CAN node with integrated hardware policy engine ({structure['node']})",
+            "",
+            "  bus ==> [ Transceiver ] ==> [ HPE read filter  ] ==> [ Controller ] ==> app",
+            "  app ==> [ Controller  ] ==> [ HPE write filter ] ==> [ Transceiver ] ==> bus",
+            "",
+            f"  approved reading list : {reads}",
+            f"  approved writing list : {writes}",
+            f"  decision block        : {structure['decision_block']} (grant/block by message ID)",
+            "  configuration         : privileged port only; firmware reconfiguration",
+            f"                          attempts rejected so far: {structure['tamper_rejections']}",
+        ]
+    )

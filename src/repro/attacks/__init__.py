@@ -1,0 +1,53 @@
+"""Attack scenario injection.
+
+Implements the adversary side of the case study: a malicious node
+introduced on the bus (outside attacks), compromise of existing ECUs
+(inside attacks), and the sixteen concrete threat scenarios of the
+paper's Table I, runnable against any :class:`repro.vehicle.car.ConnectedCar`
+regardless of which enforcement mechanisms are fitted.
+
+Modules
+-------
+* :mod:`repro.attacks.attacker` -- the malicious CAN node and compromise helpers.
+* :mod:`repro.attacks.spoofing` -- frame spoofing/injection attacks.
+* :mod:`repro.attacks.tampering` -- data tampering via compromised nodes.
+* :mod:`repro.attacks.dos` -- denial-of-service (flooding, disable commands).
+* :mod:`repro.attacks.firmware` -- firmware modification attacks.
+* :mod:`repro.attacks.replay` -- replay of captured bus traffic.
+* :mod:`repro.attacks.fuzzing` -- randomised frame fuzzing.
+* :mod:`repro.attacks.scenarios` -- the Table I threat scenarios.
+* :mod:`repro.attacks.campaign` -- run scenario campaigns and collect outcomes.
+"""
+
+from repro.attacks.attacker import MaliciousNode
+from repro.attacks.campaign import AttackCampaign, CampaignResult, ScenarioRecord
+from repro.attacks.dos import BusFloodAttack, TargetedDisableAttack
+from repro.attacks.firmware import FirmwareModificationAttack
+from repro.attacks.fuzzing import FuzzingAttack
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.scenarios import (
+    AttackScenario,
+    ScenarioOutcome,
+    all_scenarios,
+    scenario_by_threat_id,
+)
+from repro.attacks.spoofing import SpoofingAttack
+from repro.attacks.tampering import SensorTamperingAttack
+
+__all__ = [
+    "AttackCampaign",
+    "AttackScenario",
+    "BusFloodAttack",
+    "CampaignResult",
+    "FirmwareModificationAttack",
+    "FuzzingAttack",
+    "MaliciousNode",
+    "ReplayAttack",
+    "ScenarioOutcome",
+    "ScenarioRecord",
+    "SensorTamperingAttack",
+    "SpoofingAttack",
+    "TargetedDisableAttack",
+    "all_scenarios",
+    "scenario_by_threat_id",
+]

@@ -1,0 +1,132 @@
+"""Attack campaigns.
+
+A campaign runs a set of Table I scenarios against freshly built
+vehicles (one car per scenario, so scenarios never interfere) and
+aggregates the outcomes.  The car factory encapsulates the enforcement
+configuration under test, so the same campaign machinery produces the
+unprotected baseline, the software-filter-only configuration, the
+SELinux configuration and the full hardware-policy-engine configuration
+for the enforcement ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.attacks.scenarios import AttackScenario, ScenarioOutcome, all_scenarios
+from repro.vehicle.car import ConnectedCar
+
+
+@dataclass(frozen=True)
+class ScenarioRecord:
+    """One scenario's outcome within a campaign."""
+
+    scenario: AttackScenario
+    outcome: ScenarioOutcome
+
+    @property
+    def threat_id(self) -> str:
+        return self.scenario.threat_id
+
+    @property
+    def mitigated(self) -> bool:
+        return self.outcome.mitigated
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated outcomes of one campaign run."""
+
+    configuration: str
+    records: list[ScenarioRecord] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Number of scenarios executed."""
+        return len(self.records)
+
+    @property
+    def succeeded(self) -> list[ScenarioRecord]:
+        """Scenarios where the attacker achieved the objective."""
+        return [r for r in self.records if not r.mitigated]
+
+    @property
+    def mitigated(self) -> list[ScenarioRecord]:
+        """Scenarios where the attack objective was prevented."""
+        return [r for r in self.records if r.mitigated]
+
+    @property
+    def attack_success_rate(self) -> float:
+        """Fraction of scenarios in which the attacker succeeded."""
+        if not self.records:
+            return 0.0
+        return len(self.succeeded) / len(self.records)
+
+    @property
+    def mitigation_rate(self) -> float:
+        """Fraction of scenarios in which the attack was prevented."""
+        if not self.records:
+            return 0.0
+        return len(self.mitigated) / len(self.records)
+
+    @property
+    def frames_blocked(self) -> int:
+        """Total frames blocked by filters/policy engines across scenarios."""
+        return sum(r.outcome.frames_blocked for r in self.records)
+
+    def outcome_for(self, threat_id: str) -> ScenarioOutcome:
+        """The outcome of a specific Table I scenario."""
+        for record in self.records:
+            if record.threat_id == threat_id:
+                return record.outcome
+        raise KeyError(f"no outcome recorded for {threat_id!r}")
+
+    def succeeded_ids(self) -> list[str]:
+        """Threat identifiers of successful attacks."""
+        return [r.threat_id for r in self.succeeded]
+
+    def mitigated_ids(self) -> list[str]:
+        """Threat identifiers of mitigated attacks."""
+        return [r.threat_id for r in self.mitigated]
+
+
+class AttackCampaign:
+    """Run scenarios against fresh vehicles built by a factory.
+
+    Parameters
+    ----------
+    car_factory:
+        Zero-argument callable building a fresh :class:`ConnectedCar`
+        with the enforcement configuration under test already fitted.
+    scenarios:
+        The scenarios to run (defaults to all sixteen Table I scenarios).
+    configuration_name:
+        Label for the configuration (used in reports and benchmarks).
+    """
+
+    def __init__(
+        self,
+        car_factory: Callable[[], ConnectedCar],
+        scenarios: Iterable[AttackScenario] | None = None,
+        configuration_name: str = "unnamed",
+    ) -> None:
+        self.car_factory = car_factory
+        self.scenarios = list(scenarios) if scenarios is not None else all_scenarios()
+        self.configuration_name = configuration_name
+
+    def run(self) -> CampaignResult:
+        """Execute every scenario on its own fresh vehicle."""
+        result = CampaignResult(configuration=self.configuration_name)
+        for scenario in self.scenarios:
+            car = self.car_factory()
+            outcome = scenario.execute(car)
+            result.records.append(ScenarioRecord(scenario=scenario, outcome=outcome))
+        return result
+
+    def run_single(self, threat_id: str) -> ScenarioOutcome:
+        """Run only the named scenario on a fresh vehicle."""
+        for scenario in self.scenarios:
+            if scenario.threat_id == threat_id:
+                return scenario.execute(self.car_factory())
+        raise KeyError(f"campaign does not include scenario {threat_id!r}")

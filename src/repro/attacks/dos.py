@@ -1,0 +1,98 @@
+"""Denial-of-service attacks.
+
+Two DoS styles appear in the case study: targeted disablement (sending
+the specific command that switches a component off -- the Section V-A
+walk-through) and bus flooding with high-priority frames so legitimate
+traffic loses arbitration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.attacker import MaliciousNode
+from repro.can.trace import TraceEventKind
+from repro.vehicle.car import ConnectedCar
+
+
+@dataclass
+class DosResult:
+    """Outcome of a denial-of-service attempt."""
+
+    frames_attempted: int
+    frames_on_bus: int
+    target_disabled: bool = False
+    legitimate_delivery_ratio: float = 1.0
+
+
+class TargetedDisableAttack:
+    """Send the disable command for a specific component from a rogue node."""
+
+    #: Mapping of target asset to the disable message and the health key that
+    #: indicates the component is still functioning.
+    TARGETS: dict[str, tuple[str, str]] = {
+        "EV-ECU": ("ECU_DISABLE", "propulsion_available"),
+        "EPS": ("EPS_DEACTIVATE", "steering_assist"),
+        "Engine": ("ENGINE_DEACTIVATE", "engine_running"),
+        "Telematics": ("MODEM_CONTROL", "emergency_call_possible"),
+    }
+
+    def __init__(self, car: ConnectedCar, target: str = "EV-ECU") -> None:
+        if target not in self.TARGETS:
+            raise ValueError(f"unknown disable target {target!r}; known: {sorted(self.TARGETS)}")
+        self.car = car
+        self.target = target
+        self.message_name, self.health_key = self.TARGETS[target]
+
+    def execute(self, repetitions: int = 3) -> DosResult:
+        """Inject the disable command and report whether the target went down."""
+        attacker = MaliciousNode(self.car)
+        payload = b"\x00" if self.message_name == "MODEM_CONTROL" else b"\x01"
+        on_bus = attacker.flood(self.car.catalog.id_of(self.message_name), repetitions, payload)
+        self.car.run(0.05)
+        disabled = not self.car.health()[self.health_key]
+        return DosResult(
+            frames_attempted=repetitions,
+            frames_on_bus=on_bus,
+            target_disabled=disabled,
+        )
+
+
+class BusFloodAttack:
+    """Flood the bus with the highest-priority identifier.
+
+    Because CAN arbitration always prefers the lowest identifier, a
+    flood of ID ``0x000`` frames starves legitimate traffic.  The result
+    reports the delivery ratio of legitimate periodic traffic during the
+    flood window as a congestion measure.
+    """
+
+    def __init__(self, car: ConnectedCar, flood_id: int = 0x000) -> None:
+        self.car = car
+        self.flood_id = flood_id
+
+    def execute(self, frames: int = 500, window_s: float = 0.5) -> DosResult:
+        """Flood for *window_s* seconds and measure legitimate deliveries."""
+        attacker = MaliciousNode(self.car)
+        trace = self.car.bus.trace
+        deliveries_before = trace.count(TraceEventKind.DELIVERED)
+        transmitted_before = trace.count(TraceEventKind.TRANSMITTED)
+        on_bus = attacker.flood(self.flood_id, frames)
+        self.car.run(window_s)
+        deliveries_after = trace.count(TraceEventKind.DELIVERED)
+        transmitted_after = trace.count(TraceEventKind.TRANSMITTED)
+        transmitted_during = transmitted_after - transmitted_before
+        legitimate_during = sum(
+            1
+            for record in trace.of_kind(TraceEventKind.TRANSMITTED)
+            if record.frame.can_id != self.flood_id
+        )
+        ratio = (
+            legitimate_during / transmitted_during if transmitted_during else 1.0
+        )
+        return DosResult(
+            frames_attempted=frames,
+            frames_on_bus=on_bus,
+            target_disabled=False,
+            legitimate_delivery_ratio=min(1.0, ratio),
+        )

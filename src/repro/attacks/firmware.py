@@ -1,0 +1,111 @@
+"""Firmware modification attacks.
+
+The paper's HPE argument hinges on firmware modification: software
+acceptance filters "may be vulnerable to software layer attacks, such as
+firmware modification".  This module models two firmware attacks from
+Table I: the privacy attack using modified radio firmware on the
+telematics unit, and unauthorised software installation / browser
+exploitation on the infotainment system that then pivots to the bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vehicle.car import ConnectedCar
+
+
+@dataclass
+class FirmwareAttackResult:
+    """Outcome of a firmware modification attack."""
+
+    foothold_gained: bool
+    hpe_reconfigured: bool
+    objective_achieved: bool
+    detail: str = ""
+
+
+class FirmwareModificationAttack:
+    """Firmware-level attacks against the telematics or infotainment units."""
+
+    def __init__(self, car: ConnectedCar) -> None:
+        self.car = car
+
+    def radio_privacy_attack(self) -> FirmwareAttackResult:
+        """Modified radio firmware exfiltrating position data (Table I, 3G/4G/WiFi).
+
+        The attack enters through the infotainment system (the row's entry
+        point): a modified radio-firmware package is installed from the
+        media display, which -- if the installation is permitted --
+        compromises the telematics firmware.  The attacker then attempts
+        to reconfigure any hardware policy engine on the node (which must
+        fail) and exfiltrates GPS data over the modem.  A software policy
+        (SELinux) that denies installations initiated from the media
+        display stops the attack at the first step.
+        """
+        infotainment = self.car.infotainment
+        installed = infotainment.install_software(
+            "modified-radio-firmware", initiated_from=infotainment.SUBJECT_MEDIA_DISPLAY
+        )
+        if not installed:
+            return FirmwareAttackResult(
+                foothold_gained=False,
+                hpe_reconfigured=False,
+                objective_achieved=False,
+                detail="radio firmware installation blocked at the infotainment system",
+            )
+        telematics = self.car.telematics
+        telematics.compromise_firmware()
+        hpe_reconfigured = self._attempt_hpe_reconfiguration(telematics.node.policy_engine)
+        exfiltrated = telematics.exfiltrate_position()
+        return FirmwareAttackResult(
+            foothold_gained=True,
+            hpe_reconfigured=hpe_reconfigured,
+            objective_achieved=exfiltrated,
+            detail="GPS exfiltration via modified radio firmware",
+        )
+
+    def infotainment_escalation(self, target_message: str = "ECU_DISABLE") -> FirmwareAttackResult:
+        """Browser exploit on the infotainment unit pivoting to vehicle control.
+
+        Models Table I's "Exploit to gain access to higher control level":
+        the media-player browser is exploited, the firmware compromised,
+        and the attacker then tries to emit a vehicle-control command.
+        """
+        infotainment = self.car.infotainment
+        infotainment.browser_exploit()
+        hpe_reconfigured = self._attempt_hpe_reconfiguration(infotainment.node.policy_engine)
+        can_id = self.car.catalog.id_of(target_message)
+        reached_bus = infotainment.attempt_vehicle_control(can_id, b"\x01")
+        self.car.run(0.05)
+        return FirmwareAttackResult(
+            foothold_gained=True,
+            hpe_reconfigured=hpe_reconfigured,
+            objective_achieved=reached_bus,
+            detail=f"escalation to {target_message} from infotainment browser",
+        )
+
+    def unauthorised_install(self, package: str = "rogue-app") -> FirmwareAttackResult:
+        """Unauthorised software installation initiated from the media display."""
+        infotainment = self.car.infotainment
+        installed = infotainment.install_software(package)
+        return FirmwareAttackResult(
+            foothold_gained=installed,
+            hpe_reconfigured=False,
+            objective_achieved=installed,
+            detail=f"installation of {package} from media display",
+        )
+
+    @staticmethod
+    def _attempt_hpe_reconfiguration(policy_engine) -> bool:
+        """Try to rewrite the node's HPE approved lists from firmware.
+
+        Returns whether the reconfiguration succeeded (it must not, for a
+        genuine hardware policy engine).
+        """
+        if policy_engine is None:
+            return False
+        attempt = getattr(policy_engine, "attempt_firmware_reconfiguration", None)
+        if attempt is None:
+            return False
+        return bool(attempt(approved_reads=range(0x000, 0x100), approved_writes=range(0x000, 0x100)))

@@ -1,0 +1,73 @@
+"""Frame fuzzing.
+
+Fuzzing sprays pseudo-random identifiers and payloads at the bus to find
+frames that provoke unintended behaviour.  It doubles as a coverage
+probe for the policy engines: with whitelist enforcement active, only
+identifiers on some node's approved write list should ever reach the
+bus, and only approved read identifiers should reach any application.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.attacks.attacker import MaliciousNode
+from repro.can.frame import MAX_STANDARD_ID
+from repro.can.trace import TraceEventKind
+from repro.vehicle.car import ConnectedCar
+
+
+@dataclass
+class FuzzingResult:
+    """Outcome of a fuzzing run."""
+
+    frames_sent: int
+    frames_delivered_to_applications: int
+    distinct_ids_delivered: tuple[int, ...] = field(default_factory=tuple)
+    components_disabled: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of fuzzed frames that reached at least one application."""
+        if self.frames_sent == 0:
+            return 0.0
+        return self.frames_delivered_to_applications / self.frames_sent
+
+
+class FuzzingAttack:
+    """Seeded random-frame fuzzing from a rogue node."""
+
+    def __init__(self, car: ConnectedCar, seed: int = 1234) -> None:
+        self.car = car
+        self._random = random.Random(seed)
+        self.attacker = MaliciousNode(car, name="Fuzzer")
+
+    def execute(self, frames: int = 200, max_id: int = MAX_STANDARD_ID) -> FuzzingResult:
+        """Send *frames* random frames and report what got through."""
+        trace = self.car.bus.trace
+        deliveries_before = {
+            (r.node, r.frame.can_id, r.time) for r in trace.of_kind(TraceEventKind.DELIVERED)
+        }
+        health_before = self.car.health()
+        for _ in range(frames):
+            can_id = self._random.randint(0, max_id)
+            payload = bytes(self._random.randint(0, 255) for _ in range(self._random.randint(0, 8)))
+            self.attacker.inject(can_id, payload)
+        self.car.run(0.5)
+        delivered_records = [
+            r
+            for r in trace.of_kind(TraceEventKind.DELIVERED)
+            if r.frame.source == self.attacker.name
+            and (r.node, r.frame.can_id, r.time) not in deliveries_before
+        ]
+        health_after = self.car.health()
+        disabled = tuple(
+            key for key, ok in health_after.items() if health_before.get(key, True) and not ok
+        )
+        return FuzzingResult(
+            frames_sent=frames,
+            frames_delivered_to_applications=len(delivered_records),
+            distinct_ids_delivered=tuple(sorted({r.frame.can_id for r in delivered_records})),
+            components_disabled=disabled,
+        )

@@ -1,0 +1,75 @@
+"""Replay attacks.
+
+A replay attack records legitimate frames off the bus (CAN is a
+broadcast medium, so any attached node can sniff everything) and
+re-injects them later, out of context -- for example replaying a
+``DOOR_UNLOCK_CMD`` captured while parked once the vehicle is moving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.attacker import MaliciousNode
+from repro.can.frame import CANFrame
+from repro.vehicle.car import ConnectedCar
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of a replay attack."""
+
+    frames_captured: int
+    frames_replayed: int
+    frames_on_bus: int
+
+    @property
+    def reached_bus(self) -> bool:
+        """Whether any replayed frame made it onto the bus."""
+        return self.frames_on_bus > 0
+
+
+class ReplayAttack:
+    """Capture matching frames, then replay them later.
+
+    Parameters
+    ----------
+    car:
+        The target vehicle.
+    capture_ids:
+        Identifiers to record during the capture phase; ``None`` captures
+        everything the rogue node can sniff.
+    """
+
+    def __init__(self, car: ConnectedCar, capture_ids: set[int] | None = None) -> None:
+        self.car = car
+        self.capture_ids = capture_ids
+        self.attacker = MaliciousNode(car, name="ReplayNode")
+        self._captured: list[CANFrame] = []
+
+    def capture(self, duration_s: float = 0.5) -> int:
+        """Sniff the bus for *duration_s* seconds; returns frames captured."""
+        before = len(self.attacker.node.inbox)
+        self.car.run(duration_s)
+        new_frames = self.attacker.node.inbox[before:]
+        for frame in new_frames:
+            if self.capture_ids is None or frame.can_id in self.capture_ids:
+                self._captured.append(frame)
+        return len(self._captured)
+
+    def captured_frames(self) -> list[CANFrame]:
+        """Frames recorded so far."""
+        return list(self._captured)
+
+    def replay(self) -> ReplayResult:
+        """Re-inject every captured frame."""
+        on_bus = 0
+        for frame in self._captured:
+            if self.attacker.inject(frame.can_id, frame.data):
+                on_bus += 1
+        self.car.run(0.05)
+        return ReplayResult(
+            frames_captured=len(self._captured),
+            frames_replayed=len(self._captured),
+            frames_on_bus=on_bus,
+        )

@@ -1,0 +1,390 @@
+"""The Table I threat scenarios.
+
+Each scenario reproduces one row of the paper's Table I as an executable
+attack against a :class:`~repro.vehicle.car.ConnectedCar`: it puts the
+car into the relevant operating situation, launches the attack from the
+row's entry points, and then checks whether the attacker's objective was
+achieved.  Scenarios are enforcement-agnostic -- the same scenario runs
+against an unprotected car, a car with software filters only, or a car
+with hardware policy engines, which is exactly the comparison the
+enforcement ablation benchmark makes.
+
+Scenario identifiers ``T01`` .. ``T16`` correspond to Table I rows top to
+bottom; the matching threat-model entries are built in
+:mod:`repro.casestudy.connected_car` with the same identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.attacks.attacker import MaliciousNode, compromise_ecu
+from repro.attacks.firmware import FirmwareModificationAttack
+from repro.vehicle.car import ConnectedCar
+from repro.vehicle.modes import CarMode
+
+
+def sync_enforcement(car: ConnectedCar) -> None:
+    """Let any fitted enforcement coordinator resynchronise with car state.
+
+    The enforcement layer (if present) attaches itself to the car as the
+    ``enforcement_coordinator`` attribute; scenarios call this helper
+    after changing the operating situation (mode, motion, alarm state) so
+    mode/situation-dependent policies are re-applied through the
+    authorised configuration channel.
+    """
+    coordinator = getattr(car, "enforcement_coordinator", None)
+    if coordinator is not None:
+        coordinator.sync(car)
+
+
+@dataclass
+class ScenarioOutcome:
+    """The result of running one scenario."""
+
+    threat_id: str
+    name: str
+    attack_reached_bus: bool
+    objective_achieved: bool
+    detail: str = ""
+    frames_blocked: int = 0
+
+    @property
+    def mitigated(self) -> bool:
+        """Whether the attack objective was prevented."""
+        return not self.objective_achieved
+
+
+@dataclass
+class AttackScenario:
+    """One executable Table I threat scenario.
+
+    Parameters
+    ----------
+    threat_id:
+        Table I row identifier (``"T01"`` .. ``"T16"``).
+    name:
+        Short name of the threat.
+    target_asset:
+        The asset under attack (Table I "Critical Assets" column).
+    entry_points:
+        The entry points used (Table I "Entry Points" column).
+    mode:
+        The car mode in which the scenario plays out.
+    run:
+        Callable executing the attack; receives the car and returns
+        ``(attack_reached_bus, objective_achieved, detail)``.
+    """
+
+    threat_id: str
+    name: str
+    target_asset: str
+    entry_points: tuple[str, ...]
+    mode: CarMode
+    run: Callable[[ConnectedCar], tuple[bool, bool, str]] = field(repr=False)
+
+    def execute(self, car: ConnectedCar) -> ScenarioOutcome:
+        """Run the scenario against *car* and report the outcome."""
+        blocked_before = len(car.bus.trace.blocked())
+        reached, achieved, detail = self.run(car)
+        blocked_after = len(car.bus.trace.blocked())
+        return ScenarioOutcome(
+            threat_id=self.threat_id,
+            name=self.name,
+            attack_reached_bus=reached,
+            objective_achieved=achieved,
+            detail=detail,
+            frames_blocked=blocked_after - blocked_before,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Scenario implementations (one per Table I row)
+# ---------------------------------------------------------------------------
+
+
+def _start_driving(car: ConnectedCar) -> None:
+    car.sensors.set_pedals(accel=60, brake=0)
+    car.door_locks.set_motion(True)
+    sync_enforcement(car)
+    car.run(0.05)
+
+
+def _t01_spoofed_ecu_disable_via_locks(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """Spoofed ECU_DISABLE (door locks / safety-critical entry) while driving."""
+    _start_driving(car)
+    attacker = MaliciousNode(car, name="RogueLockNode")
+    reached = attacker.flood(car.catalog.id_of("ECU_DISABLE"), 3, b"\x01") > 0
+    car.run(0.05)
+    disabled = not car.ev_ecu.propulsion_available
+    return reached, disabled, "propulsion disabled" if disabled else "propulsion unaffected"
+
+
+def _t02_spoofed_ecu_disable_via_sensors(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """Spoofed ECU_DISABLE from a compromised sensor cluster while driving."""
+    _start_driving(car)
+    sensors = compromise_ecu(car.sensors)
+    reached = any(
+        sensors.send_raw(car.catalog.id_of("ECU_DISABLE"), b"\x01") for _ in range(3)
+    )
+    car.run(0.05)
+    disabled = not car.ev_ecu.propulsion_available
+    return reached, disabled, "propulsion disabled" if disabled else "propulsion unaffected"
+
+
+def _t03_disable_tracking_after_theft(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """Disable the remote tracking system after theft (3G/4G/WiFi entry).
+
+    The thief's device talks to the telematics unit over the cellular /
+    WiFi link, which appears on the bus as a ``TRACKING_DISABLE`` command
+    arriving from outside the legitimate maintenance session.
+    """
+    car.park_and_arm()
+    sync_enforcement(car)
+    attacker = MaliciousNode(car, name="ThiefDevice")
+    reached = attacker.inject(car.catalog.id_of("TRACKING_DISABLE"), b"\x01")
+    car.run(0.05)
+    disabled = not car.telematics.tracking_enabled
+    return reached, disabled, "tracking disabled" if disabled else "tracking still active"
+
+
+def _t04_failsafe_override_reactivation(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """Override fail-safe protection to reactivate a disabled vehicle."""
+    # The vehicle is in fail-safe with propulsion legitimately disabled.
+    car.modes.enter_fail_safe()
+    car.safety.declare_crash("scenario setup")
+    car.run(0.05)
+    car.ev_ecu.disable("fail-safe immobilisation")
+    sync_enforcement(car)
+    attacker = MaliciousNode(car, name="Rogue3GNode")
+    reached = attacker.inject(car.catalog.id_of("ECU_ENABLE"), b"\x01")
+    car.run(0.05)
+    reactivated = car.ev_ecu.propulsion_available
+    return reached, reactivated, "vehicle reactivated" if reactivated else "immobilisation held"
+
+
+def _t05_eps_deactivation(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """EPS deactivation through a compromised CAN node (any node)."""
+    _start_driving(car)
+    infotainment = compromise_ecu(car.infotainment)
+    reached = infotainment.send_raw(car.catalog.id_of("EPS_DEACTIVATE"), b"\x01")
+    car.run(0.05)
+    deactivated = not car.eps.assisting
+    return reached, deactivated, "steering assist lost" if deactivated else "steering assist intact"
+
+
+def _t06_engine_deactivation_via_sensor(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """Engine deactivation through a compromised sensor."""
+    _start_driving(car)
+    sensors = compromise_ecu(car.sensors)
+    reached = sensors.send_raw(car.catalog.id_of("ENGINE_DEACTIVATE"), b"\x01")
+    car.run(0.05)
+    stopped = not car.engine.running
+    return reached, stopped, "engine stopped" if stopped else "engine unaffected"
+
+
+def _t07_critical_modification(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """Critical component modification during operation (EV-ECU/sensor entry)."""
+    _start_driving(car)
+    sensors = compromise_ecu(car.sensors)
+    reached = sensors.send_raw(car.catalog.id_of("FIRMWARE_UPDATE"), b"\xde\xad")
+    car.run(0.05)
+    modified = car.engine.modification_events > 0 or car.ev_ecu.firmware_updates_received > 0
+    return reached, modified, (
+        "critical component accepted modification" if modified else "modification rejected"
+    )
+
+
+def _t08_radio_privacy_attack(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """Privacy attack using modified radio firmware (infotainment entry)."""
+    _start_driving(car)
+    result = FirmwareModificationAttack(car).radio_privacy_attack()
+    return result.foothold_gained, result.objective_achieved, result.detail
+
+
+def _t09_modem_disable_via_doorlocks(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """Prevent fail-safe comms by disabling the modem (emergency/door-lock entry)."""
+    _start_driving(car)
+    door_locks = compromise_ecu(car.door_locks)
+    reached = door_locks.send_raw(car.catalog.id_of("MODEM_CONTROL"), b"\x00")
+    car.run(0.05)
+    comms_lost = not car.telematics.can_place_emergency_call
+    return reached, comms_lost, "emergency comms lost" if comms_lost else "emergency comms intact"
+
+
+def _t10_modem_disable_via_sensors(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """Prevent fail-safe comms by disabling the modem (sensor/airbag entry)."""
+    _start_driving(car)
+    sensors = compromise_ecu(car.sensors)
+    reached = sensors.send_raw(car.catalog.id_of("MODEM_CONTROL"), b"\x00")
+    car.run(0.05)
+    comms_lost = not car.telematics.can_place_emergency_call
+    return reached, comms_lost, "emergency comms lost" if comms_lost else "emergency comms intact"
+
+
+def _t11_infotainment_escalation(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """Browser exploit gaining access to a higher control level."""
+    _start_driving(car)
+    result = FirmwareModificationAttack(car).infotainment_escalation("ECU_DISABLE")
+    car.run(0.05)
+    escalated = result.objective_achieved and not car.ev_ecu.propulsion_available
+    detail = "vehicle control achieved" if escalated else (
+        "control frame reached bus but was ignored" if result.objective_achieved else "escalation blocked"
+    )
+    return result.foothold_gained, escalated, detail
+
+
+def _t12_status_value_modification(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """Modification of car status values (speed, GPS) shown to the driver."""
+    _start_driving(car)
+    car.infotainment.displayed_status["speed"] = 60
+    sensors = compromise_ecu(car.sensors)
+    forged = 0
+    reached = any(
+        sensors.send_raw(car.catalog.id_of("CAR_STATUS_DISPLAY"), bytes([forged, 0]))
+        for _ in range(3)
+    )
+    car.run(0.05)
+    modified = car.infotainment.displayed_status["speed"] == forged
+    return reached, modified, (
+        "driver shown forged status" if modified else "display unaffected"
+    )
+
+
+def _t13_unlock_in_motion(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """Unlock attempt while the vehicle is in motion (3G/4G/WiFi entry)."""
+    _start_driving(car)
+    car.door_locks.locked = True
+    telematics = compromise_ecu(car.telematics)
+    reached = telematics.send_raw(car.catalog.id_of("DOOR_UNLOCK_CMD"), b"\x01")
+    car.run(0.05)
+    hazard = "unlocked-in-motion" in car.door_locks.hazard_events
+    return reached, hazard, "doors unlocked in motion" if hazard else "doors held"
+
+
+def _t14_lock_during_accident(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """Lock mechanism triggered during an accident (3G/safety entry)."""
+    car.modes.enter_fail_safe()
+    car.safety.declare_crash("scenario setup")
+    car.run(0.05)
+    sync_enforcement(car)
+    telematics = compromise_ecu(car.telematics)
+    reached = telematics.send_raw(car.catalog.id_of("DOOR_LOCK_CMD"), b"\x01")
+    car.run(0.05)
+    hazard = "locked-during-accident" in car.door_locks.hazard_events
+    return reached, hazard, "occupants locked in" if hazard else "doors remained unlocked"
+
+
+def _t15_false_failsafe_trigger(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """False triggering of fail-safe mode to unlock the vehicle (sensor entry)."""
+    car.park_and_arm()
+    sync_enforcement(car)
+    attacker = MaliciousNode(car, name="RogueSensorNode")
+    reached_trigger = attacker.inject(car.catalog.id_of("FAILSAFE_TRIGGER"), b"\x01")
+    car.run(0.05)
+    reached_unlock = attacker.inject(car.catalog.id_of("DOOR_UNLOCK_CMD"), b"\x01")
+    car.run(0.05)
+    unlocked = not car.door_locks.locked
+    falsely_triggered = car.safety.false_failsafe_events > 0
+    achieved = unlocked and falsely_triggered
+    return (reached_trigger or reached_unlock), achieved, (
+        "vehicle unlocked via false fail-safe" if achieved else "vehicle remained secured"
+    )
+
+
+def _t16_disable_alarm_for_theft(car: ConnectedCar) -> tuple[bool, bool, str]:
+    """Disable alarm and locking system to allow theft (sensor entry)."""
+    car.park_and_arm()
+    sync_enforcement(car)
+    sensors = compromise_ecu(car.sensors)
+    reached_alarm = sensors.send_raw(car.catalog.id_of("ALARM_DISABLE"), b"\x01")
+    reached_unlock = sensors.send_raw(car.catalog.id_of("DOOR_UNLOCK_CMD"), b"\x01")
+    car.run(0.05)
+    achieved = (not car.safety.alarm_armed) and (not car.door_locks.locked)
+    return (reached_alarm or reached_unlock), achieved, (
+        "alarm disabled and doors opened" if achieved else "theft protection held"
+    )
+
+
+def all_scenarios() -> list[AttackScenario]:
+    """All sixteen Table I scenarios in row order."""
+    return [
+        AttackScenario(
+            "T01", "Spoofed ECU disablement via door locks / safety nodes",
+            "EV-ECU", ("Door locks", "Safety critical"), CarMode.NORMAL,
+            _t01_spoofed_ecu_disable_via_locks,
+        ),
+        AttackScenario(
+            "T02", "Spoofed ECU disablement via sensors",
+            "EV-ECU", ("Sensors",), CarMode.NORMAL, _t02_spoofed_ecu_disable_via_sensors,
+        ),
+        AttackScenario(
+            "T03", "Disable remote tracking after theft",
+            "EV-ECU", ("3G/4G/WiFi",), CarMode.NORMAL, _t03_disable_tracking_after_theft,
+        ),
+        AttackScenario(
+            "T04", "Fail-safe protection override to reactivate vehicle",
+            "EV-ECU", ("3G/4G/WiFi",), CarMode.FAIL_SAFE, _t04_failsafe_override_reactivation,
+        ),
+        AttackScenario(
+            "T05", "EPS deactivation through compromised CAN node",
+            "EPS", ("Any node",), CarMode.NORMAL, _t05_eps_deactivation,
+        ),
+        AttackScenario(
+            "T06", "Engine deactivation through compromised sensor",
+            "Engine", ("Sensors",), CarMode.NORMAL, _t06_engine_deactivation_via_sensor,
+        ),
+        AttackScenario(
+            "T07", "Critical component modification during operation",
+            "Engine", ("EV-ECU", "Sensors"), CarMode.NORMAL, _t07_critical_modification,
+        ),
+        AttackScenario(
+            "T08", "Privacy attack using modified radio firmware",
+            "3G/4G/WiFi", ("Infotainment system",), CarMode.NORMAL, _t08_radio_privacy_attack,
+        ),
+        AttackScenario(
+            "T09", "Fail-safe comms prevented by disabling modem (door locks)",
+            "3G/4G/WiFi", ("Emergency", "Door locks"), CarMode.NORMAL,
+            _t09_modem_disable_via_doorlocks,
+        ),
+        AttackScenario(
+            "T10", "Fail-safe comms prevented by disabling modem (sensors)",
+            "3G/4G/WiFi", ("Sensors", "Air bags"), CarMode.NORMAL, _t10_modem_disable_via_sensors,
+        ),
+        AttackScenario(
+            "T11", "Infotainment exploit to gain higher control level",
+            "Infotainment System", ("Media player browser",), CarMode.NORMAL,
+            _t11_infotainment_escalation,
+        ),
+        AttackScenario(
+            "T12", "Modification of car status values (GPS, speed)",
+            "Infotainment System", ("Sensors", "EV-ECU"), CarMode.NORMAL,
+            _t12_status_value_modification,
+        ),
+        AttackScenario(
+            "T13", "Unlock attempt while in motion",
+            "Door locks", ("3G/4G/WiFi", "Manual open"), CarMode.NORMAL, _t13_unlock_in_motion,
+        ),
+        AttackScenario(
+            "T14", "Lock mechanism triggered during accident",
+            "Door locks", ("3G/4G/WiFi", "Safety critical"), CarMode.FAIL_SAFE,
+            _t14_lock_during_accident,
+        ),
+        AttackScenario(
+            "T15", "False triggering of fail-safe mode to unlock vehicle",
+            "Safety Critical", ("Sensors",), CarMode.NORMAL, _t15_false_failsafe_trigger,
+        ),
+        AttackScenario(
+            "T16", "Disable alarm and locking system to allow theft",
+            "Safety Critical", ("Sensors",), CarMode.NORMAL, _t16_disable_alarm_for_theft,
+        ),
+    ]
+
+
+def scenario_by_threat_id(threat_id: str) -> AttackScenario:
+    """Look up a scenario by its Table I identifier."""
+    for scenario in all_scenarios():
+        if scenario.threat_id == threat_id:
+            return scenario
+    raise KeyError(f"unknown threat scenario: {threat_id!r}")

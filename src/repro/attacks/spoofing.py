@@ -1,0 +1,69 @@
+"""Frame spoofing attacks.
+
+CAN frames carry no sender authentication, so any node that can write to
+the bus can emit frames under any identifier -- the root cause of the
+Table I spoofing threats.  A spoofing attack needs a foothold (a rogue
+node or a compromised ECU) and a target message to forge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.attacker import MaliciousNode
+from repro.vehicle.car import ConnectedCar
+from repro.vehicle.ecu import VehicleECU
+
+
+@dataclass
+class SpoofResult:
+    """Outcome of one spoofing attempt."""
+
+    frames_attempted: int
+    frames_on_bus: int
+
+    @property
+    def reached_bus(self) -> bool:
+        """Whether at least one spoofed frame made it onto the bus."""
+        return self.frames_on_bus > 0
+
+
+class SpoofingAttack:
+    """Forge frames for a catalogue message from a chosen foothold.
+
+    Parameters
+    ----------
+    car:
+        The target vehicle.
+    message_name:
+        The catalogue message to forge (e.g. ``"ECU_DISABLE"``).
+    payload:
+        The forged payload bytes.
+    """
+
+    def __init__(self, car: ConnectedCar, message_name: str, payload: bytes = b"\x01") -> None:
+        self.car = car
+        self.message_name = message_name
+        self.payload = payload
+        self.can_id = car.catalog.id_of(message_name)
+
+    def from_malicious_node(self, repetitions: int = 1) -> SpoofResult:
+        """Launch the spoof from a newly attached rogue node (outside attack)."""
+        attacker = MaliciousNode(self.car)
+        on_bus = attacker.flood(self.can_id, repetitions, self.payload)
+        self.car.run(0.05)
+        return SpoofResult(frames_attempted=repetitions, frames_on_bus=on_bus)
+
+    def from_compromised_ecu(self, ecu: VehicleECU, repetitions: int = 1) -> SpoofResult:
+        """Launch the spoof from a compromised existing ECU (inside attack).
+
+        The ECU's firmware is compromised first, so its software transmit
+        filters no longer constrain the forged identifiers.
+        """
+        ecu.compromise_firmware()
+        on_bus = 0
+        for _ in range(repetitions):
+            if ecu.send_raw(self.can_id, self.payload):
+                on_bus += 1
+        self.car.run(0.05)
+        return SpoofResult(frames_attempted=repetitions, frames_on_bus=on_bus)

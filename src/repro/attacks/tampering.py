@@ -1,0 +1,82 @@
+"""Data tampering attacks.
+
+Tampering attacks modify legitimate data in flight or at source: a
+compromised sensor cluster reporting false readings, or a compromised
+node rewriting the car status values the infotainment system displays
+(Table I: "Deactivation through compromised sensor", "Modification of
+car status values, GPS, speed").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attacks.attacker import compromise_ecu
+from repro.vehicle.car import ConnectedCar
+
+
+@dataclass
+class TamperResult:
+    """Outcome of a tampering attack."""
+
+    frames_attempted: int
+    frames_on_bus: int
+
+    @property
+    def reached_bus(self) -> bool:
+        """Whether any tampered frame made it onto the bus."""
+        return self.frames_on_bus > 0
+
+
+class SensorTamperingAttack:
+    """Compromise the sensor cluster and broadcast falsified readings.
+
+    The falsified stream targets a chosen catalogue message (by default
+    the brake sensor, whose value feeds both the engine controller and
+    the crash-detection logic in the safety controller).
+    """
+
+    def __init__(
+        self,
+        car: ConnectedCar,
+        message_name: str = "SENSOR_BRAKE",
+        forged_value: int = 255,
+    ) -> None:
+        self.car = car
+        self.message_name = message_name
+        self.forged_value = forged_value
+        self.can_id = car.catalog.id_of(message_name)
+
+    def execute(self, repetitions: int = 5) -> TamperResult:
+        """Compromise the sensors and emit the falsified readings."""
+        sensors = compromise_ecu(self.car.sensors)
+        on_bus = 0
+        for _ in range(repetitions):
+            if sensors.send_raw(self.can_id, bytes([self.forged_value])):
+                on_bus += 1
+        self.car.run(0.05)
+        return TamperResult(frames_attempted=repetitions, frames_on_bus=on_bus)
+
+
+class StatusTamperingAttack:
+    """Forge the car-status display values shown by the infotainment unit.
+
+    The attack emits ``CAR_STATUS_DISPLAY`` frames from a compromised
+    node so the driver sees a false speed/range (a spoofing+tampering+
+    repudiation threat in Table I).
+    """
+
+    def __init__(self, car: ConnectedCar, forged_speed: int = 0) -> None:
+        self.car = car
+        self.forged_speed = forged_speed
+        self.can_id = car.catalog.id_of("CAR_STATUS_DISPLAY")
+
+    def execute_from(self, node_name: str, repetitions: int = 3) -> TamperResult:
+        """Launch from a named (to-be-compromised) ECU."""
+        ecu = compromise_ecu(self.car.ecu(node_name))
+        on_bus = 0
+        for _ in range(repetitions):
+            if ecu.send_raw(self.can_id, bytes([self.forged_speed, 0])):
+                on_bus += 1
+        self.car.run(0.05)
+        return TamperResult(frames_attempted=repetitions, frames_on_bus=on_bus)

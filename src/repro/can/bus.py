@@ -1,0 +1,193 @@
+"""The shared CAN bus.
+
+CAN is a multi-drop, multi-master broadcast bus: every attached node
+sees every frame, and when several nodes want to transmit at once the
+frame with the numerically lowest identifier wins arbitration (paper
+Section V).  This model reproduces those semantics on top of the
+discrete-event scheduler: submitted frames queue for arbitration, the
+bus is occupied for the frame's transmission time, and completed frames
+are broadcast to every attached node except the sender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.can.frame import CANFrame
+from repro.can.scheduler import EventScheduler
+from repro.can.trace import BusTrace, TraceEventKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.can.node import CANNode
+
+#: Default CAN bitrate (500 kbit/s, typical for powertrain buses).
+DEFAULT_BITRATE_BPS = 500_000
+
+
+@dataclass
+class BusStatistics:
+    """Aggregate counters for one bus."""
+
+    frames_submitted: int = 0
+    frames_transmitted: int = 0
+    frames_delivered: int = 0
+    arbitration_conflicts: int = 0
+    busy_time: float = 0.0
+
+    def utilisation(self, elapsed: float) -> float:
+        """Fraction of *elapsed* simulation time the bus was busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / elapsed)
+
+
+@dataclass(order=True)
+class _PendingFrame:
+    """A frame waiting for arbitration (ordered by priority then submission)."""
+
+    priority: int
+    sequence: int
+    frame: CANFrame = field(compare=False)
+    sender: str = field(compare=False)
+
+
+class CANBus:
+    """A shared broadcast CAN bus with priority arbitration.
+
+    Parameters
+    ----------
+    scheduler:
+        The discrete-event scheduler driving the simulation.
+    bitrate_bps:
+        Bus bitrate used to convert frame bit lengths into bus-occupancy
+        time.
+    name:
+        Diagnostic name of the bus (a vehicle may have several).
+    """
+
+    def __init__(
+        self,
+        scheduler: EventScheduler | None = None,
+        bitrate_bps: int = DEFAULT_BITRATE_BPS,
+        name: str = "can0",
+    ) -> None:
+        if bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        self.scheduler = scheduler if scheduler is not None else EventScheduler()
+        self.bitrate_bps = bitrate_bps
+        self.name = name
+        self.trace = BusTrace()
+        self.statistics = BusStatistics()
+        self._nodes: dict[str, "CANNode"] = {}
+        self._pending: list[_PendingFrame] = []
+        self._submission_sequence = 0
+        self._busy = False
+
+    # -- topology ------------------------------------------------------------------
+
+    def attach(self, node: "CANNode") -> None:
+        """Attach *node* to the bus (names must be unique per bus)."""
+        if node.name in self._nodes:
+            raise ValueError(f"a node named {node.name!r} is already attached to {self.name}")
+        self._nodes[node.name] = node
+        node.transceiver.attach(self, node)
+        node.on_attached(self)
+
+    def detach(self, node_name: str) -> None:
+        """Detach the named node from the bus."""
+        node = self._nodes.pop(node_name, None)
+        if node is None:
+            raise KeyError(f"no node named {node_name!r} attached to {self.name}")
+        node.transceiver.detach()
+
+    @property
+    def nodes(self) -> list["CANNode"]:
+        """Attached nodes, in attachment order."""
+        return list(self._nodes.values())
+
+    def node(self, name: str) -> "CANNode":
+        """Return the attached node with the given name."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError(f"no node named {name!r} attached to {self.name}") from None
+
+    def node_names(self) -> list[str]:
+        """Names of attached nodes."""
+        return list(self._nodes)
+
+    # -- data path ------------------------------------------------------------------
+
+    def submit(self, frame: CANFrame, sender: str) -> None:
+        """Queue *frame* from *sender* for arbitration and transmission."""
+        self.statistics.frames_submitted += 1
+        self._submission_sequence += 1
+        pending = _PendingFrame(
+            priority=frame.priority,
+            sequence=self._submission_sequence,
+            frame=frame,
+            sender=sender,
+        )
+        self._pending.append(pending)
+        if len(self._pending) > 1:
+            self.statistics.arbitration_conflicts += 1
+        if not self._busy:
+            self._start_next_transmission()
+
+    def _start_next_transmission(self) -> None:
+        if not self._pending:
+            self._busy = False
+            return
+        self._busy = True
+        self._pending.sort()
+        winner = self._pending.pop(0)
+        duration = winner.frame.transmission_time(self.bitrate_bps)
+        self.statistics.busy_time += duration
+        self.scheduler.schedule(
+            duration,
+            lambda: self._complete_transmission(winner),
+            label=f"{self.name}:tx:0x{winner.frame.can_id:X}",
+        )
+
+    def _complete_transmission(self, pending: _PendingFrame) -> None:
+        frame, sender = pending.frame, pending.sender
+        self.statistics.frames_transmitted += 1
+        self.trace.record(
+            self.scheduler.now, TraceEventKind.TRANSMITTED, frame, node=sender
+        )
+        sender_node = self._nodes.get(sender)
+        if sender_node is not None:
+            sender_node.controller.record_tx_success()
+        for name, node in self._nodes.items():
+            if name == sender:
+                continue
+            node.transceiver.receive(frame)
+        self._busy = False
+        if self._pending:
+            self._start_next_transmission()
+
+    def record_delivery(self, frame: CANFrame, node: str) -> None:
+        """Record that *frame* reached the application on *node*."""
+        self.statistics.frames_delivered += 1
+        self.trace.record(self.scheduler.now, TraceEventKind.DELIVERED, frame, node=node)
+
+    def record_block(
+        self, frame: CANFrame, node: str, kind: TraceEventKind, detail: str = ""
+    ) -> None:
+        """Record that *frame* was blocked at *node* for the given reason."""
+        self.trace.record(self.scheduler.now, kind, frame, node=node, detail=detail)
+
+    # -- convenience -------------------------------------------------------------------
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation by *duration* seconds."""
+        self.scheduler.run(until=self.scheduler.now + duration)
+
+    def run_until_idle(self, max_events: int = 100_000) -> None:
+        """Run until no events remain (bounded by *max_events*)."""
+        self.scheduler.run(max_events=max_events)
+
+    def broadcast_reach(self, sender: str) -> Iterable[str]:
+        """Names of nodes that would see a frame sent by *sender*."""
+        return [name for name in self._nodes if name != sender]

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the CAN substrate."""
+
+from __future__ import annotations
+
+
+class CANError(Exception):
+    """Base class for all CAN-substrate errors."""
+
+
+class InvalidFrameError(CANError):
+    """A frame violates the CAN specification (ID range, DLC, payload size)."""
+
+
+class FrameError(CANError):
+    """A frame-level transmission error (CRC, form, bit error)."""
+
+
+class FilterRejectedError(CANError):
+    """A frame was rejected by an acceptance filter or policy engine."""
+
+    def __init__(self, message: str, frame_id: int | None = None, reason: str = "") -> None:
+        super().__init__(message)
+        self.frame_id = frame_id
+        self.reason = reason
+
+
+class BusOffError(CANError):
+    """The controller has entered the bus-off state and cannot transmit."""
+
+
+class NodeDetachedError(CANError):
+    """The node is not attached to a bus."""

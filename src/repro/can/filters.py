@@ -1,0 +1,147 @@
+"""Software acceptance filters.
+
+CAN controllers conventionally provide *programmable software-configured*
+acceptance filters: a frame is accepted when ``frame_id & mask == value
+& mask`` for at least one configured filter.  The paper points out that
+these filters are configured by firmware and are therefore bypassable
+when the firmware itself is compromised -- the motivation for the
+hardware policy engine in :mod:`repro.hpe`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.can.frame import MAX_EXTENDED_ID, CANFrame
+
+
+@dataclass(frozen=True)
+class AcceptanceFilter:
+    """A single mask/value acceptance filter.
+
+    A frame matches when ``(frame.can_id & mask) == (value & mask)``.
+    A mask of ``0`` matches every frame; a mask of ``0x7FF`` (or the full
+    29-bit mask) requires an exact identifier match.
+    """
+
+    value: int
+    mask: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= MAX_EXTENDED_ID:
+            raise ValueError(f"filter value 0x{self.value:X} out of range")
+        if not 0 <= self.mask <= MAX_EXTENDED_ID:
+            raise ValueError(f"filter mask 0x{self.mask:X} out of range")
+
+    @classmethod
+    def exact(cls, can_id: int, extended: bool = False) -> "AcceptanceFilter":
+        """A filter matching exactly one identifier."""
+        mask = MAX_EXTENDED_ID if extended else 0x7FF
+        return cls(value=can_id, mask=mask)
+
+    @classmethod
+    def accept_all(cls) -> "AcceptanceFilter":
+        """A filter matching every identifier."""
+        return cls(value=0, mask=0)
+
+    def matches(self, frame: CANFrame) -> bool:
+        """Whether *frame* passes this filter."""
+        return (frame.can_id & self.mask) == (self.value & self.mask)
+
+    def matches_id(self, can_id: int) -> bool:
+        """Whether a bare identifier passes this filter."""
+        return (can_id & self.mask) == (self.value & self.mask)
+
+    def __str__(self) -> str:
+        return f"filter(value=0x{self.value:X}, mask=0x{self.mask:X})"
+
+
+class FilterBank:
+    """An ordered bank of acceptance filters.
+
+    The bank accepts a frame if *any* filter matches.  An empty bank
+    accepts everything by default (matching typical controller reset
+    behaviour); call :meth:`set_default_reject` to invert that.
+
+    Because the bank is firmware-configured, it exposes
+    :meth:`compromise` which models a firmware-modification attack
+    opening the filters -- the scenario the HPE is designed to survive.
+    """
+
+    def __init__(
+        self, filters: Iterable[AcceptanceFilter] = (), default_accept: bool = True
+    ) -> None:
+        self._filters: list[AcceptanceFilter] = list(filters)
+        self._default_accept = default_accept
+        self._compromised = False
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def __iter__(self) -> Iterator[AcceptanceFilter]:
+        return iter(self._filters)
+
+    # -- configuration (firmware-level, mutable) -------------------------------
+
+    def add(self, acceptance_filter: AcceptanceFilter) -> None:
+        """Add a filter to the bank."""
+        self._filters.append(acceptance_filter)
+
+    def add_exact(self, can_id: int, extended: bool = False) -> None:
+        """Add an exact-match filter for one identifier."""
+        self.add(AcceptanceFilter.exact(can_id, extended))
+
+    def clear(self) -> None:
+        """Remove all filters."""
+        self._filters.clear()
+
+    def set_default_reject(self) -> None:
+        """Reject frames when no filter matches (instead of accepting)."""
+        self._default_accept = False
+
+    def set_default_accept(self) -> None:
+        """Accept frames when no filter matches."""
+        self._default_accept = True
+
+    # -- compromise model -------------------------------------------------------
+
+    def compromise(self) -> None:
+        """Model a firmware-modification attack: the bank accepts everything.
+
+        After compromise the configured filters are ignored entirely,
+        reflecting that software filters offer no protection once the
+        firmware configuring them is under attacker control.
+        """
+        self._compromised = True
+
+    def restore(self) -> None:
+        """Restore normal filtering after a (simulated) firmware reflash."""
+        self._compromised = False
+
+    @property
+    def compromised(self) -> bool:
+        """Whether the bank is currently bypassed by a firmware compromise."""
+        return self._compromised
+
+    # -- evaluation --------------------------------------------------------------
+
+    def accepts(self, frame: CANFrame) -> bool:
+        """Whether the bank accepts *frame*.
+
+        With filters configured the bank accepts only matching frames;
+        with no filters configured it falls back to the default policy.
+        """
+        if self._compromised:
+            return True
+        if not self._filters:
+            return self._default_accept
+        return any(f.matches(frame) for f in self._filters)
+
+    def accepts_id(self, can_id: int) -> bool:
+        """Whether the bank accepts a bare identifier."""
+        if self._compromised:
+            return True
+        if not self._filters:
+            return self._default_accept
+        return any(f.matches_id(can_id) for f in self._filters)

@@ -1,0 +1,187 @@
+"""CAN frames.
+
+A CAN frame carries an 11-bit (standard) or 29-bit (extended)
+arbitration identifier and up to 8 data bytes.  The identifier doubles
+as the bus-arbitration priority (numerically lower identifiers win) and
+is the quantity the paper's hardware policy engine filters on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.can.errors import InvalidFrameError
+
+#: Maximum 11-bit standard identifier.
+MAX_STANDARD_ID = 0x7FF
+#: Maximum 29-bit extended identifier.
+MAX_EXTENDED_ID = 0x1FFFFFFF
+#: Maximum number of data bytes in a classical CAN frame.
+MAX_DATA_LENGTH = 8
+
+
+class FrameKind(Enum):
+    """The kind of CAN frame."""
+
+    DATA = "data"
+    REMOTE = "remote"      # remote transmission request (no payload)
+    ERROR = "error"        # error frame raised by a controller
+    OVERLOAD = "overload"  # overload frame (flow control)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class CANFrame:
+    """An immutable CAN frame.
+
+    Parameters
+    ----------
+    can_id:
+        Arbitration identifier.  Must fit in 11 bits for standard frames
+        or 29 bits for extended frames.
+    data:
+        Payload bytes (at most 8 for data frames, empty for remote frames).
+    kind:
+        Data, remote, error or overload frame.
+    extended:
+        Whether the identifier is a 29-bit extended identifier.
+    source:
+        Name of the node that created the frame.  Purely diagnostic: real
+        CAN frames carry no source address, which is exactly why spoofing
+        is easy and why the HPE filters on message IDs instead.
+    """
+
+    can_id: int
+    data: bytes = b""
+    kind: FrameKind = FrameKind.DATA
+    extended: bool = False
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind in (FrameKind.DATA, FrameKind.REMOTE):
+            limit = MAX_EXTENDED_ID if self.extended else MAX_STANDARD_ID
+            if not 0 <= self.can_id <= limit:
+                raise InvalidFrameError(
+                    f"identifier 0x{self.can_id:X} outside valid range for "
+                    f"{'extended' if self.extended else 'standard'} frame"
+                )
+        if not isinstance(self.data, (bytes, bytearray)):
+            raise InvalidFrameError(f"payload must be bytes, got {type(self.data).__name__}")
+        object.__setattr__(self, "data", bytes(self.data))
+        if len(self.data) > MAX_DATA_LENGTH:
+            raise InvalidFrameError(
+                f"payload of {len(self.data)} bytes exceeds CAN maximum of {MAX_DATA_LENGTH}"
+            )
+        if self.kind == FrameKind.REMOTE and self.data:
+            raise InvalidFrameError("remote frames carry no payload")
+
+    # -- derived properties ---------------------------------------------------
+
+    @property
+    def dlc(self) -> int:
+        """Data length code (number of payload bytes)."""
+        return len(self.data)
+
+    @property
+    def priority(self) -> int:
+        """Arbitration priority: numerically lower IDs win the bus."""
+        return self.can_id
+
+    @property
+    def bit_length(self) -> int:
+        """Approximate frame length in bits, including worst-case stuffing.
+
+        Standard data frame overhead is 44 control bits plus stuff bits
+        (up to one per four payload/control bits); extended frames add 20
+        bits of identifier/control.  Error and overload frames are fixed
+        at 20 bits.  The value is used only for transmission-time
+        accounting in the simulator.
+        """
+        if self.kind in (FrameKind.ERROR, FrameKind.OVERLOAD):
+            return 20
+        overhead = 64 if self.extended else 44
+        payload_bits = 8 * self.dlc
+        stuffing = (overhead + payload_bits) // 4
+        return overhead + payload_bits + stuffing
+
+    def transmission_time(self, bitrate_bps: int) -> float:
+        """Seconds needed to transmit this frame at *bitrate_bps*."""
+        if bitrate_bps <= 0:
+            raise ValueError("bitrate must be positive")
+        return self.bit_length / bitrate_bps
+
+    # -- convenience ----------------------------------------------------------
+
+    def with_source(self, source: str) -> "CANFrame":
+        """A copy of this frame tagged with a (diagnostic) source name."""
+        return CANFrame(
+            can_id=self.can_id,
+            data=self.data,
+            kind=self.kind,
+            extended=self.extended,
+            source=source,
+        )
+
+    def with_data(self, data: bytes) -> "CANFrame":
+        """A copy of this frame with different payload bytes."""
+        return CANFrame(
+            can_id=self.can_id,
+            data=data,
+            kind=self.kind,
+            extended=self.extended,
+            source=self.source,
+        )
+
+    def arbitrates_before(self, other: "CANFrame") -> bool:
+        """Whether this frame wins arbitration against *other*."""
+        return self.priority < other.priority
+
+    def __str__(self) -> str:
+        payload = self.data.hex() or "-"
+        return (
+            f"CAN[id=0x{self.can_id:03X} kind={self.kind.value} dlc={self.dlc} "
+            f"data={payload} src={self.source or '?'}]"
+        )
+
+
+@dataclass(frozen=True)
+class MessageDefinition:
+    """A named CAN message in a system's message catalogue.
+
+    Vehicle platforms define the meaning of each CAN identifier in a
+    message catalogue (a "DBC" in industry practice).  The policy
+    derivation uses these definitions to translate asset-level policies
+    into per-identifier approved lists.
+    """
+
+    can_id: int
+    name: str
+    producer: str
+    consumers: tuple[str, ...] = field(default_factory=tuple)
+    description: str = ""
+    period_ms: float | None = None
+    safety_relevant: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.can_id <= MAX_EXTENDED_ID:
+            raise InvalidFrameError(f"identifier 0x{self.can_id:X} out of range")
+        if not self.name.strip():
+            raise ValueError("message name must be non-empty")
+        if not self.producer.strip():
+            raise ValueError("message producer must be non-empty")
+        object.__setattr__(self, "consumers", tuple(self.consumers))
+
+    def frame(self, data: bytes = b"", source: str | None = None) -> CANFrame:
+        """Instantiate a frame for this message definition."""
+        return CANFrame(
+            can_id=self.can_id,
+            data=data,
+            extended=self.can_id > MAX_STANDARD_ID,
+            source=source if source is not None else self.producer,
+        )
+
+    def __str__(self) -> str:
+        return f"0x{self.can_id:03X} {self.name} ({self.producer} -> {', '.join(self.consumers) or 'broadcast'})"

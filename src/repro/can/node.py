@@ -1,0 +1,253 @@
+"""CAN nodes.
+
+A CAN node couples a transceiver, a controller and a processor running
+application firmware (paper Fig. 3).  Nodes optionally carry a *policy
+hook* -- the integration point for the hardware policy engine of
+Fig. 4 -- which sits *below* the firmware: it checks frames after the
+firmware has decided to send them and before the firmware gets to see
+received ones, so it keeps filtering even when the firmware (and with
+it the software filter banks) is compromised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
+
+from repro.can.controller import CANController
+from repro.can.errors import BusOffError, NodeDetachedError
+from repro.can.frame import CANFrame
+from repro.can.trace import TraceEventKind
+from repro.can.transceiver import CANTransceiver
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.can.bus import CANBus
+
+
+@runtime_checkable
+class PolicyHook(Protocol):
+    """Interface of a policy engine attached to a node.
+
+    The hardware policy engine (:class:`repro.hpe.engine.HardwarePolicyEngine`)
+    implements this protocol; tests may use simple stand-ins.
+    """
+
+    def permit_write(self, frame: CANFrame) -> bool:
+        """Whether the node may place *frame* onto the bus."""
+        ...
+
+    def permit_read(self, frame: CANFrame) -> bool:
+        """Whether the node's application may consume *frame*."""
+        ...
+
+
+@dataclass
+class ApplicationHooks:
+    """Callbacks into the node's application firmware."""
+
+    on_receive: Callable[[CANFrame], None] | None = None
+    on_send_blocked: Callable[[CANFrame, str], None] | None = None
+    on_receive_blocked: Callable[[CANFrame, str], None] | None = None
+
+
+@dataclass
+class NodeCounters:
+    """Per-node frame counters."""
+
+    sent: int = 0
+    received: int = 0
+    send_blocked_by_policy: int = 0
+    send_blocked_by_filter: int = 0
+    receive_blocked_by_policy: int = 0
+    receive_blocked_by_filter: int = 0
+    dropped_bus_off: int = 0
+
+    def total_blocked(self) -> int:
+        """Total frames blocked in either direction by any mechanism."""
+        return (
+            self.send_blocked_by_policy
+            + self.send_blocked_by_filter
+            + self.receive_blocked_by_policy
+            + self.receive_blocked_by_filter
+        )
+
+
+class CANNode:
+    """A complete CAN node: transceiver + controller + application.
+
+    Parameters
+    ----------
+    name:
+        Unique node name on its bus, e.g. ``"EV-ECU"``.
+    controller:
+        Optional pre-configured controller (a default one is created
+        otherwise).
+    policy_engine:
+        Optional :class:`PolicyHook` (e.g. a hardware policy engine).
+    hooks:
+        Optional application callbacks.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        controller: CANController | None = None,
+        policy_engine: PolicyHook | None = None,
+        hooks: ApplicationHooks | None = None,
+    ) -> None:
+        if not name.strip():
+            raise ValueError("node name must be non-empty")
+        self.name = name
+        self.controller = controller if controller is not None else CANController(name)
+        self.transceiver = CANTransceiver(name)
+        self.policy_engine = policy_engine
+        self.hooks = hooks if hooks is not None else ApplicationHooks()
+        self.counters = NodeCounters()
+        self.inbox: list[CANFrame] = []
+        self._bus: "CANBus | None" = None
+        self._firmware_compromised = False
+
+    # -- wiring ---------------------------------------------------------------------
+
+    @property
+    def bus(self) -> "CANBus | None":
+        """The bus the node is attached to, if any."""
+        return self._bus
+
+    def on_attached(self, bus: "CANBus") -> None:
+        """Called by :meth:`repro.can.bus.CANBus.attach`."""
+        self._bus = bus
+
+    # -- firmware compromise model -----------------------------------------------------
+
+    @property
+    def firmware_compromised(self) -> bool:
+        """Whether the node's firmware is under attacker control."""
+        return self._firmware_compromised
+
+    def compromise_firmware(self) -> None:
+        """Model a firmware-modification attack on this node.
+
+        The software filter banks stop filtering; the policy hook (a
+        hardware engine below the firmware) is unaffected.
+        """
+        self._firmware_compromised = True
+        self.controller.compromise()
+
+    def restore_firmware(self) -> None:
+        """Model reflashing clean firmware."""
+        self._firmware_compromised = False
+        self.controller.restore()
+
+    # -- transmit path ------------------------------------------------------------------
+
+    def send(self, frame: CANFrame) -> bool:
+        """Transmit *frame* from this node's application.
+
+        Returns ``True`` when the frame made it onto the bus (i.e. past
+        the software transmit gate and the policy engine), ``False`` when
+        it was blocked or dropped.  The full path is traced on the bus.
+        """
+        if self._bus is None:
+            raise NodeDetachedError(f"node {self.name!r} is not attached to a bus")
+        frame = frame.with_source(self.name)
+        self._bus.trace.record(
+            self._bus.scheduler.now, TraceEventKind.SUBMITTED, frame, node=self.name
+        )
+
+        # 1. Software transmit gate (firmware-level; bypassed when compromised).
+        try:
+            software_permits = self.controller.check_transmit(frame)
+        except BusOffError:
+            self.counters.dropped_bus_off += 1
+            self._bus.record_block(
+                frame, self.name, TraceEventKind.DROPPED_BUS_OFF, "controller bus-off"
+            )
+            return False
+        if not software_permits:
+            self.counters.send_blocked_by_filter += 1
+            self._bus.record_block(
+                frame,
+                self.name,
+                TraceEventKind.BLOCKED_WRITE_FILTER,
+                "software transmit filter",
+            )
+            if self.hooks.on_send_blocked is not None:
+                self.hooks.on_send_blocked(frame, "software-filter")
+            return False
+
+        # 2. Policy engine write filter (below firmware; survives compromise).
+        if self.policy_engine is not None and not self.policy_engine.permit_write(frame):
+            self.counters.send_blocked_by_policy += 1
+            self._bus.record_block(
+                frame,
+                self.name,
+                TraceEventKind.BLOCKED_WRITE_POLICY,
+                "policy engine write filter",
+            )
+            if self.hooks.on_send_blocked is not None:
+                self.hooks.on_send_blocked(frame, "policy-engine")
+            return False
+
+        # 3. Onto the wire.
+        self.counters.sent += 1
+        self.transceiver.transmit(frame)
+        return True
+
+    # -- receive path ---------------------------------------------------------------------
+
+    def wire_receive(self, frame: CANFrame) -> bool:
+        """Handle a frame arriving from the bus.
+
+        Returns ``True`` when the frame reached the application.
+        """
+        if self._bus is None:
+            return False
+
+        # 1. Policy engine read filter (below firmware).
+        if self.policy_engine is not None and not self.policy_engine.permit_read(frame):
+            self.counters.receive_blocked_by_policy += 1
+            self._bus.record_block(
+                frame,
+                self.name,
+                TraceEventKind.BLOCKED_READ_POLICY,
+                "policy engine read filter",
+            )
+            if self.hooks.on_receive_blocked is not None:
+                self.hooks.on_receive_blocked(frame, "policy-engine")
+            return False
+
+        # 2. Software acceptance filter (firmware-level; bypassed when compromised).
+        if not self.controller.check_receive(frame):
+            self.counters.receive_blocked_by_filter += 1
+            self._bus.record_block(
+                frame,
+                self.name,
+                TraceEventKind.BLOCKED_READ_FILTER,
+                "software acceptance filter",
+            )
+            if self.hooks.on_receive_blocked is not None:
+                self.hooks.on_receive_blocked(frame, "software-filter")
+            return False
+
+        # 3. Up to the application.
+        self.counters.received += 1
+        self.inbox.append(frame)
+        self._bus.record_delivery(frame, self.name)
+        if self.hooks.on_receive is not None:
+            self.hooks.on_receive(frame)
+        return True
+
+    # -- convenience -----------------------------------------------------------------------
+
+    def received_ids(self) -> list[int]:
+        """Identifiers of all frames that reached the application, in order."""
+        return [frame.can_id for frame in self.inbox]
+
+    def clear_inbox(self) -> None:
+        """Drop all received frames."""
+        self.inbox.clear()
+
+    def __str__(self) -> str:
+        policy = type(self.policy_engine).__name__ if self.policy_engine else "none"
+        return f"CANNode({self.name}, policy={policy}, compromised={self._firmware_compromised})"

@@ -1,0 +1,191 @@
+"""Deterministic discrete-event scheduler.
+
+All simulated activity (frame transmission, periodic sensor broadcasts,
+attack injection) runs as events on a single scheduler so that campaign
+results are reproducible.  Events at equal times execute in scheduling
+order (a monotonically increasing sequence number breaks ties), and no
+wall-clock time is ever consulted.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A scheduled event.
+
+    Ordering is by ``(time, sequence)`` so the scheduler is a stable
+    priority queue.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False, hash=False)
+
+
+class _EventHandle:
+    """Mutable cancellation handle for a scheduled event."""
+
+    __slots__ = ("event", "_cancelled")
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event's callback from running."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    @property
+    def time(self) -> float:
+        return self.event.time
+
+    @property
+    def label(self) -> str:
+        return self.event.label
+
+
+class EventScheduler:
+    """A minimal deterministic discrete-event simulator.
+
+    Typical use::
+
+        scheduler = EventScheduler()
+        scheduler.schedule(0.5, lambda: print("half a second in"))
+        scheduler.run()
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[tuple[float, int, _EventHandle]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    # -- time -----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> _EventHandle:
+        """Schedule *callback* to run *delay* seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], label: str = ""
+    ) -> _EventHandle:
+        """Schedule *callback* at absolute simulation time *time*."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} which is before current time {self._now}"
+            )
+        sequence = next(self._sequence)
+        handle = _EventHandle(Event(time, sequence, callback, label))
+        heapq.heappush(self._queue, (time, sequence, handle))
+        return handle
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        label: str = "",
+        start_delay: float | None = None,
+        count: int | None = None,
+    ) -> None:
+        """Schedule *callback* every *period* seconds.
+
+        ``count`` bounds the number of invocations (``None`` means until
+        the simulation horizon); ``start_delay`` defaults to one period.
+        """
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if count is not None and count <= 0:
+            return
+        first_delay = period if start_delay is None else start_delay
+
+        def fire(remaining: int | None) -> None:
+            callback()
+            next_remaining = None if remaining is None else remaining - 1
+            if next_remaining is None or next_remaining > 0:
+                self.schedule(period, lambda: fire(next_remaining), label)
+
+        self.schedule(first_delay, lambda: fire(count), label)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run queued events.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulation time would exceed this value (events at
+            exactly ``until`` still run).  ``None`` runs to queue
+            exhaustion.
+        max_events:
+            Safety bound on the number of events to execute.
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        while self._queue:
+            time, _, handle = self._queue[0]
+            if until is not None and time > until:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            handle.event.callback()
+            executed += 1
+            self._processed += 1
+        if until is not None and (not self._queue or self._queue[0][0] > until):
+            # Advance the clock to the horizon even if no event lands exactly on it.
+            self._now = max(self._now, until)
+        return executed
+
+    def step(self) -> bool:
+        """Execute the single next event.  Returns False if none remain."""
+        while self._queue:
+            time, _, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            handle.event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop all pending events (the clock is not reset)."""
+        self._queue.clear()

@@ -1,0 +1,143 @@
+"""Bus activity trace.
+
+Every interesting event on the bus (submission, transmission, delivery,
+rejection by software filter, rejection by policy engine, error) is
+recorded as a :class:`TraceRecord`.  The analysis layer
+(:mod:`repro.analysis.metrics`) computes attack-success and
+policy-effectiveness metrics from these traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Iterable, Iterator
+
+from repro.can.frame import CANFrame
+
+
+class TraceEventKind(Enum):
+    """What happened to a frame at a point in its life."""
+
+    SUBMITTED = "submitted"              # application handed frame to its node
+    BLOCKED_WRITE_POLICY = "blocked-write-policy"    # outbound policy engine rejected
+    BLOCKED_WRITE_FILTER = "blocked-write-filter"    # outbound software filter rejected
+    TRANSMITTED = "transmitted"          # frame won arbitration and went on the wire
+    DELIVERED = "delivered"              # frame accepted by a receiving node's stack
+    BLOCKED_READ_POLICY = "blocked-read-policy"      # inbound policy engine rejected
+    BLOCKED_READ_FILTER = "blocked-read-filter"      # inbound software filter rejected
+    DROPPED_BUS_OFF = "dropped-bus-off"  # transmitter was bus-off
+    ERROR = "error"                      # transmission error on the wire
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry."""
+
+    time: float
+    kind: TraceEventKind
+    frame: CANFrame
+    node: str = ""
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.time:10.6f}] {self.kind.value:<22} {self.node:<16} {self.frame}"
+
+
+class BusTrace:
+    """An append-only sequence of trace records with query helpers."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+
+    def record(
+        self,
+        time: float,
+        kind: TraceEventKind,
+        frame: CANFrame,
+        node: str = "",
+        detail: str = "",
+    ) -> TraceRecord:
+        """Append a record."""
+        entry = TraceRecord(time=time, kind=kind, frame=frame, node=node, detail=detail)
+        self._records.append(entry)
+        return entry
+
+    # -- collection protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self._records.clear()
+
+    # -- queries ----------------------------------------------------------------
+
+    def of_kind(self, kind: TraceEventKind) -> list[TraceRecord]:
+        """All records of the given kind."""
+        return [r for r in self._records if r.kind == kind]
+
+    def for_frame_id(self, can_id: int) -> list[TraceRecord]:
+        """All records concerning frames with the given identifier."""
+        return [r for r in self._records if r.frame.can_id == can_id]
+
+    def for_node(self, node: str) -> list[TraceRecord]:
+        """All records attributed to the given node."""
+        return [r for r in self._records if r.node == node]
+
+    def filter(self, predicate: Callable[[TraceRecord], bool]) -> list[TraceRecord]:
+        """All records matching an arbitrary predicate."""
+        return [r for r in self._records if predicate(r)]
+
+    def count(self, kind: TraceEventKind) -> int:
+        """Number of records of the given kind."""
+        return sum(1 for r in self._records if r.kind == kind)
+
+    def blocked(self) -> list[TraceRecord]:
+        """All records where a frame was blocked by a filter or policy."""
+        blocked_kinds = {
+            TraceEventKind.BLOCKED_WRITE_POLICY,
+            TraceEventKind.BLOCKED_WRITE_FILTER,
+            TraceEventKind.BLOCKED_READ_POLICY,
+            TraceEventKind.BLOCKED_READ_FILTER,
+        }
+        return [r for r in self._records if r.kind in blocked_kinds]
+
+    def delivered_to(self, node: str, can_id: int | None = None) -> list[TraceRecord]:
+        """Delivery records for a node, optionally restricted to one identifier."""
+        return [
+            r
+            for r in self._records
+            if r.kind == TraceEventKind.DELIVERED
+            and r.node == node
+            and (can_id is None or r.frame.can_id == can_id)
+        ]
+
+    def was_delivered(self, node: str, can_id: int) -> bool:
+        """Whether any frame with *can_id* reached the application on *node*."""
+        return bool(self.delivered_to(node, can_id))
+
+    def summary(self) -> dict[str, int]:
+        """Count of records per event kind (only kinds that occurred)."""
+        counts: dict[str, int] = {}
+        for record in self._records:
+            counts[record.kind.value] = counts.get(record.kind.value, 0) + 1
+        return counts
+
+    def merge(self, other: "BusTrace") -> "BusTrace":
+        """A new trace containing this trace's and *other*'s records, time-ordered."""
+        merged = BusTrace()
+        merged._records = sorted(
+            self._records + list(other), key=lambda r: r.time
+        )
+        return merged

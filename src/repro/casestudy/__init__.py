@@ -1,0 +1,35 @@
+"""The connected-car case study (paper Section V, Table I).
+
+* :mod:`repro.casestudy.connected_car` -- the full threat-model dataset:
+  assets, entry points, the sixteen Table I threats with their STRIDE
+  classifications, DREAD ratings and derived policy decisions, plus the
+  guideline baseline.
+* :mod:`repro.casestudy.builder` -- build simulated vehicles with a
+  chosen enforcement configuration, ready for attack campaigns.
+"""
+
+from repro.casestudy.builder import (
+    CaseStudyBuilder,
+    build_case_study_model,
+    car_factory,
+)
+from repro.casestudy.connected_car import (
+    TABLE1_ROWS,
+    Table1Row,
+    build_guideline_model,
+    build_threat_model,
+    build_threat_policy_entries,
+    table1_threats,
+)
+
+__all__ = [
+    "CaseStudyBuilder",
+    "TABLE1_ROWS",
+    "Table1Row",
+    "build_case_study_model",
+    "build_guideline_model",
+    "build_threat_model",
+    "build_threat_policy_entries",
+    "car_factory",
+    "table1_threats",
+]

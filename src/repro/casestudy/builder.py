@@ -1,0 +1,97 @@
+"""Build case-study vehicles and security models.
+
+Gathers the pieces -- message catalogue, threat model, policy
+derivation, guideline baseline, enforcement configuration -- into ready
+objects for examples, tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.casestudy.connected_car import (
+    build_guideline_model,
+    build_threat_model,
+    build_threat_policy_entries,
+)
+from repro.core.derivation import DerivationResult, PolicyDerivation
+from repro.core.enforcement import EnforcementConfig, EnforcementCoordinator
+from repro.core.security_model import PolicyBasedSecurityModel
+from repro.vehicle.car import ConnectedCar
+from repro.vehicle.messages import MessageCatalog, standard_catalog
+
+
+def build_case_study_model(
+    catalog: MessageCatalog | None = None,
+    dread_threshold: float = 0.0,
+    policy_name: str = "connected-car-policy",
+) -> PolicyBasedSecurityModel:
+    """Build the complete policy-based security model for the connected car."""
+    catalog = catalog if catalog is not None else standard_catalog()
+    threat_model = build_threat_model()
+    entries = build_threat_policy_entries(catalog)
+    derivation = PolicyDerivation(catalog, dread_threshold=dread_threshold).derive(
+        entries, policy_name=policy_name
+    )
+    return PolicyBasedSecurityModel(
+        threat_model=threat_model,
+        derivation=derivation,
+        catalog=catalog,
+        guideline_model=build_guideline_model(),
+    )
+
+
+class CaseStudyBuilder:
+    """Builds vehicles fitted with a chosen enforcement configuration.
+
+    The builder derives the security policy once and reuses it for every
+    car it builds, which keeps attack campaigns (one fresh car per
+    scenario) fast and deterministic.
+    """
+
+    def __init__(self, dread_threshold: float = 0.0) -> None:
+        self.catalog = standard_catalog()
+        self.model = build_case_study_model(self.catalog, dread_threshold=dread_threshold)
+
+    @property
+    def derivation(self) -> DerivationResult:
+        """The derivation result backing every built car."""
+        return self.model.derivation
+
+    def build_car(
+        self,
+        config: EnforcementConfig | None = None,
+        start_periodic_traffic: bool = False,
+    ) -> ConnectedCar:
+        """Build one car with the given enforcement configuration.
+
+        ``config=None`` builds an unprotected car (no coordinator at all),
+        matching the paper's pre-policy baseline.
+        """
+        car = ConnectedCar(
+            catalog=self.catalog, start_periodic_traffic=start_periodic_traffic
+        )
+        if config is None:
+            return car
+        coordinator = EnforcementCoordinator(
+            policy=self.model.policy,
+            catalog=self.catalog,
+            config=config,
+            selinux_module=self.model.derivation.selinux_module,
+        )
+        coordinator.fit(car)
+        return car
+
+    def factory(
+        self, config: EnforcementConfig | None = None
+    ) -> Callable[[], ConnectedCar]:
+        """A zero-argument car factory for :class:`repro.attacks.campaign.AttackCampaign`."""
+        return lambda: self.build_car(config)
+
+
+def car_factory(
+    config: EnforcementConfig | None = None, dread_threshold: float = 0.0
+) -> Callable[[], ConnectedCar]:
+    """Convenience factory building case-study cars with *config* fitted."""
+    builder = CaseStudyBuilder(dread_threshold=dread_threshold)
+    return builder.factory(config)

@@ -1,0 +1,675 @@
+"""The connected-car threat-model dataset (paper Table I).
+
+This module encodes Table I of the paper row by row: for each of the
+sixteen threats it records the critical asset, the car modes in which
+the threat applies, the entry points, the STRIDE classification, the
+DREAD 5-tuple (with the paper's average) and the derived R/W/RW policy.
+On top of the table data it provides:
+
+* :func:`build_threat_model` -- the assembled
+  :class:`~repro.threat.model.ThreatModel` document;
+* :func:`build_threat_policy_entries` -- the per-threat policy decisions
+  (CAN restrictions, SELinux statements, guideline texts) that the
+  derivation layer turns into the enforceable security policy;
+* :func:`build_guideline_model` -- the traditional guideline-based
+  baseline of Section V-A.1.
+
+Interpretation notes (recorded here because the published table gives
+permissions, not mechanism detail):
+
+* A policy of ``R`` ("permit only to read") is enforced by denying the
+  threat's entry-point nodes the ability to *write* the asset's command
+  messages and, defence in depth, by denying the asset's node the
+  ability to *read* those command messages outside the situations in
+  which they are legitimate.
+* Situational refinements (vehicle in motion, alarm armed, accident in
+  progress) implement the paper's "behavioural or situational based
+  policies"; the enforcement coordinator re-programs the hardware policy
+  engines through the authorised configuration channel when the
+  situation changes.
+* Legitimate anti-theft immobilisation (door-lock controller sending
+  ``ECU_DISABLE`` while parked and armed) is preserved by an explicit
+  situational ``allow`` rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.derivation import CanRestriction, ThreatPolicyEntry
+from repro.core.guidelines import Guideline, GuidelineSecurityModel
+from repro.core.policy import Direction, Permission, PolicyCondition, RuleEffect
+from repro.selinux.compiler import PermissionStatement
+from repro.threat.assets import Asset, AssetCategory, Criticality
+from repro.threat.dread import DreadScore
+from repro.threat.entry_points import EntryPoint, Exposure, InterfaceKind
+from repro.threat.model import ThreatModel, UseCase
+from repro.threat.stride import StrideClassification
+from repro.threat.threats import Threat
+from repro.vehicle.messages import (
+    NODE_DOOR_LOCKS,
+    NODE_ENGINE,
+    NODE_EPS,
+    NODE_EV_ECU,
+    NODE_INFOTAINMENT,
+    NODE_SAFETY,
+    NODE_SENSORS,
+    NODE_TELEMATICS,
+    MessageCatalog,
+)
+from repro.vehicle.modes import CarMode
+
+# ---------------------------------------------------------------------------
+# Table I rows
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table I."""
+
+    threat_id: str
+    asset: str
+    modes: tuple[str, ...]
+    entry_points: tuple[str, ...]
+    description: str
+    stride: str
+    dread: tuple[int, int, int, int, int]
+    policy: str
+
+    @property
+    def dread_average(self) -> float:
+        """The row's DREAD average (the paper's parenthesised value)."""
+        return sum(self.dread) / 5.0
+
+
+#: Table I, row by row, in the paper's order.
+TABLE1_ROWS: tuple[Table1Row, ...] = (
+    Table1Row(
+        "T01", "EV-ECU", ("normal",), ("Door locks", "Safety critical"),
+        "Spoofed data over CAN bus causing disablement of ECU",
+        "STD", (8, 5, 4, 6, 4), "R",
+    ),
+    Table1Row(
+        "T02", "EV-ECU", ("normal",), ("Sensors",),
+        "Spoofed data over CAN bus causing disablement of ECU",
+        "STD", (8, 5, 4, 6, 4), "R",
+    ),
+    Table1Row(
+        "T03", "EV-ECU", ("normal",), ("3G/4G/WiFi",),
+        "Disabled remote tracking system after theft",
+        "SD", (6, 3, 3, 6, 4), "RW",
+    ),
+    Table1Row(
+        "T04", "EV-ECU", ("fail-safe",), ("3G/4G/WiFi",),
+        "Fail-safe protection override to reactivate vehicle",
+        "STE", (5, 5, 5, 7, 6), "R",
+    ),
+    Table1Row(
+        "T05", "EPS (Steering)", ("normal",), ("Any node",),
+        "EPS deactivation through compromised CAN node",
+        "STD", (5, 5, 5, 6, 7), "R",
+    ),
+    Table1Row(
+        "T06", "Engine", ("normal",), ("Sensors",),
+        "Deactivation through compromised sensor",
+        "STD", (6, 5, 4, 7, 5), "R",
+    ),
+    Table1Row(
+        "T07", "Engine", ("normal",), ("EV-ECU", "Sensors"),
+        "Critical component modification during operation",
+        "STIDE", (7, 5, 5, 9, 4), "R",
+    ),
+    Table1Row(
+        "T08", "3G/4G/WiFi", ("normal",), ("Infotainment system",),
+        "Privacy attack using modified radio firmware",
+        "TIE", (7, 5, 5, 6, 5), "R",
+    ),
+    Table1Row(
+        "T09", "3G/4G/WiFi", ("normal", "fail-safe"), ("Emergency", "Door locks"),
+        "Prevent operation of fail-safe comms by disabling modem",
+        "TDE", (6, 6, 7, 8, 6), "RW",
+    ),
+    Table1Row(
+        "T10", "3G/4G/WiFi", ("normal", "fail-safe"), ("Sensors", "Air bags"),
+        "Prevent operation of fail-safe comms by disabling modem",
+        "TDE", (6, 6, 7, 8, 6), "R",
+    ),
+    Table1Row(
+        "T11", "Infotainment System", ("normal",), ("Media player browser",),
+        "Exploit to gain access to higher control level",
+        "STE", (7, 5, 6, 8, 6), "R",
+    ),
+    Table1Row(
+        "T12", "Infotainment System", ("normal",), ("Sensors", "EV-ECU"),
+        "Modification of car status values, GPS, speed, etc",
+        "STR", (3, 5, 6, 4, 5), "R",
+    ),
+    Table1Row(
+        "T13", "Door locks", ("normal",), ("3G/4G/WiFi", "Manual open"),
+        "Unlock attempt while in motion",
+        "TDE", (8, 5, 3, 8, 5), "R",
+    ),
+    Table1Row(
+        "T14", "Door locks", ("fail-safe",), ("3G/4G/WiFi", "Safety critical"),
+        "Lock mechanism triggered during accident",
+        "TDE", (8, 6, 7, 8, 5), "W",
+    ),
+    Table1Row(
+        "T15", "Safety Critical", ("normal",), ("Sensors",),
+        "False triggering of fail-safe mode to unlock vehicle",
+        "STE", (7, 4, 5, 8, 4), "R",
+    ),
+    Table1Row(
+        "T16", "Safety Critical", ("normal",), ("Sensors",),
+        "Disable alarm and locking system to allow theft",
+        "TE", (9, 4, 5, 9, 4), "W",
+    ),
+)
+
+#: The DREAD averages the paper prints for each row (used by the Table I
+#: reproduction benchmark to check our computed averages against the paper).
+PAPER_DREAD_AVERAGES: dict[str, float] = {
+    "T01": 5.4, "T02": 5.4, "T03": 4.4, "T04": 5.6, "T05": 5.6, "T06": 5.4,
+    "T07": 6.0, "T08": 5.6, "T09": 6.6, "T10": 6.6, "T11": 6.4, "T12": 4.6,
+    "T13": 5.8, "T14": 6.8, "T15": 5.6, "T16": 6.2,
+}
+
+
+# ---------------------------------------------------------------------------
+# Assets and entry points
+# ---------------------------------------------------------------------------
+
+
+def case_study_assets() -> list[Asset]:
+    """The connected car's critical assets (Table I "Critical Assets" column)."""
+    return [
+        Asset(
+            "EV-ECU",
+            "Electronic vehicle ECU controlling acceleration, braking interaction "
+            "and transmission",
+            AssetCategory.CONTROL_UNIT,
+            Criticality.SAFETY_CRITICAL,
+            data_flows=("accel", "brake", "transmission"),
+        ),
+        Asset(
+            "EPS (Steering)",
+            "Electronic power steering controller",
+            AssetCategory.CONTROL_UNIT,
+            Criticality.SAFETY_CRITICAL,
+        ),
+        Asset(
+            "Engine",
+            "Engine / propulsion drive controller",
+            AssetCategory.CONTROL_UNIT,
+            Criticality.SAFETY_CRITICAL,
+        ),
+        Asset(
+            "3G/4G/WiFi",
+            "Telematics unit providing cellular and WiFi connectivity",
+            AssetCategory.COMMUNICATION,
+            Criticality.HIGH,
+        ),
+        Asset(
+            "Infotainment System",
+            "Head unit with media player, browser and status display",
+            AssetCategory.USER_INTERFACE,
+            Criticality.MEDIUM,
+        ),
+        Asset(
+            "Door locks",
+            "Central locking controller",
+            AssetCategory.ACTUATOR,
+            Criticality.HIGH,
+        ),
+        Asset(
+            "Safety Critical",
+            "Safety-critical devices: airbags, alarm, fail-safe coordination",
+            AssetCategory.SAFETY_SYSTEM,
+            Criticality.SAFETY_CRITICAL,
+        ),
+        Asset(
+            "Sensors",
+            "Accelerator, brake, transmission and proximity sensors",
+            AssetCategory.SENSOR,
+            Criticality.HIGH,
+        ),
+    ]
+
+
+def case_study_entry_points() -> list[EntryPoint]:
+    """The entry points named in Table I."""
+    return [
+        EntryPoint(
+            "Door locks", InterfaceKind.PHYSICAL, Exposure.LOCAL,
+            exposes=("EV-ECU", "Safety Critical"),
+            description="Physical lock interface and lock controller node",
+        ),
+        EntryPoint(
+            "Safety critical", InterfaceKind.BUS, Exposure.INTERNAL,
+            exposes=("EV-ECU", "Door locks"),
+            description="Safety controller bus interface",
+        ),
+        EntryPoint(
+            "Sensors", InterfaceKind.SENSOR, Exposure.LOCAL,
+            exposes=("EV-ECU", "Engine", "Safety Critical", "Infotainment System", "3G/4G/WiFi"),
+            description="Sensor cluster inputs and its bus interface",
+        ),
+        EntryPoint(
+            "3G/4G/WiFi", InterfaceKind.NETWORK, Exposure.REMOTE,
+            exposes=("EV-ECU", "Door locks", "Infotainment System", "3G/4G/WiFi"),
+            requires_authentication=True,
+            description="Cellular and WiFi connectivity of the telematics unit",
+        ),
+        EntryPoint(
+            "Any node", InterfaceKind.BUS, Exposure.INTERNAL,
+            exposes=("EPS (Steering)",),
+            description="Any compromised node on the shared CAN bus",
+        ),
+        EntryPoint(
+            "EV-ECU", InterfaceKind.BUS, Exposure.INTERNAL,
+            exposes=("Engine", "Infotainment System"),
+            description="The EV-ECU's own bus interface (as a pivot)",
+        ),
+        EntryPoint(
+            "Infotainment system", InterfaceKind.USER_INTERFACE, Exposure.PROXIMITY,
+            exposes=("3G/4G/WiFi",),
+            description="Infotainment head unit as a pivot to the telematics stack",
+        ),
+        EntryPoint(
+            "Media player browser", InterfaceKind.USER_INTERFACE, Exposure.REMOTE,
+            exposes=("Infotainment System",),
+            description="Browser embedded in the media player",
+        ),
+        EntryPoint(
+            "Emergency", InterfaceKind.BUS, Exposure.INTERNAL,
+            exposes=("3G/4G/WiFi",),
+            description="Emergency-call trigger path",
+        ),
+        EntryPoint(
+            "Air bags", InterfaceKind.BUS, Exposure.INTERNAL,
+            exposes=("3G/4G/WiFi",),
+            description="Airbag deployment notification path",
+        ),
+        EntryPoint(
+            "Manual open", InterfaceKind.PHYSICAL, Exposure.LOCAL,
+            exposes=("Door locks",),
+            description="Physical door handles and key cylinder",
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Threats
+# ---------------------------------------------------------------------------
+
+
+def table1_threats() -> list[Threat]:
+    """The sixteen Table I threats as rated :class:`Threat` objects."""
+    threats: list[Threat] = []
+    for row in TABLE1_ROWS:
+        threats.append(
+            Threat(
+                identifier=row.threat_id,
+                description=row.description,
+                asset=row.asset,
+                entry_points=row.entry_points,
+                stride=StrideClassification.parse(row.stride),
+                dread=DreadScore.from_sequence(row.dread),
+                applicable_modes=row.modes,
+            )
+        )
+    return threats
+
+
+def build_threat_model() -> ThreatModel:
+    """The assembled connected-car threat model document."""
+    use_case = UseCase(
+        name="Connected Car",
+        description=(
+            "A connected car with vehicle controls, sensor-based critical safety, "
+            "infotainment, telematics and cellular network access, interconnected "
+            "over a CAN bus (paper Section V)."
+        ),
+        operating_modes=tuple(mode.value for mode in CarMode),
+        security_requirements=(
+            "Vehicle propulsion, steering and braking must not be controllable by "
+            "unauthorised entities.",
+            "Fail-safe and emergency communication paths must remain available.",
+            "Theft protection (immobilisation, tracking, alarm) must not be "
+            "defeatable from unauthenticated interfaces.",
+            "Driver-facing status information must be trustworthy.",
+        ),
+    )
+    model = ThreatModel(use_case)
+    model.add_assets(case_study_assets())
+    model.add_entry_points(case_study_entry_points())
+    model.add_threats(table1_threats())
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Derived policy decisions (Table I "Policy" column, made enforceable)
+# ---------------------------------------------------------------------------
+
+#: SELinux types used by the infotainment application policy.
+_APP_ALLOW_UPDATER = PermissionStatement(
+    subject_type="infotainment_updater_t",
+    object_type="software_store_t",
+    tclass="package",
+    permissions=frozenset({"install", "verify"}),
+)
+_APP_ALLOW_MEDIA_BUS_READ = PermissionStatement(
+    subject_type="infotainment_media_t",
+    object_type="vehicle_can_t",
+    tclass="can_bus",
+    permissions=frozenset({"read"}),
+)
+
+
+def build_threat_policy_entries(catalog: MessageCatalog) -> list[ThreatPolicyEntry]:
+    """The per-threat policy decisions for the connected-car case study.
+
+    Every entry corresponds to one Table I row; the permission mirrors
+    the paper's Policy column and the restrictions make it enforceable
+    on the simulated platform (see the module docstring for the
+    interpretation rules).
+    """
+    threats = {t.identifier: t for t in table1_threats()}
+    normal = PolicyCondition.in_modes(CarMode.NORMAL)
+    driving = PolicyCondition(modes=frozenset({CarMode.NORMAL}), in_motion=True)
+    always = PolicyCondition.always()
+
+    def deny(node: str, direction: Direction, *messages: str, condition=always) -> CanRestriction:
+        return CanRestriction(
+            node=node, direction=direction, messages=tuple(messages),
+            effect=RuleEffect.DENY, condition=condition,
+        )
+
+    def allow(node: str, direction: Direction, *messages: str, condition=always) -> CanRestriction:
+        return CanRestriction(
+            node=node, direction=direction, messages=tuple(messages),
+            effect=RuleEffect.ALLOW, condition=condition,
+        )
+
+    parked_and_armed = PolicyCondition(in_motion=False, alarm_armed=True)
+
+    entries = [
+        # T01: spoofed ECU disablement via door locks / safety nodes.
+        ThreatPolicyEntry(
+            threat=threats["T01"],
+            permission=Permission.READ,
+            can_restrictions=(
+                deny(NODE_EV_ECU, Direction.READ, "ECU_DISABLE", condition=driving),
+                allow(NODE_EV_ECU, Direction.READ, "ECU_DISABLE", condition=parked_and_armed),
+                allow(NODE_DOOR_LOCKS, Direction.WRITE, "ECU_DISABLE", condition=parked_and_armed),
+            ),
+            guidelines=(
+                "Validate the plausibility of disable commands against vehicle state",
+                "Limit components with CAN bus access",
+            ),
+        ),
+        # T02: spoofed ECU disablement via the sensor cluster.
+        ThreatPolicyEntry(
+            threat=threats["T02"],
+            permission=Permission.READ,
+            can_restrictions=(
+                deny(NODE_SENSORS, Direction.WRITE, "ECU_DISABLE", "ECU_ENABLE"),
+            ),
+            guidelines=("Authenticate sensor data sources",),
+        ),
+        # T03: disable remote tracking after theft.
+        ThreatPolicyEntry(
+            threat=threats["T03"],
+            permission=Permission.READ_WRITE,
+            can_restrictions=(
+                deny(NODE_TELEMATICS, Direction.READ, "TRACKING_DISABLE", condition=normal),
+            ),
+            guidelines=("Require authenticated maintenance sessions for tracking changes",),
+        ),
+        # T04: fail-safe override to reactivate the vehicle.
+        ThreatPolicyEntry(
+            threat=threats["T04"],
+            permission=Permission.READ,
+            can_restrictions=(
+                deny(
+                    NODE_EV_ECU, Direction.READ, "ECU_ENABLE",
+                    condition=PolicyCondition(accident=True),
+                ),
+            ),
+            guidelines=("Reactivation after fail-safe requires an authorised workshop",),
+        ),
+        # T05: EPS deactivation through any compromised node.
+        ThreatPolicyEntry(
+            threat=threats["T05"],
+            permission=Permission.READ,
+            can_restrictions=(
+                deny(NODE_EPS, Direction.READ, "EPS_DEACTIVATE", condition=normal),
+                deny(NODE_INFOTAINMENT, Direction.WRITE, "EPS_DEACTIVATE"),
+                deny(NODE_TELEMATICS, Direction.WRITE, "EPS_DEACTIVATE"),
+            ),
+            guidelines=("Steering assistance changes only from the safety controller",),
+        ),
+        # T06: engine deactivation through a compromised sensor.
+        ThreatPolicyEntry(
+            threat=threats["T06"],
+            permission=Permission.READ,
+            can_restrictions=(
+                deny(NODE_ENGINE, Direction.READ, "ENGINE_DEACTIVATE", condition=normal),
+                deny(NODE_SENSORS, Direction.WRITE, "ENGINE_DEACTIVATE"),
+            ),
+            guidelines=("Engine shutdown commands only from the safety controller",),
+        ),
+        # T07: critical component modification during operation.
+        ThreatPolicyEntry(
+            threat=threats["T07"],
+            permission=Permission.READ,
+            can_restrictions=(
+                deny(
+                    NODE_ENGINE, Direction.READ, "FIRMWARE_UPDATE", condition=normal,
+                ),
+                deny(
+                    NODE_EV_ECU, Direction.READ, "FIRMWARE_UPDATE", condition=normal,
+                ),
+                deny(NODE_SENSORS, Direction.WRITE, "FIRMWARE_UPDATE"),
+            ),
+            guidelines=("Firmware updates only in the remote diagnostic mode",),
+        ),
+        # T08: privacy attack using modified radio firmware.
+        ThreatPolicyEntry(
+            threat=threats["T08"],
+            permission=Permission.READ,
+            app_statements=(_APP_ALLOW_UPDATER, _APP_ALLOW_MEDIA_BUS_READ),
+            guidelines=(
+                "Provide frequent software updates and patch the system when "
+                "vulnerabilities are discovered",
+                "Employ software protections to prevent unauthorised software installation",
+            ),
+        ),
+        # T09: fail-safe comms prevented by disabling the modem (door locks path).
+        ThreatPolicyEntry(
+            threat=threats["T09"],
+            permission=Permission.READ_WRITE,
+            can_restrictions=(
+                deny(NODE_TELEMATICS, Direction.READ, "MODEM_CONTROL", condition=normal),
+                deny(NODE_DOOR_LOCKS, Direction.WRITE, "MODEM_CONTROL"),
+            ),
+            guidelines=("Modem power state changes only in maintenance sessions",),
+        ),
+        # T10: fail-safe comms prevented by disabling the modem (sensor path).
+        ThreatPolicyEntry(
+            threat=threats["T10"],
+            permission=Permission.READ,
+            can_restrictions=(
+                deny(NODE_SENSORS, Direction.WRITE, "MODEM_CONTROL"),
+            ),
+            guidelines=("Sensors must not command communication equipment",),
+        ),
+        # T11: infotainment exploit to gain a higher control level.
+        ThreatPolicyEntry(
+            threat=threats["T11"],
+            permission=Permission.READ,
+            can_restrictions=(
+                deny(
+                    NODE_INFOTAINMENT, Direction.WRITE,
+                    "ECU_DISABLE", "ECU_ENABLE", "ECU_COMMAND",
+                    "EPS_DEACTIVATE", "ENGINE_DEACTIVATE",
+                    "DOOR_LOCK_CMD", "DOOR_UNLOCK_CMD",
+                ),
+            ),
+            app_statements=(_APP_ALLOW_MEDIA_BUS_READ,),
+            guidelines=(
+                "Prevent software installation activities initiated from the media display",
+                "Enforce access of permitted commands using a software-based policy "
+                "method, e.g. SELinux",
+                "Enforce CAN ID verification on the hardware policy engine at the "
+                "read/write filters within the CAN controller",
+            ),
+        ),
+        # T12: modification of displayed car status values.
+        ThreatPolicyEntry(
+            threat=threats["T12"],
+            permission=Permission.READ,
+            can_restrictions=(
+                deny(NODE_TELEMATICS, Direction.WRITE, "CAR_STATUS_DISPLAY"),
+                deny(NODE_DOOR_LOCKS, Direction.WRITE, "CAR_STATUS_DISPLAY"),
+            ),
+            guidelines=(
+                "Authenticate status data sources; residual risk from legitimate "
+                "producers is accepted (lowest DREAD rating in the table)",
+            ),
+        ),
+        # T13: unlock attempt while in motion.
+        ThreatPolicyEntry(
+            threat=threats["T13"],
+            permission=Permission.READ,
+            can_restrictions=(
+                deny(
+                    NODE_DOOR_LOCKS, Direction.READ, "DOOR_UNLOCK_CMD",
+                    condition=PolicyCondition(in_motion=True, accident=False),
+                ),
+                deny(
+                    NODE_TELEMATICS, Direction.WRITE, "DOOR_UNLOCK_CMD",
+                    condition=PolicyCondition(in_motion=True, accident=False),
+                ),
+            ),
+            guidelines=("Interlock remote unlock with vehicle speed",),
+        ),
+        # T14: lock mechanism triggered during an accident.
+        ThreatPolicyEntry(
+            threat=threats["T14"],
+            permission=Permission.WRITE,
+            can_restrictions=(
+                deny(
+                    NODE_DOOR_LOCKS, Direction.READ, "DOOR_LOCK_CMD",
+                    condition=PolicyCondition(accident=True),
+                ),
+                deny(
+                    NODE_TELEMATICS, Direction.WRITE, "DOOR_LOCK_CMD",
+                    condition=PolicyCondition(accident=True),
+                ),
+            ),
+            guidelines=("Door locking inhibited while an accident is in progress",),
+        ),
+        # T15: false triggering of fail-safe mode to unlock the vehicle.
+        ThreatPolicyEntry(
+            threat=threats["T15"],
+            permission=Permission.READ,
+            can_restrictions=(
+                deny(
+                    NODE_DOOR_LOCKS, Direction.READ, "DOOR_UNLOCK_CMD",
+                    condition=PolicyCondition(alarm_armed=True, accident=False),
+                ),
+                deny(
+                    NODE_DOOR_LOCKS, Direction.READ, "FAILSAFE_TRIGGER",
+                    condition=PolicyCondition(alarm_armed=True),
+                ),
+            ),
+            guidelines=("Fail-safe triggering requires corroborating sensor evidence",),
+        ),
+        # T16: disable alarm and locking system to allow theft.
+        ThreatPolicyEntry(
+            threat=threats["T16"],
+            permission=Permission.WRITE,
+            can_restrictions=(
+                deny(
+                    NODE_SAFETY, Direction.READ, "ALARM_DISABLE",
+                    condition=PolicyCondition(alarm_armed=True),
+                ),
+                deny(NODE_SENSORS, Direction.WRITE, "ALARM_DISABLE", "DOOR_UNLOCK_CMD"),
+            ),
+            guidelines=("Alarm disarm requires an authenticated owner action",),
+        ),
+    ]
+    # Validate every referenced message exists in the catalogue up front so a
+    # typo fails loudly here rather than deep inside the derivation.
+    for entry in entries:
+        for restriction in entry.can_restrictions:
+            for message in restriction.messages:
+                if message != "*" and message not in catalog:
+                    raise KeyError(
+                        f"{entry.threat_id}: unknown catalogue message {message!r}"
+                    )
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Guideline baseline (the traditional approach)
+# ---------------------------------------------------------------------------
+
+
+def build_guideline_model() -> GuidelineSecurityModel:
+    """The Section V-A.1 guideline-based security model."""
+    model = GuidelineSecurityModel("connected-car-guidelines")
+    model.add(
+        Guideline(
+            "G-INF-1",
+            "Provide frequent software updates and patch the system when "
+            "vulnerabilities are discovered",
+            addresses=("T08", "T11"),
+            applies_to="Infotainment System",
+        )
+    )
+    model.add(
+        Guideline(
+            "G-INF-2",
+            "Employ software protections to prevent unauthorised software installation",
+            addresses=("T08", "T11"),
+            applies_to="Infotainment System",
+        )
+    )
+    model.add(
+        Guideline(
+            "G-GW-1",
+            "Limit components with CAN bus access",
+            addresses=("T01", "T02", "T05", "T06"),
+            applies_to="CAN bus gateway",
+        )
+    )
+    model.add(
+        Guideline(
+            "G-ECU-1",
+            "Validate safety-relevant commands against vehicle state before acting",
+            addresses=("T01", "T04", "T13", "T14"),
+            applies_to="EV-ECU",
+        )
+    )
+    model.add(
+        Guideline(
+            "G-TEL-1",
+            "Restrict modem and tracking configuration to authenticated maintenance "
+            "sessions",
+            addresses=("T03", "T09", "T10"),
+            applies_to="3G/4G/WiFi",
+        )
+    )
+    model.add(
+        Guideline(
+            "G-SAF-1",
+            "Require corroborating evidence before entering fail-safe mode or "
+            "disarming the alarm",
+            addresses=("T15", "T16"),
+            applies_to="Safety Critical",
+        )
+    )
+    return model

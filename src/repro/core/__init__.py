@@ -1,0 +1,82 @@
+"""The paper's primary contribution: policy-based security modelling.
+
+This package turns the output of application threat modelling
+(:mod:`repro.threat`) into machine-enforceable security policies and
+deploys them onto the embedded platform through software (SELinux-like)
+and hardware (HPE) enforcement points -- the design flow of paper
+Sections IV and V.
+
+Modules
+-------
+* :mod:`repro.core.policy` -- the policy model (permissions, conditions,
+  access rules, the security policy document).
+* :mod:`repro.core.policy_engine` -- evaluate a policy into effective
+  per-node approved identifier lists for a given operating situation.
+* :mod:`repro.core.dsl` -- a small textual policy language for
+  distribution and review.
+* :mod:`repro.core.derivation` -- derive policies and countermeasures
+  from rated threats (the Table I "Policy" column).
+* :mod:`repro.core.security_model` -- the policy-based security model
+  document bridging threat modelling and secure application testing
+  (Fig. 1).
+* :mod:`repro.core.enforcement` -- fit and synchronise enforcement
+  (HPE per node, SELinux modules) on a vehicle.
+* :mod:`repro.core.updates` -- signed post-deployment policy updates.
+* :mod:`repro.core.lifecycle` -- the secure development life-cycle and the
+  policy-update vs redesign response model.
+* :mod:`repro.core.guidelines` -- the traditional guideline-based model
+  (the baseline the paper argues against).
+* :mod:`repro.core.validation` -- policy consistency and coverage checks.
+"""
+
+from repro.core.derivation import PolicyDerivation, ThreatPolicyEntry
+from repro.core.dsl import parse_policy, render_policy
+from repro.core.enforcement import EnforcementConfig, EnforcementCoordinator
+from repro.core.guidelines import Guideline, GuidelineSecurityModel
+from repro.core.lifecycle import (
+    LifecycleStage,
+    ResponseComparison,
+    ResponseModel,
+    SecureDevelopmentLifecycle,
+)
+from repro.core.policy import (
+    AccessRule,
+    CarSituation,
+    Permission,
+    PolicyCondition,
+    RuleEffect,
+    SecurityPolicy,
+)
+from repro.core.policy_engine import EffectiveNodePolicy, PolicyEvaluator
+from repro.core.security_model import PolicyBasedSecurityModel
+from repro.core.updates import PolicyUpdateBundle, PolicyUpdateClient, UpdateRejected
+from repro.core.validation import PolicyValidator, ValidationFinding
+
+__all__ = [
+    "AccessRule",
+    "CarSituation",
+    "EffectiveNodePolicy",
+    "EnforcementConfig",
+    "EnforcementCoordinator",
+    "Guideline",
+    "GuidelineSecurityModel",
+    "LifecycleStage",
+    "Permission",
+    "PolicyBasedSecurityModel",
+    "PolicyCondition",
+    "PolicyDerivation",
+    "PolicyEvaluator",
+    "PolicyUpdateBundle",
+    "PolicyUpdateClient",
+    "PolicyValidator",
+    "ResponseComparison",
+    "ResponseModel",
+    "RuleEffect",
+    "SecureDevelopmentLifecycle",
+    "SecurityPolicy",
+    "ThreatPolicyEntry",
+    "UpdateRejected",
+    "ValidationFinding",
+    "parse_policy",
+    "render_policy",
+]

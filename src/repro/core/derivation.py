@@ -1,0 +1,257 @@
+"""Derive enforceable policies from rated threats.
+
+This is the step the paper adds to classical threat modelling (Fig. 1,
+Section IV): instead of stopping at guideline text, every sufficiently
+risky threat is mapped to concrete, enforceable policy artefacts --
+CAN-level access rules for the hardware policy engine, application-level
+permission statements for SELinux, and countermeasure records tying them
+back to the threat model.
+
+The analyst's judgement is captured in :class:`ThreatPolicyEntry`
+objects (one per Table I row in the case study); :class:`PolicyDerivation`
+performs the mechanical part: threshold filtering, rule construction,
+countermeasure bookkeeping and SELinux module compilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.policy import (
+    AccessRule,
+    Direction,
+    Permission,
+    PolicyCondition,
+    RuleEffect,
+    SecurityPolicy,
+)
+from repro.selinux.compiler import PermissionStatement, compile_statements
+from repro.selinux.policy_store import PolicyModule
+from repro.threat.countermeasures import (
+    Countermeasure,
+    CountermeasureCatalog,
+    CountermeasureKind,
+)
+from repro.threat.threats import Threat
+from repro.vehicle.messages import MessageCatalog
+
+
+@dataclass(frozen=True)
+class CanRestriction:
+    """One CAN-level restriction an analyst derives from a threat."""
+
+    node: str
+    direction: Direction
+    messages: tuple[str, ...]
+    effect: RuleEffect = RuleEffect.DENY
+    condition: PolicyCondition = field(default_factory=PolicyCondition)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "messages", tuple(self.messages))
+
+
+@dataclass(frozen=True)
+class ThreatPolicyEntry:
+    """The policy decision for one Table I row.
+
+    Parameters
+    ----------
+    threat:
+        The rated threat this entry addresses.
+    permission:
+        The paper's R/W/RW policy column value (reporting only; the
+        enforceable content is in *can_restrictions* and
+        *app_statements*).
+    can_restrictions:
+        CAN-level restrictions to enforce on the hardware policy engine.
+    app_statements:
+        Application-level permission statements to enforce via SELinux.
+    guidelines:
+        Guideline texts for the traditional (design-time) approach.
+    """
+
+    threat: Threat
+    permission: Permission
+    can_restrictions: tuple[CanRestriction, ...] = field(default_factory=tuple)
+    app_statements: tuple[PermissionStatement, ...] = field(default_factory=tuple)
+    guidelines: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "can_restrictions", tuple(self.can_restrictions))
+        object.__setattr__(self, "app_statements", tuple(self.app_statements))
+        object.__setattr__(self, "guidelines", tuple(self.guidelines))
+
+    @property
+    def threat_id(self) -> str:
+        return self.threat.identifier
+
+
+@dataclass
+class DerivationResult:
+    """Everything the derivation produces."""
+
+    policy: SecurityPolicy
+    countermeasures: CountermeasureCatalog
+    selinux_module: PolicyModule | None
+    skipped_threats: list[str] = field(default_factory=list)
+
+    def summary(self) -> dict[str, int]:
+        """Headline numbers for reporting."""
+        return {
+            "access_rules": len(self.policy.access_rules),
+            "app_statements": len(self.policy.app_statements),
+            "countermeasures": len(self.countermeasures),
+            "skipped_threats": len(self.skipped_threats),
+        }
+
+
+class PolicyDerivation:
+    """Derive a :class:`SecurityPolicy` from threat policy entries.
+
+    Parameters
+    ----------
+    catalog:
+        The vehicle message catalogue (used to validate that restricted
+        messages actually exist).
+    dread_threshold:
+        Threats whose DREAD average is below this threshold are handled
+        by best practice instead of enforced policy (the paper: "Smaller
+        threats could be catered using best security practises").  The
+        default of 0.0 enforces everything.
+    """
+
+    def __init__(self, catalog: MessageCatalog, dread_threshold: float = 0.0) -> None:
+        self.catalog = catalog
+        self.dread_threshold = dread_threshold
+
+    def derive(
+        self,
+        entries: Iterable[ThreatPolicyEntry],
+        policy_name: str = "derived-policy",
+        version: int = 1,
+    ) -> DerivationResult:
+        """Derive the security policy and countermeasures from *entries*."""
+        entries = list(entries)
+        policy = SecurityPolicy(
+            name=policy_name,
+            version=version,
+            description="Policy derived from STRIDE/DREAD threat model",
+        )
+        countermeasures = CountermeasureCatalog()
+        statements: list[PermissionStatement] = []
+        skipped: list[str] = []
+
+        for entry in entries:
+            if entry.threat.average_score < self.dread_threshold:
+                skipped.append(entry.threat_id)
+                self._add_best_practice(countermeasures, entry)
+                continue
+            self._add_can_rules(policy, countermeasures, entry)
+            self._add_app_statements(policy, statements, countermeasures, entry)
+            self._add_guidelines(countermeasures, entry)
+
+        selinux_module = None
+        if statements:
+            selinux_module = compile_statements(
+                module_name=f"{policy_name}-app",
+                statements=statements,
+                version=version,
+                description=f"Application-level policy for {policy_name}",
+            )
+        return DerivationResult(
+            policy=policy,
+            countermeasures=countermeasures,
+            selinux_module=selinux_module,
+            skipped_threats=skipped,
+        )
+
+    # -- rule construction -----------------------------------------------------------
+
+    def _add_can_rules(
+        self,
+        policy: SecurityPolicy,
+        countermeasures: CountermeasureCatalog,
+        entry: ThreatPolicyEntry,
+    ) -> None:
+        for index, restriction in enumerate(entry.can_restrictions, start=1):
+            unknown = [
+                m for m in restriction.messages if m != "*" and m not in self.catalog
+            ]
+            if unknown:
+                raise KeyError(
+                    f"threat {entry.threat_id}: unknown catalogue messages {unknown}"
+                )
+            rule = AccessRule(
+                rule_id=f"P-{entry.threat_id}-{index}",
+                effect=restriction.effect,
+                node=restriction.node,
+                direction=restriction.direction,
+                messages=restriction.messages,
+                condition=restriction.condition,
+                derived_from=entry.threat_id,
+                note=entry.threat.description,
+            )
+            policy.add_rule(rule)
+        if entry.can_restrictions:
+            countermeasures.add(
+                Countermeasure(
+                    identifier=f"CM-{entry.threat_id}-HPE",
+                    description=(
+                        f"Hardware policy engine rules enforcing {entry.permission.value} "
+                        f"access for threat {entry.threat_id}"
+                    ),
+                    kind=CountermeasureKind.HARDWARE_POLICY,
+                    mitigates=(entry.threat_id,),
+                )
+            )
+
+    def _add_app_statements(
+        self,
+        policy: SecurityPolicy,
+        statements: list[PermissionStatement],
+        countermeasures: CountermeasureCatalog,
+        entry: ThreatPolicyEntry,
+    ) -> None:
+        for statement in entry.app_statements:
+            policy.add_app_statement(statement)
+            statements.append(statement)
+        if entry.app_statements:
+            countermeasures.add(
+                Countermeasure(
+                    identifier=f"CM-{entry.threat_id}-SW",
+                    description=(
+                        f"Software (SELinux) policy statements for threat {entry.threat_id}"
+                    ),
+                    kind=CountermeasureKind.SOFTWARE_POLICY,
+                    mitigates=(entry.threat_id,),
+                )
+            )
+
+    def _add_guidelines(
+        self, countermeasures: CountermeasureCatalog, entry: ThreatPolicyEntry
+    ) -> None:
+        for index, guideline in enumerate(entry.guidelines, start=1):
+            countermeasures.add(
+                Countermeasure(
+                    identifier=f"CM-{entry.threat_id}-G{index}",
+                    description=guideline,
+                    kind=CountermeasureKind.GUIDELINE,
+                    mitigates=(entry.threat_id,),
+                )
+            )
+
+    def _add_best_practice(
+        self, countermeasures: CountermeasureCatalog, entry: ThreatPolicyEntry
+    ) -> None:
+        countermeasures.add(
+            Countermeasure(
+                identifier=f"CM-{entry.threat_id}-BP",
+                description=(
+                    f"Below-threshold threat {entry.threat_id} handled by secure "
+                    "development best practice"
+                ),
+                kind=CountermeasureKind.BEST_PRACTICE,
+                mitigates=(entry.threat_id,),
+            )
+        )

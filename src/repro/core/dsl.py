@@ -1,0 +1,176 @@
+"""A small textual policy language.
+
+Policy updates are distributed to deployed vehicles as text (paper
+Section V-A.3: "the OEM can distribute a policy definition update").
+The language is line-oriented; each non-comment line is one access rule:
+
+.. code-block:: text
+
+    # rule-id: effect node direction message[,message...] [when <condition>]
+    P-T01-1: deny EV-ECU read ECU_DISABLE when mode=normal in-motion
+    P-T13-1: deny DoorLocks read DOOR_UNLOCK_CMD when in-motion
+    P-ARM-1: allow DoorLocks write ECU_DISABLE when stationary alarm-armed
+
+Conditions are a space-separated list of:
+
+* ``mode=<m1>,<m2>`` -- restrict to the named car modes;
+* ``in-motion`` / ``stationary`` -- vehicle motion state;
+* ``alarm-armed`` / ``alarm-disarmed`` -- anti-theft alarm state;
+* ``accident`` / ``no-accident`` -- accident in progress.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import (
+    AccessRule,
+    Direction,
+    PolicyCondition,
+    RuleEffect,
+    SecurityPolicy,
+)
+from repro.vehicle.modes import CarMode
+
+
+class PolicySyntaxError(ValueError):
+    """A policy text line could not be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None) -> None:
+        prefix = f"line {line_number}: " if line_number is not None else ""
+        super().__init__(prefix + message)
+        self.line_number = line_number
+
+
+def parse_condition(tokens: list[str]) -> PolicyCondition:
+    """Parse condition tokens following a ``when`` keyword."""
+    modes: set[CarMode] = set()
+    in_motion: bool | None = None
+    alarm_armed: bool | None = None
+    accident: bool | None = None
+    for token in tokens:
+        token = token.strip()
+        if not token:
+            continue
+        if token.startswith("mode="):
+            for mode_name in token[len("mode="):].split(","):
+                try:
+                    modes.add(CarMode.parse(mode_name))
+                except ValueError:
+                    raise PolicySyntaxError(f"unknown car mode {mode_name!r}") from None
+        elif token == "in-motion":
+            in_motion = True
+        elif token == "stationary":
+            in_motion = False
+        elif token == "alarm-armed":
+            alarm_armed = True
+        elif token == "alarm-disarmed":
+            alarm_armed = False
+        elif token == "accident":
+            accident = True
+        elif token == "no-accident":
+            accident = False
+        else:
+            raise PolicySyntaxError(f"unknown condition token {token!r}")
+    return PolicyCondition(
+        modes=frozenset(modes),
+        in_motion=in_motion,
+        alarm_armed=alarm_armed,
+        accident=accident,
+    )
+
+
+def parse_rule(line: str, default_rule_id: str = "") -> AccessRule:
+    """Parse one rule line (without surrounding comments/blank handling)."""
+    text = line.strip()
+    comment = ""
+    if "#" in text:
+        text, _, comment = text.partition("#")
+        text = text.strip()
+        comment = comment.strip()
+    if not text:
+        raise PolicySyntaxError(f"empty rule line: {line!r}")
+    rule_id = default_rule_id
+    if ":" in text.split()[0]:
+        head, _, rest = text.partition(":")
+        rule_id = head.strip()
+        text = rest.strip()
+    tokens = text.split()
+    if len(tokens) < 4:
+        raise PolicySyntaxError(
+            f"expected 'effect node direction messages [when ...]', got {line!r}"
+        )
+    effect_token, node, direction_token, messages_token, *remainder = tokens
+    try:
+        effect = RuleEffect(effect_token.lower())
+    except ValueError:
+        raise PolicySyntaxError(f"unknown effect {effect_token!r}") from None
+    try:
+        direction = Direction(direction_token.lower())
+    except ValueError:
+        raise PolicySyntaxError(f"unknown direction {direction_token!r}") from None
+    messages = tuple(m for m in messages_token.split(",") if m)
+    condition = PolicyCondition()
+    if remainder:
+        if remainder[0] != "when":
+            raise PolicySyntaxError(f"expected 'when', got {remainder[0]!r}")
+        condition = parse_condition(remainder[1:])
+    if not rule_id:
+        raise PolicySyntaxError(f"rule has no identifier: {line!r}")
+    return AccessRule(
+        rule_id=rule_id,
+        effect=effect,
+        node=node,
+        direction=direction,
+        messages=messages,
+        condition=condition,
+        derived_from=comment,
+    )
+
+
+def parse_policy(text: str, name: str = "policy", version: int = 1) -> SecurityPolicy:
+    """Parse a whole policy document into a :class:`SecurityPolicy`.
+
+    Lines starting with ``#`` and blank lines are ignored.  A line of the
+    form ``policy <name> v<version>`` sets the document metadata.
+    """
+    policy_name = name
+    policy_version = version
+    rules: list[AccessRule] = []
+    counter = 0
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.lower().startswith("policy "):
+            parts = line.split()
+            if len(parts) >= 2:
+                policy_name = parts[1]
+            if len(parts) >= 3 and parts[2].lower().startswith("v"):
+                try:
+                    policy_version = int(parts[2][1:])
+                except ValueError:
+                    raise PolicySyntaxError(
+                        f"bad version {parts[2]!r}", line_number
+                    ) from None
+            continue
+        counter += 1
+        try:
+            rules.append(parse_rule(line, default_rule_id=f"R{counter:03d}"))
+        except PolicySyntaxError as error:
+            raise PolicySyntaxError(str(error), line_number) from None
+    return SecurityPolicy(name=policy_name, version=policy_version, access_rules=rules)
+
+
+def render_policy(policy: SecurityPolicy) -> str:
+    """Render a policy back into the textual language.
+
+    ``parse_policy(render_policy(p))`` reproduces the same access rules
+    (application statements are not part of the textual form; they travel
+    as SELinux modules).
+    """
+    lines = [f"policy {policy.name} v{policy.version}"]
+    if policy.description:
+        lines.append(f"# {policy.description}")
+    for rule in policy.access_rules:
+        rendered = rule.render()
+        lines.append(f"{rule.rule_id}: {rendered}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,127 @@
+"""The traditional guideline-based security model.
+
+Section V-A.1 of the paper describes the conventional alternative to
+enforceable policies: guideline documents that direct developers at
+design time ("provide frequent software updates", "limit components with
+CAN bus access").  Guidelines cannot be enforced or changed on deployed
+devices -- responding to a newly discovered threat requires redeveloping
+the application or hardware, in the worst case a product recall.  This
+module models that baseline so the comparison benchmark can quantify the
+difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator
+
+
+class RemediationPath(Enum):
+    """How a guideline-based model can respond to a newly discovered threat."""
+
+    ALREADY_COVERED = "already-covered"        # an existing guideline happens to cover it
+    SOFTWARE_REDESIGN = "software-redesign"    # redevelop + re-test + redeploy software
+    HARDWARE_REDESIGN = "hardware-redesign"    # respin hardware in the next product cycle
+    PRODUCT_RECALL = "product-recall"          # physically recall deployed units
+    FUNCTIONALITY_REDUCTION = "functionality-reduction"  # disable the affected feature
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Guideline:
+    """One design-time security guideline."""
+
+    identifier: str
+    text: str
+    addresses: tuple[str, ...] = field(default_factory=tuple)
+    applies_to: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.identifier.strip():
+            raise ValueError("guideline identifier must be non-empty")
+        if not self.text.strip():
+            raise ValueError("guideline text must be non-empty")
+        object.__setattr__(self, "addresses", tuple(self.addresses))
+
+    def addresses_threat(self, threat_id: str) -> bool:
+        """Whether the guideline was written to address the given threat."""
+        return threat_id in self.addresses
+
+    def __str__(self) -> str:
+        return f"{self.identifier}: {self.text}"
+
+
+class GuidelineSecurityModel:
+    """A guideline-based security model (the traditional approach)."""
+
+    def __init__(self, name: str, guidelines: Iterable[Guideline] = ()) -> None:
+        if not name.strip():
+            raise ValueError("model name must be non-empty")
+        self.name = name
+        self._guidelines: dict[str, Guideline] = {}
+        for guideline in guidelines:
+            self.add(guideline)
+        self.deployed = False
+
+    def add(self, guideline: Guideline) -> Guideline:
+        """Add a guideline.
+
+        Once the product is deployed, adding guidelines is rejected: new
+        guidance cannot reach devices already in the field, which is
+        exactly the limitation the paper's policy approach removes.
+        """
+        if self.deployed:
+            raise RuntimeError(
+                "the product is deployed; guideline changes require redesign, "
+                "not a document update"
+            )
+        if guideline.identifier in self._guidelines:
+            raise ValueError(f"duplicate guideline {guideline.identifier!r}")
+        self._guidelines[guideline.identifier] = guideline
+        return guideline
+
+    def mark_deployed(self) -> None:
+        """Freeze the model: the product has shipped."""
+        self.deployed = True
+
+    # -- queries ----------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._guidelines)
+
+    def __iter__(self) -> Iterator[Guideline]:
+        return iter(self._guidelines.values())
+
+    def __contains__(self, identifier: object) -> bool:
+        return identifier in self._guidelines
+
+    def guidelines_for(self, threat_id: str) -> list[Guideline]:
+        """Guidelines addressing the given threat."""
+        return [g for g in self._guidelines.values() if g.addresses_threat(threat_id)]
+
+    def covered_threats(self) -> frozenset[str]:
+        """All threat identifiers addressed by at least one guideline."""
+        return frozenset(t for g in self._guidelines.values() for t in g.addresses)
+
+    def coverage(self, threat_ids: Iterable[str]) -> float:
+        """Fraction of *threat_ids* addressed by at least one guideline."""
+        threat_ids = list(threat_ids)
+        if not threat_ids:
+            return 1.0
+        covered = self.covered_threats()
+        return sum(1 for t in threat_ids if t in covered) / len(threat_ids)
+
+    def remediation_for_new_threat(
+        self, requires_hardware_change: bool = False, recall_required: bool = False
+    ) -> RemediationPath:
+        """How this model has to respond to a threat discovered after deployment."""
+        if not self.deployed:
+            return RemediationPath.ALREADY_COVERED
+        if recall_required:
+            return RemediationPath.PRODUCT_RECALL
+        if requires_hardware_change:
+            return RemediationPath.HARDWARE_REDESIGN
+        return RemediationPath.SOFTWARE_REDESIGN

@@ -1,0 +1,148 @@
+"""Evaluate a security policy into effective per-node approved lists.
+
+The hardware policy engine of Fig. 4 consumes flat approved identifier
+lists; the security policy is written at the level of named messages,
+car modes and operating situations.  :class:`PolicyEvaluator` bridges
+the two: given the message catalogue, the policy and the observed
+situation it computes, for every node, the set of identifiers the node
+may read and write *right now*.  The enforcement coordinator pushes
+those sets into each node's HPE through the authorised configuration
+channel whenever the situation changes.
+
+Evaluation order (most specific wins):
+
+1. Base allowance from the message catalogue: a node may write the
+   messages it legitimately produces and read the messages it
+   legitimately consumes, restricted to messages whose ``allowed_modes``
+   include the current mode.
+2. ``allow`` rules matching the situation add messages back (situational
+   exceptions, e.g. theft-protection immobilisation while parked and
+   armed).
+3. ``deny`` rules matching the situation remove messages.  Deny always
+   wins over allow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.policy import AccessRule, CarSituation, RuleEffect, SecurityPolicy
+from repro.vehicle.messages import MessageCatalog
+
+
+@dataclass(frozen=True)
+class EffectiveNodePolicy:
+    """The effective approved identifier sets for one node in one situation."""
+
+    node: str
+    read_ids: frozenset[int]
+    write_ids: frozenset[int]
+
+    def may_read(self, can_id: int) -> bool:
+        """Whether the node may consume frames with this identifier."""
+        return can_id in self.read_ids
+
+    def may_write(self, can_id: int) -> bool:
+        """Whether the node may emit frames with this identifier."""
+        return can_id in self.write_ids
+
+
+class PolicyEvaluator:
+    """Compute effective per-node approved lists from a security policy."""
+
+    def __init__(self, catalog: MessageCatalog) -> None:
+        self.catalog = catalog
+
+    # -- single node -------------------------------------------------------------------
+
+    def effective_for_node(
+        self, node: str, policy: SecurityPolicy, situation: CarSituation
+    ) -> EffectiveNodePolicy:
+        """The effective read/write identifier sets for *node* in *situation*."""
+        read_names = {
+            m.name
+            for m in self.catalog.consumed_by(node)
+            if m.allowed_in_mode(situation.mode)
+        }
+        write_names = {
+            m.name
+            for m in self.catalog.produced_by(node)
+            if m.allowed_in_mode(situation.mode)
+        }
+
+        applicable = [r for r in policy.access_rules if r.applies(node, situation)]
+        self._apply_rules(applicable, RuleEffect.ALLOW, read_names, write_names)
+        self._apply_rules(applicable, RuleEffect.DENY, read_names, write_names)
+
+        return EffectiveNodePolicy(
+            node=node,
+            read_ids=frozenset(self._to_ids(read_names)),
+            write_ids=frozenset(self._to_ids(write_names)),
+        )
+
+    def _apply_rules(
+        self,
+        rules: list[AccessRule],
+        effect: RuleEffect,
+        read_names: set[str],
+        write_names: set[str],
+    ) -> None:
+        all_names = {m.name for m in self.catalog}
+        for rule in rules:
+            if rule.effect != effect:
+                continue
+            covered = all_names if "*" in rule.messages else set(rule.messages) & all_names
+            if effect == RuleEffect.ALLOW:
+                if rule.direction.covers_read:
+                    read_names |= covered
+                if rule.direction.covers_write:
+                    write_names |= covered
+            else:
+                if rule.direction.covers_read:
+                    read_names -= covered
+                if rule.direction.covers_write:
+                    write_names -= covered
+
+    def _to_ids(self, names: set[str]) -> set[int]:
+        return {self.catalog.by_name(name).can_id for name in names}
+
+    # -- whole system -------------------------------------------------------------------
+
+    def effective_for_all(
+        self, policy: SecurityPolicy, situation: CarSituation, nodes: list[str] | None = None
+    ) -> dict[str, EffectiveNodePolicy]:
+        """Effective policies for every node in the catalogue (or *nodes*)."""
+        node_names = nodes if nodes is not None else self.catalog.nodes()
+        return {
+            node: self.effective_for_node(node, policy, situation) for node in node_names
+        }
+
+    def decision_matrix(
+        self, policy: SecurityPolicy, situation: CarSituation
+    ) -> dict[tuple[str, str, str], bool]:
+        """Full (node, message, direction) -> permitted matrix for analysis."""
+        matrix: dict[tuple[str, str, str], bool] = {}
+        for node, effective in self.effective_for_all(policy, situation).items():
+            for message in self.catalog:
+                matrix[(node, message.name, "read")] = message.can_id in effective.read_ids
+                matrix[(node, message.name, "write")] = message.can_id in effective.write_ids
+        return matrix
+
+    def changed_nodes(
+        self,
+        policy: SecurityPolicy,
+        before: CarSituation,
+        after: CarSituation,
+    ) -> list[str]:
+        """Nodes whose effective lists differ between two situations.
+
+        The enforcement coordinator uses this to push updates only to the
+        engines that actually need reconfiguring on a situation change.
+        """
+        changed: list[str] = []
+        for node in self.catalog.nodes():
+            if self.effective_for_node(node, policy, before) != self.effective_for_node(
+                node, policy, after
+            ):
+                changed.append(node)
+        return changed

@@ -1,0 +1,125 @@
+"""The policy-based security model document.
+
+Fig. 1 places the *device security model* as the bridge between
+application threat modelling and secure application testing.  In the
+traditional approach that document is guideline text; in the paper's
+approach it is this object: the threat model, the derived security
+policy, the countermeasure catalogue and the guideline baseline, kept
+together so coverage and consistency can be checked and so the model
+can evolve by policy update after deployment.
+"""
+
+from __future__ import annotations
+
+from repro.core.derivation import DerivationResult
+from repro.core.guidelines import GuidelineSecurityModel
+from repro.core.policy import SecurityPolicy
+from repro.core.validation import PolicyValidator, ValidationFinding
+from repro.threat.countermeasures import CountermeasureCatalog
+from repro.threat.model import ThreatModel
+from repro.vehicle.messages import MessageCatalog
+
+
+class PolicyBasedSecurityModel:
+    """The complete policy-based security model for one use case.
+
+    Parameters
+    ----------
+    threat_model:
+        The application threat model (assets, entry points, rated threats).
+    derivation:
+        The result of policy derivation over that threat model.
+    catalog:
+        The vehicle message catalogue (needed for validation).
+    guideline_model:
+        Optional traditional guideline model kept for comparison.
+    """
+
+    def __init__(
+        self,
+        threat_model: ThreatModel,
+        derivation: DerivationResult,
+        catalog: MessageCatalog,
+        guideline_model: GuidelineSecurityModel | None = None,
+    ) -> None:
+        self.threat_model = threat_model
+        self.derivation = derivation
+        self.catalog = catalog
+        self.guideline_model = guideline_model
+        self._validator = PolicyValidator(catalog, threat_model.threats)
+
+    # -- convenient accessors ---------------------------------------------------------
+
+    @property
+    def policy(self) -> SecurityPolicy:
+        """The derived, enforceable security policy."""
+        return self.derivation.policy
+
+    @property
+    def countermeasures(self) -> CountermeasureCatalog:
+        """All countermeasures (policies, guidelines, best practice)."""
+        return self.derivation.countermeasures
+
+    # -- analysis -----------------------------------------------------------------------
+
+    def validate(self) -> list[ValidationFinding]:
+        """Validate the derived policy against the catalogue and threat model."""
+        return self._validator.validate(self.policy)
+
+    def is_deployable(self) -> bool:
+        """Whether the policy passes validation with no errors."""
+        return self._validator.is_deployable(self.policy)
+
+    def policy_coverage(self) -> float:
+        """Fraction of threats covered by at least one derived access rule."""
+        return self._validator.coverage_ratio(self.policy)
+
+    def guideline_coverage(self) -> float:
+        """Fraction of threats covered by the guideline baseline (0.0 if none)."""
+        if self.guideline_model is None:
+            return 0.0
+        return self.guideline_model.coverage(self.threat_model.threats.identifiers())
+
+    def uncovered_threats(self) -> list[str]:
+        """Threat identifiers with neither a policy rule nor an app statement."""
+        mitigated = self.policy.mitigated_threats()
+        covered_by_cm = {
+            threat_id
+            for cm in self.countermeasures
+            for threat_id in cm.mitigates
+            if cm.is_policy
+        }
+        return [
+            t
+            for t in self.threat_model.threats.identifiers()
+            if t not in mitigated and t not in covered_by_cm
+        ]
+
+    def summary(self) -> dict[str, object]:
+        """Headline numbers combining the threat model and the policy."""
+        return {
+            **self.threat_model.summary(),
+            "policy_version": self.policy.version,
+            "access_rules": len(self.policy.access_rules),
+            "app_statements": len(self.policy.app_statements),
+            "policy_coverage": round(self.policy_coverage(), 3),
+            "guideline_coverage": round(self.guideline_coverage(), 3),
+            "deployable": self.is_deployable(),
+        }
+
+    # -- evolution (the paper's headline property) -----------------------------------------
+
+    def respond_to_new_threat(self, derivation: DerivationResult) -> SecurityPolicy:
+        """Fold newly derived rules into the model as a policy update.
+
+        The threat model has already been extended with the new threat
+        (and its rating); *derivation* contains the rules derived for it.
+        Returns the merged, version-bumped policy ready for distribution
+        (see :class:`repro.core.updates.PolicyUpdateBundle`).
+        """
+        merged = self.policy.merge(derivation.policy)
+        for countermeasure in derivation.countermeasures:
+            if countermeasure.identifier not in self.countermeasures:
+                self.countermeasures.add(countermeasure)
+        self.derivation.policy = merged
+        return merged

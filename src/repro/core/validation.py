@@ -1,0 +1,210 @@
+"""Policy consistency and coverage validation.
+
+Before a derived or updated policy is distributed, it is checked for
+internal consistency (conflicting rules, references to unknown messages
+or nodes) and for coverage of the threat model it was derived from.
+Findings carry a severity so CI-style gates can fail only on errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from repro.core.policy import AccessRule, RuleEffect, SecurityPolicy
+from repro.threat.threats import ThreatCatalog
+from repro.vehicle.messages import MessageCatalog
+
+
+class Severity(Enum):
+    """Severity of a validation finding."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ValidationFinding:
+    """One validation finding."""
+
+    severity: Severity
+    code: str
+    message: str
+    rule_id: str = ""
+
+    def __str__(self) -> str:
+        location = f" [{self.rule_id}]" if self.rule_id else ""
+        return f"{self.severity.value.upper()} {self.code}{location}: {self.message}"
+
+
+class PolicyValidator:
+    """Validate a security policy against the catalogue and threat model."""
+
+    def __init__(
+        self, catalog: MessageCatalog, threats: ThreatCatalog | None = None
+    ) -> None:
+        self.catalog = catalog
+        self.threats = threats
+
+    # -- entry point -----------------------------------------------------------------
+
+    def validate(self, policy: SecurityPolicy) -> list[ValidationFinding]:
+        """Run every check and return all findings."""
+        findings: list[ValidationFinding] = []
+        findings.extend(self._check_references(policy))
+        findings.extend(self._check_conflicts(policy))
+        findings.extend(self._check_redundancy(policy))
+        if self.threats is not None:
+            findings.extend(self._check_coverage(policy))
+        return findings
+
+    def errors(self, policy: SecurityPolicy) -> list[ValidationFinding]:
+        """Only the error-severity findings."""
+        return [f for f in self.validate(policy) if f.severity == Severity.ERROR]
+
+    def is_deployable(self, policy: SecurityPolicy) -> bool:
+        """Whether the policy has no error-severity findings."""
+        return not self.errors(policy)
+
+    # -- checks ------------------------------------------------------------------------
+
+    def _check_references(self, policy: SecurityPolicy) -> list[ValidationFinding]:
+        """Rules must reference known messages and nodes."""
+        findings: list[ValidationFinding] = []
+        known_nodes = set(self.catalog.nodes())
+        for rule in policy.access_rules:
+            if rule.node != "*" and rule.node not in known_nodes:
+                findings.append(
+                    ValidationFinding(
+                        Severity.ERROR,
+                        "unknown-node",
+                        f"rule constrains unknown node {rule.node!r}",
+                        rule.rule_id,
+                    )
+                )
+            for message in rule.messages:
+                if message != "*" and message not in self.catalog:
+                    findings.append(
+                        ValidationFinding(
+                            Severity.ERROR,
+                            "unknown-message",
+                            f"rule references unknown message {message!r}",
+                            rule.rule_id,
+                        )
+                    )
+        return findings
+
+    def _check_conflicts(self, policy: SecurityPolicy) -> list[ValidationFinding]:
+        """Allow and deny rules that overlap are flagged (deny wins, but the
+        overlap usually indicates an analyst mistake)."""
+        findings: list[ValidationFinding] = []
+        rules = policy.access_rules
+        for index, rule in enumerate(rules):
+            for other in rules[index + 1:]:
+                if rule.effect == other.effect:
+                    continue
+                if not self._rules_overlap(rule, other):
+                    continue
+                findings.append(
+                    ValidationFinding(
+                        Severity.WARNING,
+                        "allow-deny-overlap",
+                        (
+                            f"rules {rule.rule_id} ({rule.effect}) and {other.rule_id} "
+                            f"({other.effect}) overlap; deny takes precedence"
+                        ),
+                        rule.rule_id,
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _rules_overlap(rule: AccessRule, other: AccessRule) -> bool:
+        if rule.node != "*" and other.node != "*" and rule.node != other.node:
+            return False
+        if not (
+            ("*" in rule.messages)
+            or ("*" in other.messages)
+            or (set(rule.messages) & set(other.messages))
+        ):
+            return False
+        directions_overlap = (
+            rule.direction.covers_read
+            and other.direction.covers_read
+            or rule.direction.covers_write
+            and other.direction.covers_write
+        )
+        if not directions_overlap:
+            return False
+        return rule.condition.overlaps(other.condition)
+
+    def _check_redundancy(self, policy: SecurityPolicy) -> list[ValidationFinding]:
+        """Identical duplicate rules (same effect/node/direction/messages/condition)."""
+        findings: list[ValidationFinding] = []
+        seen: dict[tuple, str] = {}
+        for rule in policy.access_rules:
+            key = (
+                rule.effect,
+                rule.node,
+                rule.direction,
+                rule.messages,
+                rule.condition,
+            )
+            if key in seen:
+                findings.append(
+                    ValidationFinding(
+                        Severity.INFO,
+                        "duplicate-rule",
+                        f"rule duplicates {seen[key]}",
+                        rule.rule_id,
+                    )
+                )
+            else:
+                seen[key] = rule.rule_id
+        return findings
+
+    def _check_coverage(self, policy: SecurityPolicy) -> list[ValidationFinding]:
+        """Every high-risk threat should have at least one derived rule."""
+        findings: list[ValidationFinding] = []
+        mitigated = policy.mitigated_threats()
+        assert self.threats is not None
+        for threat in self.threats:
+            if threat.identifier in mitigated:
+                continue
+            severity = Severity.WARNING if threat.average_score >= 5.0 else Severity.INFO
+            findings.append(
+                ValidationFinding(
+                    severity,
+                    "uncovered-threat",
+                    (
+                        f"threat {threat.identifier} (DREAD {threat.average_score:.1f}) has "
+                        "no derived access rule"
+                    ),
+                )
+            )
+        return findings
+
+    # -- convenience -----------------------------------------------------------------------
+
+    def coverage_ratio(self, policy: SecurityPolicy) -> float:
+        """Fraction of threats with at least one derived rule (1.0 when no threats)."""
+        if self.threats is None or len(self.threats) == 0:
+            return 1.0
+        mitigated = policy.mitigated_threats()
+        covered = sum(1 for t in self.threats if t.identifier in mitigated)
+        return covered / len(self.threats)
+
+    @staticmethod
+    def findings_by_severity(
+        findings: Iterable[ValidationFinding],
+    ) -> dict[Severity, list[ValidationFinding]]:
+        """Group findings by severity."""
+        grouped: dict[Severity, list[ValidationFinding]] = {s: [] for s in Severity}
+        for finding in findings:
+            grouped[finding.severity].append(finding)
+        return grouped

@@ -1,0 +1,44 @@
+"""Hardware Policy Engine (HPE) substrate.
+
+Functional model of the hardware-based policy engine the paper proposes
+for CAN nodes (Fig. 4, after Siddiqui et al. 2018).  The HPE holds
+approved reading and writing lists of CAN message identifiers, a
+decision block that grants or blocks each message, and a register-level
+configuration interface that is only reachable through a privileged
+configuration port -- which is what makes it robust against firmware
+modification attacks, unlike the controller's software filters.
+
+Modules
+-------
+* :mod:`repro.hpe.approved_list` -- approved message-ID lists.
+* :mod:`repro.hpe.decision_block` -- the grant/block decision logic.
+* :mod:`repro.hpe.filters` -- directional read/write filters.
+* :mod:`repro.hpe.registers` -- register-file configuration model.
+* :mod:`repro.hpe.engine` -- the assembled engine (a
+  :class:`repro.can.node.PolicyHook`).
+* :mod:`repro.hpe.tamper` -- tamper-attempt modelling and logging.
+"""
+
+from repro.hpe.approved_list import ApprovedIdList, IdRange
+from repro.hpe.decision_block import Decision, DecisionBlock, DecisionOutcome
+from repro.hpe.engine import HardwarePolicyEngine
+from repro.hpe.filters import Direction, ReadFilter, WriteFilter
+from repro.hpe.registers import AccessError, RegisterFile
+from repro.hpe.tamper import TamperAttempt, TamperLog, TamperSource
+
+__all__ = [
+    "AccessError",
+    "ApprovedIdList",
+    "Decision",
+    "DecisionBlock",
+    "DecisionOutcome",
+    "Direction",
+    "HardwarePolicyEngine",
+    "IdRange",
+    "ReadFilter",
+    "RegisterFile",
+    "TamperAttempt",
+    "TamperLog",
+    "TamperSource",
+    "WriteFilter",
+]

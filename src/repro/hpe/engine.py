@@ -1,0 +1,177 @@
+"""The assembled Hardware Policy Engine.
+
+:class:`HardwarePolicyEngine` combines the approved reading and writing
+lists, the directional decision filters, the register-file configuration
+interface and the tamper log into the engine of paper Fig. 4.  It
+implements :class:`repro.can.node.PolicyHook`, so it drops straight into
+a :class:`repro.can.node.CANNode`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.can.frame import CANFrame
+from repro.hpe.approved_list import ApprovedIdList, IdRange
+from repro.hpe.decision_block import DEFAULT_DECISION_LATENCY_S
+from repro.hpe.filters import ReadFilter, WriteFilter
+from repro.hpe.registers import AccessError, RegisterFile
+from repro.hpe.tamper import TamperLog, TamperSource, is_authorised
+
+
+class HardwarePolicyEngine:
+    """A per-node hardware policy engine.
+
+    Parameters
+    ----------
+    node_name:
+        The CAN node this engine protects (diagnostic only).
+    approved_reads:
+        Identifiers the node may consume from the bus.
+    approved_writes:
+        Identifiers the node may emit onto the bus.
+    decision_latency_s:
+        Abstract per-decision latency (see
+        :mod:`repro.hpe.decision_block`).
+    configuration_key:
+        Key required by the configuration port for policy updates.
+    """
+
+    def __init__(
+        self,
+        node_name: str,
+        approved_reads: Iterable[int] = (),
+        approved_writes: Iterable[int] = (),
+        read_ranges: Iterable[IdRange] = (),
+        write_ranges: Iterable[IdRange] = (),
+        decision_latency_s: float = DEFAULT_DECISION_LATENCY_S,
+        configuration_key: int = 0xC0FFEE,
+    ) -> None:
+        self.node_name = node_name
+        self._read_list = ApprovedIdList(approved_reads, read_ranges)
+        self._write_list = ApprovedIdList(approved_writes, write_ranges)
+        self.read_filter = ReadFilter(self._read_list, latency_s=decision_latency_s)
+        self.write_filter = WriteFilter(self._write_list, latency_s=decision_latency_s)
+        self.registers = RegisterFile(configuration_key=configuration_key)
+        self.tamper_log = TamperLog()
+        self._configuration_key = configuration_key
+        self._read_list.lock()
+        self._write_list.lock()
+
+    # -- PolicyHook interface ------------------------------------------------------
+
+    def permit_read(self, frame: CANFrame) -> bool:
+        """Whether the node may consume *frame* (inbound direction)."""
+        return self.read_filter.permits(frame)
+
+    def permit_write(self, frame: CANFrame) -> bool:
+        """Whether the node may emit *frame* (outbound direction)."""
+        return self.write_filter.permits(frame)
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def approved_read_ids(self) -> frozenset[int]:
+        """Explicitly approved read identifiers."""
+        return self._read_list.explicit_ids()
+
+    @property
+    def approved_write_ids(self) -> frozenset[int]:
+        """Explicitly approved write identifiers."""
+        return self._write_list.explicit_ids()
+
+    @property
+    def decisions_made(self) -> int:
+        """Total decisions evaluated across both filters."""
+        return self.read_filter.decisions_made + self.write_filter.decisions_made
+
+    @property
+    def frames_blocked(self) -> int:
+        """Total frames blocked across both filters."""
+        return self.read_filter.blocks + self.write_filter.blocks
+
+    @property
+    def total_latency_s(self) -> float:
+        """Accumulated decision latency across both filters."""
+        return self.read_filter.total_latency_s + self.write_filter.total_latency_s
+
+    # -- configuration ------------------------------------------------------------------
+
+    def update_policy(
+        self,
+        approved_reads: Iterable[int],
+        approved_writes: Iterable[int],
+        key: int,
+        source: TamperSource = TamperSource.OEM_UPDATE_CHANNEL,
+        read_ranges: Iterable[IdRange] = (),
+        write_ranges: Iterable[IdRange] = (),
+    ) -> bool:
+        """Replace both approved lists through the configuration port.
+
+        Only an authorised source presenting the correct key succeeds.
+        Every attempt -- including rejected ones -- is recorded in the
+        tamper log.  Returns ``True`` on success.
+        """
+        approved_reads = list(approved_reads)
+        approved_writes = list(approved_writes)
+        description = (
+            f"policy update: {len(approved_reads)} read ids, {len(approved_writes)} write ids"
+        )
+        if not is_authorised(source) or key != self._configuration_key:
+            self.tamper_log.record(source, description, succeeded=False)
+            return False
+        self._read_list._unlock_internal()
+        self._write_list._unlock_internal()
+        try:
+            self._read_list.replace(approved_reads, read_ranges)
+            self._write_list.replace(approved_writes, write_ranges)
+        finally:
+            self._read_list.lock()
+            self._write_list.lock()
+        self.tamper_log.record(source, description, succeeded=True)
+        return True
+
+    def attempt_firmware_reconfiguration(
+        self, approved_reads: Iterable[int], approved_writes: Iterable[int]
+    ) -> bool:
+        """Model a compromised firmware trying to rewrite the approved lists.
+
+        Always fails (the lists are locked and the firmware does not hold
+        the configuration key); the attempt is logged.  Returns ``False``.
+        """
+        return self.update_policy(
+            approved_reads,
+            approved_writes,
+            key=0,  # firmware does not possess the configuration key
+            source=TamperSource.NODE_FIRMWARE,
+        )
+
+    def write_configuration_register(
+        self, address: int, value: int, key: int, source: str = "config-port"
+    ) -> bool:
+        """Low-level register write through the configuration port.
+
+        Returns ``True`` on success; failed attempts are recorded in the
+        register access log (and surfaced as tamper attempts).
+        """
+        try:
+            self.registers.write(address, value, key=key, source=source)
+        except AccessError:
+            self.tamper_log.record(
+                TamperSource.NODE_FIRMWARE if source == "firmware" else TamperSource.PHYSICAL_DEBUG,
+                f"register write to {address}",
+                succeeded=False,
+            )
+            return False
+        return True
+
+    def reset_counters(self) -> None:
+        """Reset both filters' decision counters."""
+        self.read_filter.decision_block.reset_counters()
+        self.write_filter.decision_block.reset_counters()
+
+    def __str__(self) -> str:
+        return (
+            f"HPE({self.node_name}: reads={sorted(self.approved_read_ids)}, "
+            f"writes={sorted(self.approved_write_ids)})"
+        )

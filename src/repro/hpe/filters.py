@@ -1,0 +1,87 @@
+"""Directional HPE filters.
+
+The HPE contains a separate hardware-based *reading filter* and *writing
+filter* (paper Fig. 4), which together curtail both inside attacks
+(launched by a compromised node trying to emit frames it should not) and
+outside attacks (malicious frames arriving from a rogue node on the bus).
+Each filter wraps a :class:`~repro.hpe.decision_block.DecisionBlock` with
+its direction and its own counters.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.can.frame import CANFrame
+from repro.hpe.approved_list import ApprovedIdList
+from repro.hpe.decision_block import DEFAULT_DECISION_LATENCY_S, Decision, DecisionBlock
+
+
+class Direction(Enum):
+    """The direction a filter guards."""
+
+    READ = "read"    # frames arriving from the bus toward the application
+    WRITE = "write"  # frames issued by the application toward the bus
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class _DirectionalFilter:
+    """Common behaviour of the read and write filters."""
+
+    direction: Direction
+
+    def __init__(
+        self,
+        approved: ApprovedIdList,
+        latency_s: float = DEFAULT_DECISION_LATENCY_S,
+    ) -> None:
+        self.approved = approved
+        self.decision_block = DecisionBlock(approved, latency_s=latency_s)
+
+    def check(self, frame: CANFrame) -> Decision:
+        """Evaluate *frame* against the approved list for this direction."""
+        return self.decision_block.evaluate(frame)
+
+    def permits(self, frame: CANFrame) -> bool:
+        """Whether *frame* is permitted in this direction."""
+        return self.check(frame).granted
+
+    @property
+    def decisions_made(self) -> int:
+        """Total decisions evaluated by this filter."""
+        return self.decision_block.decisions_made
+
+    @property
+    def blocks(self) -> int:
+        """Total frames blocked by this filter."""
+        return self.decision_block.blocks
+
+    @property
+    def grants(self) -> int:
+        """Total frames granted by this filter."""
+        return self.decision_block.grants
+
+    @property
+    def total_latency_s(self) -> float:
+        """Accumulated decision latency in seconds."""
+        return self.decision_block.total_latency_s
+
+    def __str__(self) -> str:
+        return (
+            f"{type(self).__name__}(approved={len(self.approved)} ids, "
+            f"decisions={self.decisions_made}, blocks={self.blocks})"
+        )
+
+
+class ReadFilter(_DirectionalFilter):
+    """Filters frames arriving from the bus before the firmware sees them."""
+
+    direction = Direction.READ
+
+
+class WriteFilter(_DirectionalFilter):
+    """Filters frames issued by the firmware before they reach the bus."""
+
+    direction = Direction.WRITE

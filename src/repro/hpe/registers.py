@@ -1,0 +1,126 @@
+"""HPE register-level configuration model.
+
+The approved lists live in hardware registers that are programmed
+through a dedicated configuration port, not through the node's ordinary
+firmware-visible memory map.  This module models that separation: writes
+must present a configuration key, and every access (successful or not)
+is observable so the tamper model can log it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class AccessError(PermissionError):
+    """A register access was rejected (wrong key, locked register, bad address)."""
+
+
+@dataclass(frozen=True)
+class RegisterAccess:
+    """One recorded register access."""
+
+    address: int
+    value: int | None
+    write: bool
+    granted: bool
+    source: str
+
+
+class RegisterFile:
+    """A small register file guarded by a configuration key.
+
+    Parameters
+    ----------
+    size:
+        Number of 32-bit registers.
+    configuration_key:
+        The key that privileged configuration software must present for
+        writes.  Reads are unprivileged (the lists are not secret; their
+        integrity is what matters).
+    """
+
+    REGISTER_MASK = 0xFFFFFFFF
+
+    def __init__(self, size: int = 64, configuration_key: int = 0xC0FFEE) -> None:
+        if size <= 0:
+            raise ValueError("register file size must be positive")
+        self._registers = [0] * size
+        self._configuration_key = configuration_key
+        self._write_locked = False
+        self._accesses: list[RegisterAccess] = []
+
+    # -- capacity ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._registers)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._registers)
+
+    # -- lock ----------------------------------------------------------------------
+
+    @property
+    def write_locked(self) -> bool:
+        """Whether the file rejects all writes until the next unlock."""
+        return self._write_locked
+
+    def lock_writes(self) -> None:
+        """Lock the register file against all writes (even with the key)."""
+        self._write_locked = True
+
+    def unlock_writes(self, key: int) -> None:
+        """Unlock writes; requires the configuration key."""
+        if key != self._configuration_key:
+            self._record(address=-1, value=None, write=True, granted=False, source="unlock")
+            raise AccessError("invalid configuration key for unlock")
+        self._write_locked = False
+
+    # -- access ----------------------------------------------------------------------
+
+    def read(self, address: int, source: str = "firmware") -> int:
+        """Read the register at *address*."""
+        self._check_address(address)
+        value = self._registers[address]
+        self._record(address=address, value=value, write=False, granted=True, source=source)
+        return value
+
+    def write(self, address: int, value: int, key: int, source: str = "config-port") -> None:
+        """Write *value* to *address*; requires the configuration key.
+
+        Raises :class:`AccessError` when the key is wrong or the file is
+        write-locked.  The failed attempt is still recorded so tampering
+        is observable.
+        """
+        self._check_address(address)
+        if self._write_locked or key != self._configuration_key:
+            self._record(address=address, value=value, write=True, granted=False, source=source)
+            if self._write_locked:
+                raise AccessError(f"register file is write-locked (address {address})")
+            raise AccessError(f"invalid configuration key for write to address {address}")
+        self._registers[address] = value & self.REGISTER_MASK
+        self._record(address=address, value=value, write=True, granted=True, source=source)
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < len(self._registers):
+            raise AccessError(
+                f"address {address} outside register file of size {len(self._registers)}"
+            )
+
+    # -- audit -----------------------------------------------------------------------
+
+    def _record(
+        self, address: int, value: int | None, write: bool, granted: bool, source: str
+    ) -> None:
+        self._accesses.append(
+            RegisterAccess(address=address, value=value, write=write, granted=granted, source=source)
+        )
+
+    def access_log(self) -> list[RegisterAccess]:
+        """All recorded accesses, in order."""
+        return list(self._accesses)
+
+    def denied_accesses(self) -> list[RegisterAccess]:
+        """All rejected accesses (tamper attempts and honest mistakes)."""
+        return [a for a in self._accesses if not a.granted]

@@ -1,0 +1,92 @@
+"""Tamper-attempt modelling.
+
+The key security argument for the HPE over software filters is that it
+"remains transparent to the system software" and sits below the firmware,
+so a firmware-modification attack cannot reconfigure it.  This module
+models attempts to tamper with the HPE configuration from different
+sources (node firmware, an attacker with the configuration key, the
+legitimate OEM update channel) and records their outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+
+class TamperSource(Enum):
+    """Where a tamper or configuration attempt originates."""
+
+    NODE_FIRMWARE = "node-firmware"      # on-node software (possibly compromised)
+    BUS_MESSAGE = "bus-message"          # crafted frames attempting reconfiguration
+    PHYSICAL_DEBUG = "physical-debug"    # JTAG/debug port access
+    OEM_UPDATE_CHANNEL = "oem-update"    # authenticated policy update channel
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Sources the HPE accepts configuration from.  Only the authenticated OEM
+#: update channel may reconfigure the engine; everything else is rejected
+#: and logged.
+AUTHORISED_SOURCES = frozenset({TamperSource.OEM_UPDATE_CHANNEL})
+
+
+@dataclass(frozen=True)
+class TamperAttempt:
+    """One recorded configuration/tamper attempt."""
+
+    source: TamperSource
+    description: str
+    succeeded: bool
+
+    def __str__(self) -> str:
+        status = "succeeded" if self.succeeded else "rejected"
+        return f"[{self.source}] {self.description}: {status}"
+
+
+class TamperLog:
+    """Append-only log of tamper attempts with summary queries."""
+
+    def __init__(self) -> None:
+        self._attempts: list[TamperAttempt] = []
+
+    def record(self, source: TamperSource, description: str, succeeded: bool) -> TamperAttempt:
+        """Record an attempt."""
+        attempt = TamperAttempt(source=source, description=description, succeeded=succeeded)
+        self._attempts.append(attempt)
+        return attempt
+
+    def attempts(self) -> list[TamperAttempt]:
+        """All attempts, in order."""
+        return list(self._attempts)
+
+    def rejected(self) -> list[TamperAttempt]:
+        """Attempts that were rejected."""
+        return [a for a in self._attempts if not a.succeeded]
+
+    def succeeded(self) -> list[TamperAttempt]:
+        """Attempts that succeeded (should only be authorised updates)."""
+        return [a for a in self._attempts if a.succeeded]
+
+    def unauthorised_successes(self) -> list[TamperAttempt]:
+        """Successful attempts from unauthorised sources.
+
+        A non-empty result indicates the tamper-resistance property has
+        been violated; the integration tests assert this stays empty.
+        """
+        return [
+            a for a in self._attempts if a.succeeded and a.source not in AUTHORISED_SOURCES
+        ]
+
+    def __len__(self) -> int:
+        return len(self._attempts)
+
+    def __iter__(self) -> Iterable[TamperAttempt]:
+        return iter(self._attempts)
+
+
+def is_authorised(source: TamperSource) -> bool:
+    """Whether *source* may legitimately reconfigure the HPE."""
+    return source in AUTHORISED_SOURCES

@@ -1,0 +1,44 @@
+"""Software policy enforcement substrate (SELinux-like MAC).
+
+The paper names SELinux as the reference software enforcement point:
+policies deployed as modules, enforcing mandatory access control over
+application operations, updateable at run time.  This subpackage
+reproduces that semantics in user space:
+
+* :mod:`repro.selinux.contexts` -- security contexts and object labelling.
+* :mod:`repro.selinux.te` -- type-enforcement allow rules and the policy.
+* :mod:`repro.selinux.policy_store` -- modular policy store
+  (install/remove/upgrade policy modules without rebuilding the system).
+* :mod:`repro.selinux.avc` -- the access-vector cache.
+* :mod:`repro.selinux.hooks` -- enforcement points and audit logging.
+* :mod:`repro.selinux.compiler` -- compile abstract permission statements
+  into type-enforcement rules.
+"""
+
+from repro.selinux.avc import AccessVectorCache
+from repro.selinux.compiler import PermissionStatement, compile_statements
+from repro.selinux.contexts import LabelStore, SecurityContext
+from repro.selinux.hooks import (
+    AccessDecision,
+    AuditRecord,
+    EnforcementMode,
+    SoftwareEnforcementPoint,
+)
+from repro.selinux.policy_store import ModularPolicyStore, PolicyModule
+from repro.selinux.te import AllowRule, TypeEnforcementPolicy
+
+__all__ = [
+    "AccessDecision",
+    "AccessVectorCache",
+    "AllowRule",
+    "AuditRecord",
+    "EnforcementMode",
+    "LabelStore",
+    "ModularPolicyStore",
+    "PermissionStatement",
+    "PolicyModule",
+    "SecurityContext",
+    "SoftwareEnforcementPoint",
+    "TypeEnforcementPolicy",
+    "compile_statements",
+]

@@ -1,0 +1,85 @@
+"""Access-vector cache (AVC).
+
+The AVC caches access decisions so that repeated checks for the same
+``(source type, target type, class)`` triple do not re-walk the policy.
+It is invalidated whenever the policy store reloads.  The cache exists
+both for fidelity (SELinux has one) and so the overhead benchmark can
+show the cost of software enforcement with and without caching.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.selinux.policy_store import ModularPolicyStore
+
+
+class AccessVectorCache:
+    """An LRU cache of allowed-permission sets keyed by access vector.
+
+    Parameters
+    ----------
+    store:
+        The policy store whose active policy backs the cache.  The cache
+        registers itself for reload notifications and flushes on change.
+    capacity:
+        Maximum number of cached access vectors.
+    """
+
+    def __init__(self, store: ModularPolicyStore, capacity: int = 512) -> None:
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self._store = store
+        self._capacity = capacity
+        self._entries: OrderedDict[tuple[str, str, str], frozenset[str]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+        store.add_reload_listener(self.flush)
+
+    # -- cache behaviour -----------------------------------------------------------
+
+    def allowed_permissions(
+        self, source_type: str, target_type: str, tclass: str
+    ) -> frozenset[str]:
+        """The permission set for an access vector, from cache or policy."""
+        key = (source_type, target_type, tclass)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return cached
+        self.misses += 1
+        permissions = self._store.active_policy().allowed_permissions(
+            source_type, target_type, tclass
+        )
+        self._entries[key] = permissions
+        if len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+        return permissions
+
+    def check(
+        self, source_type: str, target_type: str, tclass: str, permission: str
+    ) -> bool:
+        """Whether the access is allowed, using the cache."""
+        return permission in self.allowed_permissions(source_type, target_type, tclass)
+
+    def flush(self) -> None:
+        """Drop all cached entries (called automatically on policy reload)."""
+        self._entries.clear()
+        self.flushes += 1
+
+    # -- statistics -------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of cached access vectors."""
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit rate over the lifetime of the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total

@@ -1,0 +1,96 @@
+"""Compile abstract permission statements into type-enforcement modules.
+
+The policy derivation layer (:mod:`repro.core.derivation`) expresses
+policies at the level of the threat model ("the infotainment domain may
+read but not write the vehicle-control bus").  This compiler turns such
+statements into a :class:`~repro.selinux.policy_store.PolicyModule`
+containing concrete allow rules, ready to install into the modular
+policy store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.selinux.policy_store import PolicyModule
+from repro.selinux.te import AllowRule, permissions_for_class
+
+
+@dataclass(frozen=True)
+class PermissionStatement:
+    """An abstract "subject may do X to object" statement.
+
+    Parameters
+    ----------
+    subject_type:
+        The subject's domain type, e.g. ``"infotainment_t"``.
+    object_type:
+        The object's type, e.g. ``"vehicle_can_t"``.
+    tclass:
+        Object class (``"can_bus"``, ``"package"``...).
+    permissions:
+        Permissions granted, each valid for *tclass*.
+    """
+
+    subject_type: str
+    object_type: str
+    tclass: str
+    permissions: frozenset[str]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "permissions", frozenset(self.permissions))
+        valid = permissions_for_class(self.tclass)
+        unknown = self.permissions - valid
+        if unknown:
+            raise ValueError(
+                f"permissions {sorted(unknown)} not defined for class {self.tclass!r}"
+            )
+        if not self.permissions:
+            raise ValueError("a permission statement must grant at least one permission")
+
+    def to_rule(self) -> AllowRule:
+        """The equivalent allow rule."""
+        return AllowRule(
+            source_type=self.subject_type,
+            target_type=self.object_type,
+            tclass=self.tclass,
+            permissions=self.permissions,
+        )
+
+
+def compile_statements(
+    module_name: str,
+    statements: Iterable[PermissionStatement],
+    version: int = 1,
+    description: str = "",
+) -> PolicyModule:
+    """Compile permission statements into an installable policy module.
+
+    Duplicate (subject, object, class) statements are merged into a single
+    allow rule with the union of their permissions; all referenced types
+    are declared by the module.
+    """
+    merged: dict[tuple[str, str, str], set[str]] = {}
+    types: set[str] = set()
+    for statement in statements:
+        key = (statement.subject_type, statement.object_type, statement.tclass)
+        merged.setdefault(key, set()).update(statement.permissions)
+        types.add(statement.subject_type)
+        types.add(statement.object_type)
+    rules = tuple(
+        AllowRule(
+            source_type=subject,
+            target_type=obj,
+            tclass=tclass,
+            permissions=frozenset(perms),
+        )
+        for (subject, obj, tclass), perms in merged.items()
+    )
+    return PolicyModule(
+        name=module_name,
+        version=version,
+        types=tuple(sorted(types)),
+        rules=rules,
+        description=description,
+    )

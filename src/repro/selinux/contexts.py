@@ -1,0 +1,125 @@
+"""Security contexts and object labelling.
+
+An SELinux security context is a ``user:role:type`` triple (optionally
+with an MLS level).  Subjects (processes, applications) and objects
+(devices, files, bus endpoints) each carry a context; type-enforcement
+rules are written over the *type* component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class SecurityContext:
+    """An SELinux-style security context.
+
+    Parameters
+    ----------
+    user:
+        SELinux user identity, e.g. ``"system_u"``.
+    role:
+        Role, e.g. ``"object_r"`` for objects or ``"system_r"`` for
+        daemons.
+    type_:
+        The type (domain for subjects), e.g. ``"infotainment_t"``.
+    level:
+        Optional MLS/MCS level, e.g. ``"s0"``.
+    """
+
+    user: str
+    role: str
+    type_: str
+    level: str = ""
+
+    def __post_init__(self) -> None:
+        for field_name in ("user", "role", "type_"):
+            value = getattr(self, field_name)
+            if not value or not value.strip():
+                raise ValueError(f"context component {field_name!r} must be non-empty")
+            if ":" in value:
+                raise ValueError(f"context component {field_name!r} may not contain ':'")
+
+    @classmethod
+    def parse(cls, text: str) -> "SecurityContext":
+        """Parse ``"user:role:type"`` or ``"user:role:type:level"``."""
+        parts = text.strip().split(":")
+        if len(parts) == 3:
+            return cls(user=parts[0], role=parts[1], type_=parts[2])
+        if len(parts) == 4:
+            return cls(user=parts[0], role=parts[1], type_=parts[2], level=parts[3])
+        raise ValueError(f"malformed security context: {text!r}")
+
+    @classmethod
+    def for_domain(cls, type_: str) -> "SecurityContext":
+        """Convenience constructor for a subject (process) context."""
+        return cls(user="system_u", role="system_r", type_=type_)
+
+    @classmethod
+    def for_object(cls, type_: str) -> "SecurityContext":
+        """Convenience constructor for an object context."""
+        return cls(user="system_u", role="object_r", type_=type_)
+
+    def render(self) -> str:
+        """Render back to the colon-separated textual form."""
+        base = f"{self.user}:{self.role}:{self.type_}"
+        return f"{base}:{self.level}" if self.level else base
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class LabelStore:
+    """Maps named system entities to their security contexts.
+
+    The store is the simulation's stand-in for file-system labels and
+    process credentials: the enforcement point looks up the subject and
+    object contexts here before consulting the policy.
+    """
+
+    def __init__(self) -> None:
+        self._labels: dict[str, SecurityContext] = {}
+
+    def label(self, name: str, context: SecurityContext) -> None:
+        """Assign *context* to the entity *name* (relabelling is allowed)."""
+        if not name.strip():
+            raise ValueError("entity name must be non-empty")
+        self._labels[name] = context
+
+    def label_domain(self, name: str, type_: str) -> SecurityContext:
+        """Label a subject entity with a domain type and return the context."""
+        context = SecurityContext.for_domain(type_)
+        self.label(name, context)
+        return context
+
+    def label_object(self, name: str, type_: str) -> SecurityContext:
+        """Label an object entity with an object type and return the context."""
+        context = SecurityContext.for_object(type_)
+        self.label(name, context)
+        return context
+
+    def context_of(self, name: str) -> SecurityContext:
+        """The context of entity *name*."""
+        try:
+            return self._labels[name]
+        except KeyError:
+            raise KeyError(f"entity {name!r} has no security label") from None
+
+    def type_of(self, name: str) -> str:
+        """The type component of entity *name*'s context."""
+        return self.context_of(name).type_
+
+    def entities_of_type(self, type_: str) -> list[str]:
+        """All entity names labelled with the given type."""
+        return [name for name, ctx in self._labels.items() if ctx.type_ == type_]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._labels)

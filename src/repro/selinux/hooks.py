@@ -1,0 +1,185 @@
+"""Software enforcement points and audit logging.
+
+An enforcement point is the software analogue of the HPE's decision
+block: application operations ("install a package", "write to the CAN
+bus", "start a service") are checked against the active type-enforcement
+policy before they execute.  Denials are audited, mirroring SELinux AVC
+denial messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.selinux.avc import AccessVectorCache
+from repro.selinux.contexts import LabelStore
+from repro.selinux.policy_store import ModularPolicyStore
+
+
+class EnforcementMode(Enum):
+    """SELinux-style global enforcement modes."""
+
+    ENFORCING = "enforcing"    # denials are enforced and audited
+    PERMISSIVE = "permissive"  # denials are audited but allowed through
+    DISABLED = "disabled"      # no checks at all
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class AccessDecision:
+    """The outcome of one enforcement check."""
+
+    allowed: bool
+    enforced: bool
+    source: str
+    target: str
+    tclass: str
+    permission: str
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+    def __str__(self) -> str:
+        verdict = "allowed" if self.allowed else "denied"
+        return f"{verdict} {self.source} -> {self.target}:{self.tclass} {self.permission}"
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One audit-log entry (modelled on an AVC denial record)."""
+
+    granted: bool
+    source_context: str
+    target_context: str
+    tclass: str
+    permission: str
+    comm: str = ""
+
+    def render(self) -> str:
+        """Render in a format reminiscent of ``avc: denied { perm }``."""
+        verb = "granted" if self.granted else "denied"
+        return (
+            f"avc: {verb} {{ {self.permission} }} comm={self.comm or '?'} "
+            f"scontext={self.source_context} tcontext={self.target_context} "
+            f"tclass={self.tclass}"
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class SoftwareEnforcementPoint:
+    """Checks labelled-entity operations against the active policy.
+
+    Parameters
+    ----------
+    store:
+        The modular policy store holding the active policy.
+    labels:
+        The label store mapping entity names to security contexts.
+    mode:
+        Global enforcement mode.
+    """
+
+    def __init__(
+        self,
+        store: ModularPolicyStore,
+        labels: LabelStore,
+        mode: EnforcementMode = EnforcementMode.ENFORCING,
+    ) -> None:
+        self._store = store
+        self._labels = labels
+        self._avc = AccessVectorCache(store)
+        self.mode = mode
+        self.audit_log: list[AuditRecord] = []
+        self.checks_performed = 0
+        self.denials = 0
+
+    @property
+    def avc(self) -> AccessVectorCache:
+        """The underlying access-vector cache."""
+        return self._avc
+
+    @property
+    def labels(self) -> LabelStore:
+        """The label store used to resolve entity contexts."""
+        return self._labels
+
+    # -- enforcement ---------------------------------------------------------------------
+
+    def check_operation(
+        self, subject: str, obj: str, tclass: str, permission: str, comm: str = ""
+    ) -> AccessDecision:
+        """Check whether labelled *subject* may perform *permission* on *obj*.
+
+        In permissive mode denials are audited but the operation is
+        allowed through; in disabled mode no check occurs at all.
+        """
+        if self.mode == EnforcementMode.DISABLED:
+            return AccessDecision(
+                allowed=True,
+                enforced=False,
+                source=subject,
+                target=obj,
+                tclass=tclass,
+                permission=permission,
+                reason="enforcement disabled",
+            )
+        self.checks_performed += 1
+        source_context = self._labels.context_of(subject)
+        target_context = self._labels.context_of(obj)
+        policy_allows = self._avc.check(
+            source_context.type_, target_context.type_, tclass, permission
+        )
+        self.audit_log.append(
+            AuditRecord(
+                granted=policy_allows,
+                source_context=source_context.render(),
+                target_context=target_context.render(),
+                tclass=tclass,
+                permission=permission,
+                comm=comm or subject,
+            )
+        )
+        if policy_allows:
+            return AccessDecision(
+                allowed=True,
+                enforced=True,
+                source=subject,
+                target=obj,
+                tclass=tclass,
+                permission=permission,
+                reason="allowed by policy",
+            )
+        self.denials += 1
+        allowed = self.mode == EnforcementMode.PERMISSIVE
+        reason = (
+            "denied by policy (permissive: not enforced)"
+            if allowed
+            else "denied by policy"
+        )
+        return AccessDecision(
+            allowed=allowed,
+            enforced=self.mode == EnforcementMode.ENFORCING,
+            source=subject,
+            target=obj,
+            tclass=tclass,
+            permission=permission,
+            reason=reason,
+        )
+
+    # -- audit queries -----------------------------------------------------------------------
+
+    def denial_records(self) -> list[AuditRecord]:
+        """All audited denials."""
+        return [r for r in self.audit_log if not r.granted]
+
+    def denial_rate(self) -> float:
+        """Fraction of checks that were denied by policy (0.0 when unused)."""
+        if self.checks_performed == 0:
+            return 0.0
+        return self.denials / self.checks_performed

@@ -1,0 +1,128 @@
+"""Modular policy store.
+
+SELinux deploys policy as *modules* that administrators install, upgrade
+and remove without rebuilding the base policy (the property the paper
+relies on for post-deployment policy updates).  The store tracks
+installed modules with versions and compiles the active set into a
+single :class:`~repro.selinux.te.TypeEnforcementPolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.selinux.te import AllowRule, TypeEnforcementPolicy
+
+
+@dataclass(frozen=True)
+class PolicyModule:
+    """One installable policy module."""
+
+    name: str
+    version: int
+    types: tuple[str, ...] = field(default_factory=tuple)
+    rules: tuple[AllowRule, ...] = field(default_factory=tuple)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name.strip():
+            raise ValueError("module name must be non-empty")
+        if self.version < 1:
+            raise ValueError("module version must be >= 1")
+        object.__setattr__(self, "types", tuple(self.types))
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    def __str__(self) -> str:
+        return f"{self.name} v{self.version} ({len(self.rules)} rules)"
+
+
+class ModularPolicyStore:
+    """Installed policy modules plus the compiled active policy.
+
+    The compiled policy is rebuilt lazily after any change; consumers
+    (the enforcement point, the AVC) should call :meth:`active_policy`
+    each time or subscribe via :meth:`add_reload_listener`.
+    """
+
+    def __init__(self, base_types: Iterable[str] = ()) -> None:
+        self._modules: dict[str, PolicyModule] = {}
+        self._base_types = set(base_types)
+        self._compiled: TypeEnforcementPolicy | None = None
+        self._reload_listeners: list = []
+        self.reload_count = 0
+
+    # -- module management -------------------------------------------------------------
+
+    def install(self, module: PolicyModule) -> None:
+        """Install or upgrade a module.
+
+        Installing a module with the same name requires a strictly higher
+        version (upgrade); same-or-lower versions are rejected so stale
+        updates cannot roll back a fix.
+        """
+        existing = self._modules.get(module.name)
+        if existing is not None and module.version <= existing.version:
+            raise ValueError(
+                f"module {module.name!r} v{module.version} does not upgrade installed "
+                f"v{existing.version}"
+            )
+        self._modules[module.name] = module
+        self._invalidate()
+
+    def remove(self, name: str) -> PolicyModule:
+        """Remove an installed module and return it."""
+        try:
+            module = self._modules.pop(name)
+        except KeyError:
+            raise KeyError(f"no installed module named {name!r}") from None
+        self._invalidate()
+        return module
+
+    def installed(self) -> list[PolicyModule]:
+        """Installed modules in installation order."""
+        return list(self._modules.values())
+
+    def module(self, name: str) -> PolicyModule:
+        """The installed module with the given name."""
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise KeyError(f"no installed module named {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._modules
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __iter__(self) -> Iterator[PolicyModule]:
+        return iter(self._modules.values())
+
+    # -- compilation ---------------------------------------------------------------------
+
+    def active_policy(self) -> TypeEnforcementPolicy:
+        """The compiled policy over all installed modules."""
+        if self._compiled is None:
+            self._compiled = self._compile()
+        return self._compiled
+
+    def _compile(self) -> TypeEnforcementPolicy:
+        types = set(self._base_types)
+        for module in self._modules.values():
+            types.update(module.types)
+        policy = TypeEnforcementPolicy(types=types)
+        for module in self._modules.values():
+            for rule in module.rules:
+                policy.add_rule(rule)
+        return policy
+
+    def _invalidate(self) -> None:
+        self._compiled = None
+        self.reload_count += 1
+        for listener in self._reload_listeners:
+            listener()
+
+    def add_reload_listener(self, listener) -> None:
+        """Register a zero-argument callable invoked on every policy change."""
+        self._reload_listeners.append(listener)

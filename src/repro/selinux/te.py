@@ -1,0 +1,169 @@
+"""Type enforcement.
+
+Type enforcement (TE) is the core of SELinux mandatory access control:
+everything not explicitly allowed by an ``allow`` rule is denied.  An
+allow rule names a source type (the subject's domain), a target type
+(the object's type), an object class (``can_bus``, ``file``,
+``service``...) and the set of permissions granted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+#: Object classes known to the embedded policy model and the permissions
+#: defined for each.  (A real SELinux policy defines dozens; these cover
+#: the operations exercised by the connected-car case study.)
+OBJECT_CLASSES: dict[str, frozenset[str]] = {
+    "can_bus": frozenset({"read", "write"}),
+    "file": frozenset({"read", "write", "execute", "create", "unlink"}),
+    "service": frozenset({"start", "stop", "status", "configure"}),
+    "package": frozenset({"install", "remove", "verify"}),
+    "device": frozenset({"read", "write", "ioctl", "configure"}),
+    "network": frozenset({"connect", "listen", "send", "receive"}),
+    "process": frozenset({"transition", "signal", "ptrace"}),
+}
+
+
+def permissions_for_class(tclass: str) -> frozenset[str]:
+    """The permission vocabulary of an object class."""
+    try:
+        return OBJECT_CLASSES[tclass]
+    except KeyError:
+        raise ValueError(
+            f"unknown object class {tclass!r}; known: {sorted(OBJECT_CLASSES)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class AllowRule:
+    """An ``allow source target:class { permissions }`` rule."""
+
+    source_type: str
+    target_type: str
+    tclass: str
+    permissions: frozenset[str]
+
+    def __post_init__(self) -> None:
+        if not self.source_type.strip() or not self.target_type.strip():
+            raise ValueError("allow rule types must be non-empty")
+        valid = permissions_for_class(self.tclass)
+        object.__setattr__(self, "permissions", frozenset(self.permissions))
+        unknown = self.permissions - valid
+        if unknown:
+            raise ValueError(
+                f"permissions {sorted(unknown)} not defined for class {self.tclass!r}"
+            )
+        if not self.permissions:
+            raise ValueError("allow rule must grant at least one permission")
+
+    def grants(self, source_type: str, target_type: str, tclass: str, permission: str) -> bool:
+        """Whether this rule grants the requested access."""
+        return (
+            self.source_type == source_type
+            and self.target_type == target_type
+            and self.tclass == tclass
+            and permission in self.permissions
+        )
+
+    def render(self) -> str:
+        """Render in SELinux ``.te`` syntax."""
+        perms = " ".join(sorted(self.permissions))
+        return f"allow {self.source_type} {self.target_type}:{self.tclass} {{ {perms} }};"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class TypeEnforcementPolicy:
+    """A flat, queryable set of type declarations and allow rules.
+
+    Everything not allowed is denied (default-deny), exactly as in
+    SELinux enforcing mode.
+    """
+
+    def __init__(
+        self, types: Iterable[str] = (), rules: Iterable[AllowRule] = ()
+    ) -> None:
+        self._types: set[str] = set()
+        self._rules: list[AllowRule] = []
+        self._index: dict[tuple[str, str, str], set[str]] = {}
+        for type_ in types:
+            self.declare_type(type_)
+        for rule in rules:
+            self.add_rule(rule)
+
+    # -- declarations ----------------------------------------------------------------
+
+    def declare_type(self, type_: str) -> None:
+        """Declare a type so rules may reference it."""
+        if not type_.strip():
+            raise ValueError("type name must be non-empty")
+        self._types.add(type_)
+
+    def types(self) -> frozenset[str]:
+        """All declared types."""
+        return frozenset(self._types)
+
+    def is_declared(self, type_: str) -> bool:
+        """Whether *type_* has been declared."""
+        return type_ in self._types
+
+    # -- rules -------------------------------------------------------------------------
+
+    def add_rule(self, rule: AllowRule) -> None:
+        """Add an allow rule; referenced types must be declared."""
+        for type_ in (rule.source_type, rule.target_type):
+            if type_ not in self._types:
+                raise ValueError(f"rule references undeclared type {type_!r}")
+        self._rules.append(rule)
+        key = (rule.source_type, rule.target_type, rule.tclass)
+        self._index.setdefault(key, set()).update(rule.permissions)
+
+    def rules(self) -> list[AllowRule]:
+        """All rules, in insertion order."""
+        return list(self._rules)
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[AllowRule]:
+        return iter(self._rules)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def allowed_permissions(
+        self, source_type: str, target_type: str, tclass: str
+    ) -> frozenset[str]:
+        """The union of permissions allowed for the given access vector."""
+        return frozenset(self._index.get((source_type, target_type, tclass), frozenset()))
+
+    def check(
+        self, source_type: str, target_type: str, tclass: str, permission: str
+    ) -> bool:
+        """Whether the access is allowed (default-deny)."""
+        return permission in self._index.get((source_type, target_type, tclass), ())
+
+    def rules_for_source(self, source_type: str) -> list[AllowRule]:
+        """All rules whose source is *source_type*."""
+        return [r for r in self._rules if r.source_type == source_type]
+
+    def rules_for_target(self, target_type: str) -> list[AllowRule]:
+        """All rules whose target is *target_type*."""
+        return [r for r in self._rules if r.target_type == target_type]
+
+    def render(self) -> str:
+        """Render the policy in ``.te``-like syntax."""
+        lines = [f"type {t};" for t in sorted(self._types)]
+        lines.extend(rule.render() for rule in self._rules)
+        return "\n".join(lines)
+
+    def merge(self, other: "TypeEnforcementPolicy") -> "TypeEnforcementPolicy":
+        """A new policy containing both policies' declarations and rules."""
+        merged = TypeEnforcementPolicy(types=self._types | other.types())
+        for rule in self._rules:
+            merged.add_rule(rule)
+        for rule in other.rules():
+            merged.add_rule(rule)
+        return merged

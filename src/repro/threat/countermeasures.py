@@ -1,0 +1,189 @@
+"""Countermeasures against identified threats.
+
+The final step of application threat modelling ("Determine countermeasure",
+paper Section II) assigns a countermeasure to each threat.  The paper
+contrasts two countermeasure styles:
+
+* **guidelines** -- human-readable design guidance, applied at design time
+  (the traditional approach, Section V-A.1);
+* **policies** -- machine-enforceable rules enforced at run time by a
+  software or hardware policy engine (the proposed approach, Section V-A.2).
+
+This module represents both, so the comparison benchmarks can reason
+about deployability (design-time-only vs post-deployment updateable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator
+
+
+class CountermeasureKind(Enum):
+    """How the countermeasure is realised."""
+
+    GUIDELINE = "guideline"              # design-time guidance document
+    SOFTWARE_POLICY = "software-policy"  # e.g. SELinux module
+    HARDWARE_POLICY = "hardware-policy"  # e.g. HPE approved-list entry
+    BEST_PRACTICE = "best-practice"      # low-risk threats handled by hygiene
+
+    @property
+    def enforceable_at_runtime(self) -> bool:
+        """Whether this countermeasure can be enforced on a deployed device."""
+        return self in (
+            CountermeasureKind.SOFTWARE_POLICY,
+            CountermeasureKind.HARDWARE_POLICY,
+        )
+
+    @property
+    def updateable_post_deployment(self) -> bool:
+        """Whether this countermeasure can be changed after deployment
+        without redesigning hardware or recalling the product."""
+        return self.enforceable_at_runtime
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class DeploymentPhase(Enum):
+    """The life-cycle phase in which the countermeasure takes effect."""
+
+    DESIGN = "design"
+    DEVELOPMENT = "development"
+    TESTING = "testing"
+    POST_DEPLOYMENT = "post-deployment"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Countermeasure:
+    """A single countermeasure addressing one or more threats.
+
+    Parameters
+    ----------
+    identifier:
+        Short unique id, e.g. ``"CM-INFO-01"``.
+    description:
+        What the countermeasure is (e.g. *"Enforce CAN ID verification on
+        hardware policy engine at read/write filters"*).
+    kind:
+        Whether it is a guideline, software policy, hardware policy or
+        best practice.
+    mitigates:
+        Identifiers of the threats it mitigates.
+    deployment_phase:
+        When it takes effect in the product life-cycle.
+    effectiveness:
+        Fraction in ``[0, 1]`` of attack attempts expected to be blocked
+        when the countermeasure is active (1.0 = fully effective).
+    """
+
+    identifier: str
+    description: str
+    kind: CountermeasureKind
+    mitigates: tuple[str, ...] = field(default_factory=tuple)
+    deployment_phase: DeploymentPhase = DeploymentPhase.DESIGN
+    effectiveness: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.identifier.strip():
+            raise ValueError("countermeasure identifier must be non-empty")
+        if not 0.0 <= self.effectiveness <= 1.0:
+            raise ValueError("effectiveness must lie in [0, 1]")
+        object.__setattr__(self, "mitigates", tuple(self.mitigates))
+        if (
+            self.kind.enforceable_at_runtime
+            and self.deployment_phase == DeploymentPhase.DESIGN
+        ):
+            # Policies exist precisely to be applied after design time; default
+            # them to post-deployment rather than reject (callers may still set
+            # development/testing explicitly).
+            object.__setattr__(
+                self, "deployment_phase", DeploymentPhase.POST_DEPLOYMENT
+            )
+
+    @property
+    def is_policy(self) -> bool:
+        """Whether this countermeasure is an enforceable policy."""
+        return self.kind.enforceable_at_runtime
+
+    def mitigates_threat(self, threat_id: str) -> bool:
+        """Whether the countermeasure mitigates the given threat."""
+        return threat_id in self.mitigates
+
+    def __str__(self) -> str:
+        return f"{self.identifier} [{self.kind}]: {self.description}"
+
+
+class CountermeasureCatalog:
+    """Collection of countermeasures with threat-centric queries."""
+
+    def __init__(self, countermeasures: Iterable[Countermeasure] = ()) -> None:
+        self._countermeasures: dict[str, Countermeasure] = {}
+        for countermeasure in countermeasures:
+            self.add(countermeasure)
+
+    def __len__(self) -> int:
+        return len(self._countermeasures)
+
+    def __iter__(self) -> Iterator[Countermeasure]:
+        return iter(self._countermeasures.values())
+
+    def __contains__(self, identifier: object) -> bool:
+        if isinstance(identifier, Countermeasure):
+            return identifier.identifier in self._countermeasures
+        return identifier in self._countermeasures
+
+    def add(self, countermeasure: Countermeasure) -> Countermeasure:
+        """Add a countermeasure; duplicate identifiers are rejected."""
+        if countermeasure.identifier in self._countermeasures:
+            raise ValueError(
+                f"duplicate countermeasure identifier: {countermeasure.identifier!r}"
+            )
+        self._countermeasures[countermeasure.identifier] = countermeasure
+        return countermeasure
+
+    def get(self, identifier: str) -> Countermeasure:
+        """Return the countermeasure with the given identifier."""
+        try:
+            return self._countermeasures[identifier]
+        except KeyError:
+            raise KeyError(f"unknown countermeasure: {identifier!r}") from None
+
+    def for_threat(self, threat_id: str) -> list[Countermeasure]:
+        """All countermeasures mitigating *threat_id*."""
+        return [
+            cm for cm in self._countermeasures.values() if cm.mitigates_threat(threat_id)
+        ]
+
+    def by_kind(self, kind: CountermeasureKind) -> list[Countermeasure]:
+        """All countermeasures of the given kind."""
+        return [cm for cm in self._countermeasures.values() if cm.kind == kind]
+
+    def policies(self) -> list[Countermeasure]:
+        """All runtime-enforceable countermeasures."""
+        return [cm for cm in self._countermeasures.values() if cm.is_policy]
+
+    def guidelines(self) -> list[Countermeasure]:
+        """All guideline-style countermeasures."""
+        return self.by_kind(CountermeasureKind.GUIDELINE)
+
+    def unmitigated_threats(self, threat_ids: Iterable[str]) -> list[str]:
+        """Threat identifiers from *threat_ids* with no countermeasure at all."""
+        covered = {
+            threat_id
+            for cm in self._countermeasures.values()
+            for threat_id in cm.mitigates
+        }
+        return [tid for tid in threat_ids if tid not in covered]
+
+    def coverage(self, threat_ids: Iterable[str]) -> float:
+        """Fraction of *threat_ids* mitigated by at least one countermeasure."""
+        threat_ids = list(threat_ids)
+        if not threat_ids:
+            return 1.0
+        uncovered = self.unmitigated_threats(threat_ids)
+        return 1.0 - len(uncovered) / len(threat_ids)

@@ -1,0 +1,225 @@
+"""DREAD risk rating.
+
+DREAD quantifies the risk of a realised threat along five axes, each
+scored on an integer scale (the paper uses 0-10):
+
+* **D**amage potential
+* **R**eproducibility
+* **E**xploitability
+* **A**ffected users
+* **D**iscoverability
+
+The paper's Table I records each threat's five scores plus their average,
+e.g. ``8,5,4,6,4 (5.4)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator, Sequence
+
+#: Inclusive score bounds used throughout (the paper uses a 0..10 scale).
+MIN_SCORE = 0
+MAX_SCORE = 10
+
+
+class RiskLevel(Enum):
+    """Coarse risk bands derived from the DREAD average.
+
+    The banding follows common DREAD practice on a 0-10 scale:
+    averages below 3 are *low*, below 6 *medium*, below 8 *high* and
+    8 or above *critical*.
+    """
+
+    LOW = "low"
+    MEDIUM = "medium"
+    HIGH = "high"
+    CRITICAL = "critical"
+
+    @classmethod
+    def from_average(cls, average: float) -> "RiskLevel":
+        """Band an average DREAD score into a risk level."""
+        if average < 0 or average > MAX_SCORE:
+            raise ValueError(f"average {average} outside [0, {MAX_SCORE}]")
+        if average < 3:
+            return cls.LOW
+        if average < 6:
+            return cls.MEDIUM
+        if average < 8:
+            return cls.HIGH
+        return cls.CRITICAL
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True, order=False)
+class DreadScore:
+    """A DREAD 5-tuple for one threat.
+
+    All components are integers in ``[0, 10]``.  Instances are immutable;
+    comparison operators order scores by their average so that threat
+    lists can be prioritised directly (highest risk first via
+    ``sorted(..., reverse=True)``).
+    """
+
+    damage: int
+    reproducibility: int
+    exploitability: int
+    affected_users: int
+    discoverability: int
+
+    def __post_init__(self) -> None:
+        for name, value in self.components().items():
+            if not isinstance(value, int):
+                raise TypeError(f"DREAD component {name} must be an int, got {value!r}")
+            if value < MIN_SCORE or value > MAX_SCORE:
+                raise ValueError(
+                    f"DREAD component {name}={value} outside [{MIN_SCORE}, {MAX_SCORE}]"
+                )
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_sequence(cls, scores: Sequence[int]) -> "DreadScore":
+        """Build from a 5-element sequence ``[D, R, E, A, D]``."""
+        if len(scores) != 5:
+            raise ValueError(f"expected 5 DREAD components, got {len(scores)}")
+        return cls(*(int(s) for s in scores))
+
+    @classmethod
+    def parse(cls, text: str) -> "DreadScore":
+        """Parse the paper's notation, e.g. ``"8,5,4,6,4"`` or ``"8,5,4,6,4 (5.4)"``.
+
+        A trailing parenthesised average, if present, is validated against
+        the computed average (to one decimal place).
+        """
+        text = text.strip()
+        declared_average: float | None = None
+        if "(" in text:
+            numbers, _, rest = text.partition("(")
+            declared = rest.rstrip(") ")
+            declared_average = float(declared)
+            text = numbers.strip()
+        parts = [p for p in text.replace(";", ",").split(",") if p.strip()]
+        score = cls.from_sequence([int(p) for p in parts])
+        if declared_average is not None and abs(round(score.average, 1) - declared_average) > 0.05:
+            raise ValueError(
+                f"declared average {declared_average} does not match computed "
+                f"{score.average:.1f} for scores {parts}"
+            )
+        return score
+
+    # -- derived values -------------------------------------------------------
+
+    def components(self) -> dict[str, int]:
+        """Mapping of component name to score."""
+        return {
+            "damage": self.damage,
+            "reproducibility": self.reproducibility,
+            "exploitability": self.exploitability,
+            "affected_users": self.affected_users,
+            "discoverability": self.discoverability,
+        }
+
+    @property
+    def average(self) -> float:
+        """Arithmetic mean of the five components (the paper's ``Avg.``)."""
+        return (
+            self.damage
+            + self.reproducibility
+            + self.exploitability
+            + self.affected_users
+            + self.discoverability
+        ) / 5.0
+
+    @property
+    def total(self) -> int:
+        """Sum of the five components."""
+        return (
+            self.damage
+            + self.reproducibility
+            + self.exploitability
+            + self.affected_users
+            + self.discoverability
+        )
+
+    @property
+    def level(self) -> RiskLevel:
+        """Coarse risk band for this score."""
+        return RiskLevel.from_average(self.average)
+
+    @property
+    def likelihood(self) -> float:
+        """Likelihood proxy: mean of reproducibility, exploitability, discoverability.
+
+        DREAD mixes impact and likelihood axes; separating them supports
+        risk-matrix style reporting (:class:`repro.threat.risk.RiskMatrix`).
+        """
+        return (self.reproducibility + self.exploitability + self.discoverability) / 3.0
+
+    @property
+    def impact(self) -> float:
+        """Impact proxy: mean of damage and affected users."""
+        return (self.damage + self.affected_users) / 2.0
+
+    # -- rendering & ordering -------------------------------------------------
+
+    def as_tuple(self) -> tuple[int, int, int, int, int]:
+        """The five components as a tuple in D,R,E,A,D order."""
+        return (
+            self.damage,
+            self.reproducibility,
+            self.exploitability,
+            self.affected_users,
+            self.discoverability,
+        )
+
+    def render(self) -> str:
+        """Render in the paper's Table-I notation, e.g. ``"8,5,4,6,4 (5.4)"``."""
+        return f"{','.join(str(c) for c in self.as_tuple())} ({self.average:.1f})"
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.as_tuple())
+
+    def __lt__(self, other: "DreadScore") -> bool:
+        return self.average < other.average
+
+    def __le__(self, other: "DreadScore") -> bool:
+        return self.average <= other.average
+
+    def __gt__(self, other: "DreadScore") -> bool:
+        return self.average > other.average
+
+    def __ge__(self, other: "DreadScore") -> bool:
+        return self.average >= other.average
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def aggregate_scores(scores: Iterable[DreadScore]) -> DreadScore | None:
+    """Aggregate several DREAD scores by taking the per-component maximum.
+
+    Used to summarise the worst-case risk to an asset exposed to multiple
+    threats.  Returns ``None`` for an empty iterable.
+    """
+    scores = list(scores)
+    if not scores:
+        return None
+    return DreadScore(
+        damage=max(s.damage for s in scores),
+        reproducibility=max(s.reproducibility for s in scores),
+        exploitability=max(s.exploitability for s in scores),
+        affected_users=max(s.affected_users for s in scores),
+        discoverability=max(s.discoverability for s in scores),
+    )
+
+
+def mean_average(scores: Iterable[DreadScore]) -> float:
+    """Mean of the averages of several scores (0.0 for an empty iterable)."""
+    scores = list(scores)
+    if not scores:
+        return 0.0
+    return sum(s.average for s in scores) / len(scores)

@@ -1,0 +1,163 @@
+"""Entry points (attack surfaces).
+
+An *entry point* is an interface that exposes critical assets to an
+attacker and can be used to interact with the system (paper Section II,
+"Entry Points").  In the connected-car case study entry points include
+the CAN bus nodes, the 3G/4G/WiFi modem, sensors, the media player
+browser and the physical door-lock interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator
+
+
+class InterfaceKind(Enum):
+    """The kind of interface an entry point presents."""
+
+    NETWORK = "network"            # cellular, WiFi, Bluetooth
+    BUS = "bus"                    # CAN, LIN, FlexRay, internal interconnect
+    SENSOR = "sensor"              # analogue/digital sensor inputs
+    PHYSICAL = "physical"          # physical access: OBD port, door handles
+    USER_INTERFACE = "user-interface"  # touch screens, browsers, companion apps
+    FIRMWARE = "firmware"          # update mechanisms, boot interfaces
+    DEBUG = "debug"                # JTAG, UART consoles
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Exposure(Enum):
+    """How reachable the entry point is to an adversary."""
+
+    REMOTE = "remote"              # reachable over a wide-area network
+    PROXIMITY = "proximity"        # requires radio proximity (WiFi/BT range)
+    LOCAL = "local"                # requires physical presence at the device
+    INTERNAL = "internal"          # only reachable from inside the system
+
+    @property
+    def reach_score(self) -> int:
+        """Numeric reachability (higher = easier for the attacker)."""
+        return {
+            Exposure.REMOTE: 4,
+            Exposure.PROXIMITY: 3,
+            Exposure.LOCAL: 2,
+            Exposure.INTERNAL: 1,
+        }[self]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class EntryPoint:
+    """An interface exposing assets to an attacker.
+
+    Parameters
+    ----------
+    name:
+        Unique short name, e.g. ``"3G/4G/WiFi"`` or ``"Media player browser"``.
+    kind:
+        Interface kind (network, bus, sensor, ...).
+    exposure:
+        Attacker reachability of the interface.
+    exposes:
+        Names of assets reachable through this entry point.
+    requires_authentication:
+        Whether legitimate use of the interface requires authentication.
+    description:
+        Free-text description.
+    """
+
+    name: str
+    kind: InterfaceKind = InterfaceKind.BUS
+    exposure: Exposure = Exposure.INTERNAL
+    exposes: tuple[str, ...] = field(default_factory=tuple)
+    requires_authentication: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise ValueError("entry point name must be non-empty")
+        object.__setattr__(self, "exposes", tuple(self.exposes))
+
+    @property
+    def attack_surface_score(self) -> int:
+        """Simple attack-surface weight: reach, widened when unauthenticated.
+
+        Used for ranking entry points during risk assessment; it is a
+        heuristic, not a DREAD replacement.
+        """
+        score = self.exposure.reach_score * max(1, len(self.exposes))
+        if not self.requires_authentication:
+            score *= 2
+        return score
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class EntryPointRegistry:
+    """A named collection of entry points with asset-centric queries."""
+
+    def __init__(self, entry_points: Iterable[EntryPoint] = ()) -> None:
+        self._entry_points: dict[str, EntryPoint] = {}
+        for entry_point in entry_points:
+            self.add(entry_point)
+
+    def __len__(self) -> int:
+        return len(self._entry_points)
+
+    def __iter__(self) -> Iterator[EntryPoint]:
+        return iter(self._entry_points.values())
+
+    def __contains__(self, name: object) -> bool:
+        if isinstance(name, EntryPoint):
+            return name.name in self._entry_points
+        return name in self._entry_points
+
+    def add(self, entry_point: EntryPoint) -> EntryPoint:
+        """Register *entry_point*; duplicate names must be identical."""
+        existing = self._entry_points.get(entry_point.name)
+        if existing is not None:
+            if existing != entry_point:
+                raise ValueError(
+                    f"entry point {entry_point.name!r} already registered with "
+                    "different attributes"
+                )
+            return existing
+        self._entry_points[entry_point.name] = entry_point
+        return entry_point
+
+    def get(self, name: str) -> EntryPoint:
+        """Return the entry point registered under *name*."""
+        try:
+            return self._entry_points[name]
+        except KeyError:
+            raise KeyError(f"unknown entry point: {name!r}") from None
+
+    def names(self) -> list[str]:
+        """Registered entry-point names, in insertion order."""
+        return list(self._entry_points)
+
+    def exposing(self, asset_name: str) -> list[EntryPoint]:
+        """All entry points that expose *asset_name*."""
+        return [ep for ep in self._entry_points.values() if asset_name in ep.exposes]
+
+    def by_kind(self, kind: InterfaceKind) -> list[EntryPoint]:
+        """All entry points of interface kind *kind*."""
+        return [ep for ep in self._entry_points.values() if ep.kind == kind]
+
+    def by_exposure(self, exposure: Exposure) -> list[EntryPoint]:
+        """All entry points with the given exposure."""
+        return [ep for ep in self._entry_points.values() if ep.exposure == exposure]
+
+    def ranked_by_attack_surface(self) -> list[EntryPoint]:
+        """Entry points ordered from largest to smallest attack surface."""
+        return sorted(
+            self._entry_points.values(),
+            key=lambda ep: ep.attack_surface_score,
+            reverse=True,
+        )

@@ -1,0 +1,235 @@
+"""The assembled threat model.
+
+A :class:`ThreatModel` is the technical document produced by the
+application threat-modelling process (paper Fig. 1): the use case, its
+assets, entry points, identified/rated threats and countermeasures.  It
+also tracks which steps of the process have been completed so the
+life-cycle model (:mod:`repro.core.lifecycle`) can reason about process
+progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from repro.threat.assets import Asset, AssetRegistry
+from repro.threat.countermeasures import (
+    Countermeasure,
+    CountermeasureCatalog,
+    CountermeasureKind,
+)
+from repro.threat.entry_points import EntryPoint, EntryPointRegistry
+from repro.threat.risk import RiskAssessment
+from repro.threat.threats import Threat, ThreatCatalog
+
+
+class ThreatModelStep(Enum):
+    """The steps of the application threat-modelling process (Fig. 1)."""
+
+    RISK_ASSESSMENT = "risk-assessment"
+    IDENTIFY_ASSETS = "identify-assets"
+    ENTRY_POINTS = "entry-points"
+    THREAT_IDENTIFICATION = "threat-identification"
+    THREAT_RATING = "threat-rating"
+    DETERMINE_COUNTERMEASURES = "determine-countermeasures"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Canonical ordering of the process steps.
+STEP_ORDER: tuple[ThreatModelStep, ...] = (
+    ThreatModelStep.RISK_ASSESSMENT,
+    ThreatModelStep.IDENTIFY_ASSETS,
+    ThreatModelStep.ENTRY_POINTS,
+    ThreatModelStep.THREAT_IDENTIFICATION,
+    ThreatModelStep.THREAT_RATING,
+    ThreatModelStep.DETERMINE_COUNTERMEASURES,
+)
+
+
+@dataclass
+class UseCase:
+    """The application use case being modelled."""
+
+    name: str
+    description: str = ""
+    operating_modes: tuple[str, ...] = field(default_factory=tuple)
+    security_requirements: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name.strip():
+            raise ValueError("use case name must be non-empty")
+        self.operating_modes = tuple(self.operating_modes)
+        self.security_requirements = tuple(self.security_requirements)
+
+
+class ThreatModel:
+    """The complete threat-model document for a use case.
+
+    Building a threat model follows the step order of Fig. 1; each
+    mutator marks the corresponding step as (partially) complete.  The
+    model is the single input to policy derivation
+    (:class:`repro.core.derivation.PolicyDerivation`).
+    """
+
+    def __init__(self, use_case: UseCase) -> None:
+        self.use_case = use_case
+        self.assets = AssetRegistry()
+        self.entry_points = EntryPointRegistry()
+        self.threats = ThreatCatalog()
+        self.countermeasures = CountermeasureCatalog()
+        self._completed_steps: set[ThreatModelStep] = set()
+        if use_case.security_requirements:
+            self._completed_steps.add(ThreatModelStep.RISK_ASSESSMENT)
+
+    # -- step bookkeeping -----------------------------------------------------
+
+    def mark_step_complete(self, step: ThreatModelStep) -> None:
+        """Explicitly mark a process step as complete."""
+        self._completed_steps.add(step)
+
+    def completed_steps(self) -> list[ThreatModelStep]:
+        """Completed steps in canonical order."""
+        return [s for s in STEP_ORDER if s in self._completed_steps]
+
+    def pending_steps(self) -> list[ThreatModelStep]:
+        """Remaining steps in canonical order."""
+        return [s for s in STEP_ORDER if s not in self._completed_steps]
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every process step has been completed."""
+        return not self.pending_steps()
+
+    @property
+    def progress(self) -> float:
+        """Fraction of process steps completed."""
+        return len(self._completed_steps) / len(STEP_ORDER)
+
+    # -- construction ---------------------------------------------------------
+
+    def add_asset(self, asset: Asset) -> Asset:
+        """Register an asset (step: Identify Assets)."""
+        result = self.assets.add(asset)
+        self._completed_steps.add(ThreatModelStep.IDENTIFY_ASSETS)
+        return result
+
+    def add_assets(self, assets: Iterable[Asset]) -> None:
+        """Register several assets."""
+        for asset in assets:
+            self.add_asset(asset)
+
+    def add_entry_point(self, entry_point: EntryPoint) -> EntryPoint:
+        """Register an entry point (step: Entry Points)."""
+        result = self.entry_points.add(entry_point)
+        self._completed_steps.add(ThreatModelStep.ENTRY_POINTS)
+        return result
+
+    def add_entry_points(self, entry_points: Iterable[EntryPoint]) -> None:
+        """Register several entry points."""
+        for entry_point in entry_points:
+            self.add_entry_point(entry_point)
+
+    def add_threat(self, threat: Threat) -> Threat:
+        """Register a threat (steps: Threat Identification + Rating).
+
+        The threat's asset and entry points must already be registered,
+        keeping the document internally consistent.
+        """
+        if threat.asset not in self.assets:
+            raise KeyError(
+                f"threat {threat.identifier!r} targets unregistered asset {threat.asset!r}"
+            )
+        for entry_point in threat.entry_points:
+            if entry_point not in self.entry_points:
+                raise KeyError(
+                    f"threat {threat.identifier!r} uses unregistered entry point "
+                    f"{entry_point!r}"
+                )
+        result = self.threats.add(threat)
+        self._completed_steps.add(ThreatModelStep.THREAT_IDENTIFICATION)
+        self._completed_steps.add(ThreatModelStep.THREAT_RATING)
+        return result
+
+    def add_threats(self, threats: Iterable[Threat]) -> None:
+        """Register several threats."""
+        for threat in threats:
+            self.add_threat(threat)
+
+    def add_countermeasure(self, countermeasure: Countermeasure) -> Countermeasure:
+        """Register a countermeasure (step: Determine Countermeasures).
+
+        Every threat it claims to mitigate must already be registered.
+        """
+        for threat_id in countermeasure.mitigates:
+            if threat_id not in self.threats:
+                raise KeyError(
+                    f"countermeasure {countermeasure.identifier!r} mitigates unknown "
+                    f"threat {threat_id!r}"
+                )
+        result = self.countermeasures.add(countermeasure)
+        self._completed_steps.add(ThreatModelStep.DETERMINE_COUNTERMEASURES)
+        return result
+
+    def add_countermeasures(self, countermeasures: Iterable[Countermeasure]) -> None:
+        """Register several countermeasures."""
+        for countermeasure in countermeasures:
+            self.add_countermeasure(countermeasure)
+
+    # -- analysis -------------------------------------------------------------
+
+    def risk_assessment(self) -> RiskAssessment:
+        """A risk assessment over this model's threats and assets."""
+        return RiskAssessment(self.threats, self.assets)
+
+    def validate(self) -> list[str]:
+        """Consistency findings (empty list means the document is sound).
+
+        Checks performed:
+
+        * every asset is threatened by at least one threat or explicitly
+          noted as out of scope (we report assets with no threats);
+        * every threat has at least one countermeasure;
+        * entry points exposing assets exist for every threatened asset.
+        """
+        findings: list[str] = []
+        threatened = set(self.threats.assets())
+        for asset in self.assets:
+            if asset.name not in threatened:
+                findings.append(f"asset {asset.name!r} has no identified threats")
+        uncovered = self.countermeasures.unmitigated_threats(self.threats.identifiers())
+        for threat_id in uncovered:
+            findings.append(f"threat {threat_id!r} has no countermeasure")
+        for threat in self.threats:
+            exposing = {
+                ep.name for ep in self.entry_points.exposing(threat.asset)
+            }
+            if exposing and not (set(threat.entry_points) & exposing):
+                findings.append(
+                    f"threat {threat.identifier!r} does not use any entry point that "
+                    f"exposes its asset {threat.asset!r}"
+                )
+        return findings
+
+    def policy_countermeasures(self) -> list[Countermeasure]:
+        """Countermeasures realisable as runtime-enforceable policies."""
+        return self.countermeasures.policies()
+
+    def guideline_countermeasures(self) -> list[Countermeasure]:
+        """Guideline-only countermeasures (traditional approach)."""
+        return self.countermeasures.by_kind(CountermeasureKind.GUIDELINE)
+
+    def summary(self) -> dict[str, int | float | str]:
+        """Headline numbers for reporting."""
+        return {
+            "use_case": self.use_case.name,
+            "assets": len(self.assets),
+            "entry_points": len(self.entry_points),
+            "threats": len(self.threats),
+            "countermeasures": len(self.countermeasures),
+            "mean_dread_average": round(self.threats.mean_dread_average(), 2),
+            "progress": self.progress,
+        }

@@ -1,0 +1,123 @@
+"""Plain-text rendering of threat-model documents.
+
+Provides the generic table renderer used by :mod:`repro.analysis.tables`
+to regenerate the paper's Table I, plus a narrative report generator for
+whole threat models.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.threat.model import ThreatModel
+from repro.threat.threats import Threat
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Render an ASCII table with column widths fitted to content.
+
+    ``headers`` and each row must have the same number of columns.
+    """
+    rows = [tuple(str(cell) for cell in row) for row in rows]
+    headers = tuple(str(h) for h in headers)
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} columns, expected {len(headers)}: {row!r}"
+            )
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(widths[i]) for i, c in enumerate(cells)) + " |"
+
+    separator = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = [separator, format_row(headers), separator]
+    lines.extend(format_row(row) for row in rows)
+    lines.append(separator)
+    return "\n".join(lines)
+
+
+def threat_rows(threats: Iterable[Threat]) -> list[tuple[str, ...]]:
+    """Rows (id, asset, entry points, description, STRIDE, DREAD, modes) for threats."""
+    rows: list[tuple[str, ...]] = []
+    for threat in threats:
+        rows.append(
+            (
+                threat.identifier,
+                threat.asset,
+                "; ".join(threat.entry_points),
+                threat.description,
+                threat.stride.letters,
+                threat.dread.render(),
+                ", ".join(threat.applicable_modes) or "all",
+            )
+        )
+    return rows
+
+
+def render_threat_table(threats: Iterable[Threat]) -> str:
+    """Render a threat catalogue as an ASCII table."""
+    headers = (
+        "Id",
+        "Asset",
+        "Entry points",
+        "Potential threat",
+        "STRIDE",
+        "DREAD (Avg.)",
+        "Modes",
+    )
+    return render_table(headers, threat_rows(threats))
+
+
+def render_model_report(model: ThreatModel) -> str:
+    """Render a narrative report of a whole threat model."""
+    lines: list[str] = []
+    lines.append(f"Threat model: {model.use_case.name}")
+    lines.append("=" * (14 + len(model.use_case.name)))
+    if model.use_case.description:
+        lines.append(model.use_case.description)
+    lines.append("")
+    lines.append(
+        f"Process progress: {model.progress:.0%} "
+        f"({len(model.completed_steps())}/{len(model.completed_steps()) + len(model.pending_steps())} steps)"
+    )
+    lines.append("")
+
+    lines.append(f"Assets ({len(model.assets)})")
+    lines.append("-" * 30)
+    for asset in model.assets:
+        lines.append(
+            f"  - {asset.name} [{asset.category}] criticality={asset.criticality}"
+        )
+    lines.append("")
+
+    lines.append(f"Entry points ({len(model.entry_points)})")
+    lines.append("-" * 30)
+    for entry_point in model.entry_points:
+        lines.append(
+            f"  - {entry_point.name} [{entry_point.kind}] exposure={entry_point.exposure}"
+        )
+    lines.append("")
+
+    lines.append(f"Threats ({len(model.threats)})")
+    lines.append("-" * 30)
+    lines.append(render_threat_table(model.threats))
+    lines.append("")
+
+    lines.append(f"Countermeasures ({len(model.countermeasures)})")
+    lines.append("-" * 30)
+    for countermeasure in model.countermeasures:
+        lines.append(f"  - {countermeasure}")
+    lines.append("")
+
+    findings = model.validate()
+    lines.append(f"Validation findings ({len(findings)})")
+    lines.append("-" * 30)
+    if findings:
+        lines.extend(f"  ! {finding}" for finding in findings)
+    else:
+        lines.append("  (none)")
+    return "\n".join(lines)

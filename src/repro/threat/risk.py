@@ -1,0 +1,197 @@
+"""Risk assessment and prioritisation.
+
+The *Risk assessment* and *Threat rating* steps of the threat-modelling
+process (paper Section II) gain understanding of the use case and
+prioritise identified threats.  This module aggregates DREAD-rated
+threats into per-asset risk summaries, a likelihood/impact risk matrix
+and an ordered remediation plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.threat.assets import AssetRegistry
+from repro.threat.dread import DreadScore, RiskLevel, aggregate_scores
+from repro.threat.threats import Threat, ThreatCatalog
+
+
+@dataclass(frozen=True)
+class AssetRiskSummary:
+    """Aggregated risk for one asset."""
+
+    asset: str
+    threat_count: int
+    worst_case: DreadScore | None
+    mean_average: float
+    highest_level: RiskLevel | None
+
+    @property
+    def has_critical_exposure(self) -> bool:
+        """Whether any threat to this asset reaches the CRITICAL band."""
+        return self.highest_level == RiskLevel.CRITICAL
+
+
+@dataclass(frozen=True)
+class RiskMatrixCell:
+    """One cell of the likelihood/impact risk matrix."""
+
+    likelihood_band: str
+    impact_band: str
+    threats: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def count(self) -> int:
+        return len(self.threats)
+
+
+class RiskMatrix:
+    """3x3 likelihood/impact matrix over a threat catalogue.
+
+    Likelihood uses the DREAD likelihood proxy (reproducibility,
+    exploitability, discoverability); impact uses the impact proxy
+    (damage, affected users).  Bands split the 0-10 scale at 4 and 7.
+    """
+
+    BANDS = ("low", "medium", "high")
+
+    def __init__(self, threats: Iterable[Threat]) -> None:
+        cells: dict[tuple[str, str], list[str]] = {
+            (lik, imp): [] for lik in self.BANDS for imp in self.BANDS
+        }
+        for threat in threats:
+            likelihood_band = self._band(threat.dread.likelihood)
+            impact_band = self._band(threat.dread.impact)
+            cells[(likelihood_band, impact_band)].append(threat.identifier)
+        self._cells = {
+            key: RiskMatrixCell(key[0], key[1], tuple(ids)) for key, ids in cells.items()
+        }
+
+    @staticmethod
+    def _band(value: float) -> str:
+        if value < 4:
+            return "low"
+        if value < 7:
+            return "medium"
+        return "high"
+
+    def cell(self, likelihood_band: str, impact_band: str) -> RiskMatrixCell:
+        """The cell at (likelihood, impact)."""
+        key = (likelihood_band, impact_band)
+        if key not in self._cells:
+            raise KeyError(f"unknown bands: {key}")
+        return self._cells[key]
+
+    def cells(self) -> list[RiskMatrixCell]:
+        """All nine cells, ordered low->high likelihood then impact."""
+        return [self._cells[(lik, imp)] for lik in self.BANDS for imp in self.BANDS]
+
+    def hotspots(self) -> list[RiskMatrixCell]:
+        """Cells in the high-likelihood or high-impact row/column that are populated."""
+        return [
+            cell
+            for cell in self.cells()
+            if cell.count and ("high" in (cell.likelihood_band, cell.impact_band))
+        ]
+
+    def total_threats(self) -> int:
+        """Total number of threats placed in the matrix."""
+        return sum(cell.count for cell in self._cells.values())
+
+
+class RiskAssessment:
+    """Risk assessment over a threat catalogue (optionally asset-aware).
+
+    Parameters
+    ----------
+    catalog:
+        The identified and rated threats.
+    assets:
+        Optional asset registry; when provided, dependency-aware queries
+        (indirect exposure) become available.
+    """
+
+    def __init__(
+        self, catalog: ThreatCatalog, assets: AssetRegistry | None = None
+    ) -> None:
+        self._catalog = catalog
+        self._assets = assets
+
+    @property
+    def catalog(self) -> ThreatCatalog:
+        """The underlying threat catalogue."""
+        return self._catalog
+
+    def per_asset_summary(self) -> dict[str, AssetRiskSummary]:
+        """Aggregate risk per asset (direct threats only)."""
+        summaries: dict[str, AssetRiskSummary] = {}
+        for asset in self._catalog.assets():
+            threats = self._catalog.against(asset)
+            scores = [t.dread for t in threats]
+            worst = aggregate_scores(scores)
+            mean = sum(s.average for s in scores) / len(scores) if scores else 0.0
+            highest = max((t.risk_level for t in threats), key=lambda lvl: lvl_rank(lvl))
+            summaries[asset] = AssetRiskSummary(
+                asset=asset,
+                threat_count=len(threats),
+                worst_case=worst,
+                mean_average=mean,
+                highest_level=highest,
+            )
+        return summaries
+
+    def indirect_exposure(self, asset: str) -> list[Threat]:
+        """Threats against assets that *asset* depends on (requires registry)."""
+        if self._assets is None:
+            raise ValueError("indirect exposure requires an AssetRegistry")
+        exposure: list[Threat] = []
+        for dependency in self._assets.transitive_dependencies(asset):
+            exposure.extend(self._catalog.against(dependency.name))
+        return exposure
+
+    def matrix(self) -> RiskMatrix:
+        """The likelihood/impact risk matrix over all threats."""
+        return RiskMatrix(self._catalog)
+
+    def remediation_order(self) -> list[Threat]:
+        """Threats ordered for remediation: DREAD average desc, then damage desc."""
+        return sorted(
+            self._catalog,
+            key=lambda t: (t.average_score, t.dread.damage),
+            reverse=True,
+        )
+
+    def above_threshold(self, threshold: float) -> list[Threat]:
+        """Threats whose DREAD average is at least *threshold*."""
+        return [t for t in self._catalog if t.average_score >= threshold]
+
+    def residual_risk(self, mitigated: Iterable[str]) -> float:
+        """Sum of DREAD averages of threats not in *mitigated*.
+
+        A simple scalar used by the derivation-threshold sweep benchmark:
+        lower residual risk means more of the rated risk is covered by
+        enforced policies.
+        """
+        mitigated_set = set(mitigated)
+        return sum(
+            t.average_score for t in self._catalog if t.identifier not in mitigated_set
+        )
+
+    def coverage_by_level(self, mitigated: Iterable[str]) -> Mapping[RiskLevel, float]:
+        """Per-risk-band fraction of threats mitigated."""
+        mitigated_set = set(mitigated)
+        result: dict[RiskLevel, float] = {}
+        for level in RiskLevel:
+            threats = self._catalog.at_level(level)
+            if not threats:
+                continue
+            covered = sum(1 for t in threats if t.identifier in mitigated_set)
+            result[level] = covered / len(threats)
+        return result
+
+
+def lvl_rank(level: RiskLevel) -> int:
+    """Numeric rank of a risk level (LOW=0 .. CRITICAL=3)."""
+    order = [RiskLevel.LOW, RiskLevel.MEDIUM, RiskLevel.HIGH, RiskLevel.CRITICAL]
+    return order.index(level)

@@ -1,0 +1,219 @@
+"""STRIDE threat categorisation.
+
+STRIDE classifies threats into six categories: Spoofing, Tampering,
+Repudiation, Information disclosure, Denial of service and Elevation of
+privilege.  The paper uses compact letter strings such as ``"STD"`` or
+``"STIDE"`` in Table I; :class:`StrideClassification` parses and renders
+that notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Iterator
+
+
+class StrideCategory(Enum):
+    """One of the six STRIDE threat categories."""
+
+    SPOOFING = "S"
+    TAMPERING = "T"
+    REPUDIATION = "R"
+    INFORMATION_DISCLOSURE = "I"
+    DENIAL_OF_SERVICE = "D"
+    ELEVATION_OF_PRIVILEGE = "E"
+
+    @property
+    def letter(self) -> str:
+        """Single-letter abbreviation used in the paper's Table I."""
+        return self.value
+
+    @property
+    def description(self) -> str:
+        """Human-readable description of the category."""
+        return _DESCRIPTIONS[self]
+
+    @property
+    def violated_property(self) -> str:
+        """The security property this category violates."""
+        return _VIOLATED_PROPERTIES[self]
+
+    @classmethod
+    def from_letter(cls, letter: str) -> "StrideCategory":
+        """Return the category for a single letter such as ``"S"``."""
+        letter = letter.strip().upper()
+        for category in cls:
+            if category.value == letter:
+                return category
+        raise ValueError(f"unknown STRIDE letter: {letter!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name.replace("_", " ").title()
+
+
+_DESCRIPTIONS = {
+    StrideCategory.SPOOFING: (
+        "Illegally accessing and using another entity's identity or "
+        "authentication information."
+    ),
+    StrideCategory.TAMPERING: (
+        "Malicious modification of data or code, in transit or at rest."
+    ),
+    StrideCategory.REPUDIATION: (
+        "Performing an action and later denying it, absent proof to the "
+        "contrary."
+    ),
+    StrideCategory.INFORMATION_DISCLOSURE: (
+        "Exposure of information to entities not authorised to see it."
+    ),
+    StrideCategory.DENIAL_OF_SERVICE: (
+        "Denying or degrading service to valid users."
+    ),
+    StrideCategory.ELEVATION_OF_PRIVILEGE: (
+        "An unprivileged entity gaining privileged access to the system."
+    ),
+}
+
+_VIOLATED_PROPERTIES = {
+    StrideCategory.SPOOFING: "authentication",
+    StrideCategory.TAMPERING: "integrity",
+    StrideCategory.REPUDIATION: "non-repudiation",
+    StrideCategory.INFORMATION_DISCLOSURE: "confidentiality",
+    StrideCategory.DENIAL_OF_SERVICE: "availability",
+    StrideCategory.ELEVATION_OF_PRIVILEGE: "authorisation",
+}
+
+# Canonical ordering used when rendering classifications ("STRIDE" order).
+_CANONICAL_ORDER = (
+    StrideCategory.SPOOFING,
+    StrideCategory.TAMPERING,
+    StrideCategory.REPUDIATION,
+    StrideCategory.INFORMATION_DISCLOSURE,
+    StrideCategory.DENIAL_OF_SERVICE,
+    StrideCategory.ELEVATION_OF_PRIVILEGE,
+)
+
+
+@dataclass(frozen=True)
+class StrideClassification:
+    """A set of STRIDE categories assigned to a single threat.
+
+    The paper's Table I writes these as letter strings, e.g. ``"STD"``
+    for a threat that involves spoofing, tampering and denial of service.
+
+    Instances are immutable and hashable so they can be used as dict keys
+    and set members.
+    """
+
+    categories: frozenset[StrideCategory]
+
+    def __post_init__(self) -> None:
+        if not self.categories:
+            raise ValueError("a STRIDE classification must contain at least one category")
+        object.__setattr__(self, "categories", frozenset(self.categories))
+
+    @classmethod
+    def parse(cls, letters: str) -> "StrideClassification":
+        """Parse a letter string such as ``"STD"`` or ``"stide"``."""
+        letters = letters.strip()
+        if not letters:
+            raise ValueError("empty STRIDE string")
+        return cls(frozenset(StrideCategory.from_letter(ch) for ch in letters))
+
+    @classmethod
+    def of(cls, *categories: StrideCategory) -> "StrideClassification":
+        """Build a classification from explicit categories."""
+        return cls(frozenset(categories))
+
+    @property
+    def letters(self) -> str:
+        """Render as a canonical-order letter string (paper notation)."""
+        return "".join(c.letter for c in _CANONICAL_ORDER if c in self.categories)
+
+    @property
+    def violated_properties(self) -> tuple[str, ...]:
+        """Security properties violated, in canonical order."""
+        return tuple(
+            c.violated_property for c in _CANONICAL_ORDER if c in self.categories
+        )
+
+    def includes(self, category: StrideCategory) -> bool:
+        """Whether *category* is part of this classification."""
+        return category in self.categories
+
+    def union(self, other: "StrideClassification") -> "StrideClassification":
+        """Combine two classifications."""
+        return StrideClassification(self.categories | other.categories)
+
+    def intersection(
+        self, other: "StrideClassification"
+    ) -> frozenset[StrideCategory]:
+        """Categories present in both classifications."""
+        return self.categories & other.categories
+
+    def __iter__(self) -> Iterator[StrideCategory]:
+        return iter(c for c in _CANONICAL_ORDER if c in self.categories)
+
+    def __len__(self) -> int:
+        return len(self.categories)
+
+    def __contains__(self, category: object) -> bool:
+        return category in self.categories
+
+    def __str__(self) -> str:
+        return self.letters
+
+
+def classify_attack_effects(effects: Iterable[str]) -> StrideClassification:
+    """Heuristically classify an attack by its described effects.
+
+    ``effects`` is an iterable of short effect keywords.  Recognised
+    keywords (case-insensitive, substring match):
+
+    * ``spoof``, ``impersonat`` -> Spoofing
+    * ``tamper``, ``modif``, ``inject`` -> Tampering
+    * ``repudiat``, ``deny action``, ``log`` -> Repudiation
+    * ``disclos``, ``leak``, ``privacy``, ``eavesdrop`` -> Information disclosure
+    * ``denial``, ``disable``, ``dos``, ``flood``, ``block`` -> Denial of service
+    * ``privilege``, ``escalat``, ``root``, ``control level`` -> Elevation of privilege
+
+    This helper supports building threat catalogues from narrative attack
+    descriptions (as in Section V of the paper).
+    """
+    keyword_map = {
+        StrideCategory.SPOOFING: ("spoof", "impersonat", "masquerad"),
+        StrideCategory.TAMPERING: ("tamper", "modif", "inject", "alter"),
+        StrideCategory.REPUDIATION: ("repudiat", "deny action", "unlogged"),
+        StrideCategory.INFORMATION_DISCLOSURE: (
+            "disclos",
+            "leak",
+            "privacy",
+            "eavesdrop",
+            "exfiltrat",
+        ),
+        StrideCategory.DENIAL_OF_SERVICE: (
+            "denial",
+            "disable",
+            "dos",
+            "flood",
+            "block",
+            "unresponsive",
+        ),
+        StrideCategory.ELEVATION_OF_PRIVILEGE: (
+            "privilege",
+            "escalat",
+            "root",
+            "control level",
+            "unauthorised install",
+        ),
+    }
+    found: set[StrideCategory] = set()
+    for effect in effects:
+        text = effect.lower()
+        for category, keywords in keyword_map.items():
+            if any(keyword in text for keyword in keywords):
+                found.add(category)
+    if not found:
+        raise ValueError("could not classify effects into any STRIDE category")
+    return StrideClassification(frozenset(found))

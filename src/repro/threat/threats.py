@@ -1,0 +1,199 @@
+"""Threats and threat catalogues.
+
+A :class:`Threat` records one potential attack against an asset: which
+entry points it uses, its STRIDE classification, its DREAD rating and
+the operating modes it applies to.  A :class:`ThreatCatalog` is the
+ordered collection of threats produced by the *Threat Identification*
+and *Threat Rating* steps of the application threat-modelling process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+from repro.threat.dread import DreadScore, RiskLevel
+from repro.threat.stride import StrideCategory, StrideClassification
+
+
+@dataclass(frozen=True)
+class Threat:
+    """One identified threat against an asset.
+
+    Parameters
+    ----------
+    identifier:
+        Short unique id, e.g. ``"T-EVECU-01"``.
+    description:
+        What the attacker does and what the effect is, e.g. *"Spoofed data
+        over CAN bus causing disablement of ECU"*.
+    asset:
+        Name of the primary asset threatened.
+    entry_points:
+        Names of entry points through which the threat is realised.
+    stride:
+        STRIDE classification of the threat.
+    dread:
+        DREAD rating of the threat.
+    applicable_modes:
+        Operating modes in which this threat applies (e.g. ``("normal",
+        "fail-safe")``).  Empty means all modes.
+    notes:
+        Free-text analyst notes (specialist knowledge required, etc.).
+    """
+
+    identifier: str
+    description: str
+    asset: str
+    entry_points: tuple[str, ...]
+    stride: StrideClassification
+    dread: DreadScore
+    applicable_modes: tuple[str, ...] = field(default_factory=tuple)
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.identifier.strip():
+            raise ValueError("threat identifier must be non-empty")
+        if not self.asset.strip():
+            raise ValueError("threat must name a target asset")
+        if not self.entry_points:
+            raise ValueError("threat must list at least one entry point")
+        object.__setattr__(self, "entry_points", tuple(self.entry_points))
+        object.__setattr__(self, "applicable_modes", tuple(self.applicable_modes))
+
+    @property
+    def risk_level(self) -> RiskLevel:
+        """Coarse risk band from the DREAD average."""
+        return self.dread.level
+
+    @property
+    def average_score(self) -> float:
+        """The DREAD average (the paper's ``Avg.`` column)."""
+        return self.dread.average
+
+    def applies_in_mode(self, mode: str) -> bool:
+        """Whether this threat applies when the system is in *mode*."""
+        return not self.applicable_modes or mode in self.applicable_modes
+
+    def involves(self, category: StrideCategory) -> bool:
+        """Whether the threat's STRIDE classification includes *category*."""
+        return category in self.stride
+
+    def uses_entry_point(self, entry_point: str) -> bool:
+        """Whether the threat is realised through *entry_point*."""
+        return entry_point in self.entry_points
+
+    def __str__(self) -> str:
+        return f"{self.identifier}: {self.description}"
+
+
+class ThreatCatalog:
+    """Ordered, queryable collection of threats.
+
+    Order is preserved (it matches Table I row order in the case study)
+    and identifiers are unique.
+    """
+
+    def __init__(self, threats: Iterable[Threat] = ()) -> None:
+        self._threats: dict[str, Threat] = {}
+        for threat in threats:
+            self.add(threat)
+
+    # -- collection protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._threats)
+
+    def __iter__(self) -> Iterator[Threat]:
+        return iter(self._threats.values())
+
+    def __contains__(self, identifier: object) -> bool:
+        if isinstance(identifier, Threat):
+            return identifier.identifier in self._threats
+        return identifier in self._threats
+
+    # -- mutation -------------------------------------------------------------
+
+    def add(self, threat: Threat) -> Threat:
+        """Add *threat*; duplicate identifiers are rejected."""
+        if threat.identifier in self._threats:
+            raise ValueError(f"duplicate threat identifier: {threat.identifier!r}")
+        self._threats[threat.identifier] = threat
+        return threat
+
+    def extend(self, threats: Iterable[Threat]) -> None:
+        """Add several threats."""
+        for threat in threats:
+            self.add(threat)
+
+    # -- queries --------------------------------------------------------------
+
+    def get(self, identifier: str) -> Threat:
+        """Return the threat with the given identifier."""
+        try:
+            return self._threats[identifier]
+        except KeyError:
+            raise KeyError(f"unknown threat: {identifier!r}") from None
+
+    def identifiers(self) -> list[str]:
+        """All threat identifiers in insertion order."""
+        return list(self._threats)
+
+    def against(self, asset: str) -> list[Threat]:
+        """All threats targeting *asset*."""
+        return [t for t in self._threats.values() if t.asset == asset]
+
+    def via(self, entry_point: str) -> list[Threat]:
+        """All threats realised through *entry_point*."""
+        return [t for t in self._threats.values() if t.uses_entry_point(entry_point)]
+
+    def involving(self, category: StrideCategory) -> list[Threat]:
+        """All threats whose STRIDE classification includes *category*."""
+        return [t for t in self._threats.values() if t.involves(category)]
+
+    def in_mode(self, mode: str) -> list[Threat]:
+        """All threats applicable in operating mode *mode*."""
+        return [t for t in self._threats.values() if t.applies_in_mode(mode)]
+
+    def at_level(self, level: RiskLevel) -> list[Threat]:
+        """All threats whose DREAD average falls in risk band *level*."""
+        return [t for t in self._threats.values() if t.risk_level == level]
+
+    def filter(self, predicate: Callable[[Threat], bool]) -> list[Threat]:
+        """All threats satisfying an arbitrary predicate."""
+        return [t for t in self._threats.values() if predicate(t)]
+
+    def prioritised(self) -> list[Threat]:
+        """Threats ordered highest DREAD average first (ties keep insertion order)."""
+        return sorted(
+            self._threats.values(), key=lambda t: t.average_score, reverse=True
+        )
+
+    def assets(self) -> list[str]:
+        """Distinct asset names threatened, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for threat in self._threats.values():
+            seen.setdefault(threat.asset, None)
+        return list(seen)
+
+    def entry_points(self) -> list[str]:
+        """Distinct entry-point names used, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for threat in self._threats.values():
+            for entry_point in threat.entry_points:
+                seen.setdefault(entry_point, None)
+        return list(seen)
+
+    def stride_histogram(self) -> dict[StrideCategory, int]:
+        """Count of threats per STRIDE category."""
+        histogram: dict[StrideCategory, int] = {c: 0 for c in StrideCategory}
+        for threat in self._threats.values():
+            for category in threat.stride:
+                histogram[category] += 1
+        return histogram
+
+    def mean_dread_average(self) -> float:
+        """Mean of the DREAD averages across all threats (0.0 if empty)."""
+        if not self._threats:
+            return 0.0
+        return sum(t.average_score for t in self._threats.values()) / len(self._threats)

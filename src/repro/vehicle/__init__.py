@@ -1,0 +1,58 @@
+"""Connected-car application substrate.
+
+The vehicle platform of the paper's case study (Section V, Fig. 2): a
+set of electronic control units, sensors and interfaces connected by a
+shared CAN bus, operating in one of three car modes.
+
+Modules
+-------
+* :mod:`repro.vehicle.modes` -- car operating modes and the mode manager.
+* :mod:`repro.vehicle.messages` -- the vehicle's CAN message catalogue.
+* :mod:`repro.vehicle.ecu` -- the generic ECU application base class.
+* :mod:`repro.vehicle.ev_ecu` -- electronic vehicle ECU (propulsion).
+* :mod:`repro.vehicle.eps` -- electronic power steering.
+* :mod:`repro.vehicle.engine_ecu` -- engine controller.
+* :mod:`repro.vehicle.sensors` -- sensor cluster (accel, brake,
+  transmission, proximity).
+* :mod:`repro.vehicle.telematics` -- 3G/4G/WiFi telematics unit.
+* :mod:`repro.vehicle.infotainment` -- infotainment head unit.
+* :mod:`repro.vehicle.door_locks` -- door lock controller.
+* :mod:`repro.vehicle.safety` -- safety-critical controller (airbags,
+  alarm, fail-safe triggering).
+* :mod:`repro.vehicle.gateway` -- CAN gateway between external
+  interfaces and the vehicle bus.
+* :mod:`repro.vehicle.car` -- the assembled connected car.
+"""
+
+from repro.vehicle.car import ConnectedCar
+from repro.vehicle.door_locks import DoorLockController
+from repro.vehicle.ecu import VehicleECU
+from repro.vehicle.engine_ecu import EngineController
+from repro.vehicle.eps import PowerSteeringController
+from repro.vehicle.ev_ecu import ElectronicVehicleECU
+from repro.vehicle.gateway import CANGateway
+from repro.vehicle.infotainment import InfotainmentSystem
+from repro.vehicle.messages import MessageCatalog, VehicleMessage, standard_catalog
+from repro.vehicle.modes import CarMode, ModeManager
+from repro.vehicle.safety import SafetyCriticalController
+from repro.vehicle.sensors import SensorCluster
+from repro.vehicle.telematics import TelematicsUnit
+
+__all__ = [
+    "CANGateway",
+    "CarMode",
+    "ConnectedCar",
+    "DoorLockController",
+    "ElectronicVehicleECU",
+    "EngineController",
+    "InfotainmentSystem",
+    "MessageCatalog",
+    "ModeManager",
+    "PowerSteeringController",
+    "SafetyCriticalController",
+    "SensorCluster",
+    "TelematicsUnit",
+    "VehicleECU",
+    "VehicleMessage",
+    "standard_catalog",
+]

@@ -1,0 +1,94 @@
+"""Door lock controller.
+
+Table I threats: an unlock attempt while the vehicle is in motion and
+the lock mechanism being triggered during an accident (both
+denial-of-service/elevation threats with high DREAD damage scores).  The
+controller also participates in theft protection: when the car is locked
+and alarmed it may legitimately command ``ECU_DISABLE``.
+"""
+
+from __future__ import annotations
+
+from repro.can.frame import CANFrame
+from repro.can.node import PolicyHook
+from repro.vehicle.ecu import VehicleECU
+from repro.vehicle.messages import NODE_DOOR_LOCKS, MessageCatalog
+
+
+class DoorLockController(VehicleECU):
+    """Central locking controller."""
+
+    def __init__(
+        self, catalog: MessageCatalog, policy_engine: PolicyHook | None = None
+    ) -> None:
+        super().__init__(NODE_DOOR_LOCKS, catalog, policy_engine)
+        self.locked = False
+        self.vehicle_in_motion = False
+        self.accident_in_progress = False
+        self.hazard_events: list[str] = []
+        self.on_message("DOOR_LOCK_CMD", self._handle_lock)
+        self.on_message("DOOR_UNLOCK_CMD", self._handle_unlock)
+        self.on_message("AIRBAG_DEPLOY", self._handle_airbag)
+        self.on_message("FAILSAFE_TRIGGER", self._handle_failsafe)
+        self.on_message("ECU_STATUS", self._handle_ecu_status)
+
+    # -- vehicle state inputs -------------------------------------------------------
+
+    def set_motion(self, in_motion: bool) -> None:
+        """Record whether the vehicle is currently in motion."""
+        self.vehicle_in_motion = in_motion
+
+    def _handle_ecu_status(self, frame: CANFrame) -> None:
+        # Byte 1 of ECU_STATUS carries a speed proxy; treat non-zero as motion.
+        if len(frame.data) > 1:
+            self.vehicle_in_motion = frame.data[1] > 0
+
+    # -- lock commands ------------------------------------------------------------------
+
+    def _handle_lock(self, frame: CANFrame) -> None:
+        if self.accident_in_progress:
+            # Locking during an accident traps occupants: the Table I threat
+            # "Lock mechanism triggered during accident".
+            self.hazard_events.append("locked-during-accident")
+            self.log_event(
+                "hazard", f"lock command during accident from {frame.source or 'unknown'}"
+            )
+        self.locked = True
+        self.log_event("locked", f"command from {frame.source or 'unknown'}")
+
+    def _handle_unlock(self, frame: CANFrame) -> None:
+        if self.vehicle_in_motion and not self.accident_in_progress:
+            # Unlocking while in motion: the Table I threat
+            # "Unlock attempt while in motion".
+            self.hazard_events.append("unlocked-in-motion")
+            self.log_event(
+                "hazard", f"unlock command while in motion from {frame.source or 'unknown'}"
+            )
+        self.locked = False
+        self.log_event("unlocked", f"command from {frame.source or 'unknown'}")
+
+    def _handle_airbag(self, frame: CANFrame) -> None:
+        self.accident_in_progress = True
+        self.locked = False
+        self.log_event("crash-unlock", "doors unlocked after airbag deployment")
+
+    def _handle_failsafe(self, frame: CANFrame) -> None:
+        self.accident_in_progress = True
+
+    # -- theft protection -----------------------------------------------------------------
+
+    def arm_and_immobilise(self) -> bool:
+        """Lock, arm and immobilise the parked vehicle (sends ``ECU_DISABLE``).
+
+        This is the legitimate use of the ``ECU_DISABLE`` command from the
+        door-lock controller: theft protection when the car is locked and
+        alarmed.  Returns whether the immobilise command reached the bus.
+        """
+        self.locked = True
+        self.log_event("armed", "vehicle locked and alarmed")
+        return self.send_message("ECU_DISABLE", b"\x01")
+
+    def periodic_payload(self, message_name: str) -> bytes:
+        if message_name == "DOOR_STATUS":
+            return bytes([1 if self.locked else 0, 1 if self.accident_in_progress else 0])
+        return b"\x00"

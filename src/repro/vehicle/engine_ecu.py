@@ -1,0 +1,70 @@
+"""Engine controller.
+
+Table I threats: *"Deactivation through compromised sensor"* and
+*"Critical component modification during operation"*.  The engine
+consumes sensor frames and the EV-ECU's torque demands; a spoofed
+``ENGINE_DEACTIVATE`` or tampered sensor stream degrades or stops it.
+"""
+
+from __future__ import annotations
+
+from repro.can.frame import CANFrame
+from repro.can.node import PolicyHook
+from repro.vehicle.ecu import VehicleECU
+from repro.vehicle.messages import NODE_ENGINE, MessageCatalog
+
+
+class EngineController(VehicleECU):
+    """Engine/propulsion drive controller."""
+
+    def __init__(
+        self, catalog: MessageCatalog, policy_engine: PolicyHook | None = None
+    ) -> None:
+        super().__init__(NODE_ENGINE, catalog, policy_engine)
+        self.rpm = 800  # idle
+        self.torque_demand = 0
+        self.modification_events = 0
+        self.on_message("ENGINE_DEACTIVATE", self._handle_deactivate)
+        self.on_message("ECU_COMMAND", self._handle_command)
+        self.on_message("SENSOR_ACCEL", self._handle_accel)
+        self.on_message("SENSOR_BRAKE", self._handle_brake)
+        self.on_message("FIRMWARE_UPDATE", self._handle_firmware_update)
+        self.on_message("DIAG_REQUEST", self._handle_diag_request)
+
+    @property
+    def running(self) -> bool:
+        """Whether the engine is currently running."""
+        return self.operational and self.rpm > 0
+
+    def _handle_deactivate(self, frame: CANFrame) -> None:
+        self.rpm = 0
+        self.disable(reason=f"ENGINE_DEACTIVATE received from {frame.source or 'unknown'}")
+
+    def _handle_command(self, frame: CANFrame) -> None:
+        if not self.operational:
+            return
+        self.torque_demand = frame.data[0] if frame.data else 0
+        self.rpm = 800 + self.torque_demand * 24
+
+    def _handle_accel(self, frame: CANFrame) -> None:
+        if self.operational and frame.data:
+            self.rpm = max(self.rpm, 800 + frame.data[0] * 20)
+
+    def _handle_brake(self, frame: CANFrame) -> None:
+        if self.operational and frame.data and frame.data[0] > 0:
+            self.rpm = max(800, self.rpm - frame.data[0] * 10)
+
+    def _handle_firmware_update(self, frame: CANFrame) -> None:
+        self.modification_events += 1
+        self.log_event(
+            "critical-modification",
+            f"firmware/calibration modification from {frame.source or 'unknown'}",
+        )
+
+    def _handle_diag_request(self, frame: CANFrame) -> None:
+        self.send_message("DIAG_RESPONSE", bytes([min(255, self.rpm // 32)]))
+
+    def periodic_payload(self, message_name: str) -> bytes:
+        if message_name == "ENGINE_STATUS":
+            return bytes([1 if self.running else 0, min(255, self.rpm // 32)])
+        return b"\x00"

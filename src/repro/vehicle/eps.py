@@ -1,0 +1,49 @@
+"""Electronic Power Steering (EPS) controller.
+
+Table I threat: *"EPS deactivation through compromised CAN node"* -- any
+node on the bus can broadcast ``EPS_DEACTIVATE``, and losing steering
+assistance while driving is a safety hazard.  The derived policy is
+read-only access toward the EPS from all non-safety nodes.
+"""
+
+from __future__ import annotations
+
+from repro.can.frame import CANFrame
+from repro.can.node import PolicyHook
+from repro.vehicle.ecu import VehicleECU
+from repro.vehicle.messages import NODE_EPS, MessageCatalog
+
+
+class PowerSteeringController(VehicleECU):
+    """Steering assistance controller."""
+
+    def __init__(
+        self, catalog: MessageCatalog, policy_engine: PolicyHook | None = None
+    ) -> None:
+        super().__init__(NODE_EPS, catalog, policy_engine)
+        self.assistance_level = 100  # percent
+        self.on_message("EPS_DEACTIVATE", self._handle_deactivate)
+        self.on_message("ECU_COMMAND", self._handle_command)
+        self.on_message("DIAG_REQUEST", self._handle_diag_request)
+
+    @property
+    def assisting(self) -> bool:
+        """Whether steering assistance is currently provided."""
+        return self.operational and self.assistance_level > 0
+
+    def _handle_deactivate(self, frame: CANFrame) -> None:
+        self.assistance_level = 0
+        self.disable(reason=f"EPS_DEACTIVATE received from {frame.source or 'unknown'}")
+
+    def _handle_command(self, frame: CANFrame) -> None:
+        if self.operational and frame.data:
+            # Steering demand scales assistance with vehicle speed (byte 1).
+            self.assistance_level = max(20, 100 - frame.data[0] // 4)
+
+    def _handle_diag_request(self, frame: CANFrame) -> None:
+        self.send_message("DIAG_RESPONSE", bytes([self.assistance_level]))
+
+    def periodic_payload(self, message_name: str) -> bytes:
+        if message_name == "EPS_STATUS":
+            return bytes([1 if self.assisting else 0, self.assistance_level])
+        return b"\x00"

@@ -1,0 +1,76 @@
+"""The Electronic Vehicle ECU (EV-ECU).
+
+The EV-ECU controls the vehicle's propulsion (acceleration, braking
+interaction, transmission).  Table I identifies it as the most critical
+asset: spoofed CAN data that disables it makes the vehicle's propulsion
+unresponsive (the Section V-A walk-through scenario).
+"""
+
+from __future__ import annotations
+
+from repro.can.frame import CANFrame
+from repro.can.node import PolicyHook
+from repro.vehicle.ecu import VehicleECU
+from repro.vehicle.messages import NODE_EV_ECU, MessageCatalog
+
+
+class ElectronicVehicleECU(VehicleECU):
+    """Propulsion controller.
+
+    Behaviour relevant to the threat scenarios:
+
+    * An ``ECU_DISABLE`` frame that reaches the application disables
+      propulsion (the paper's denial-of-service outcome).
+    * An ``ECU_ENABLE`` frame re-enables it (used by the fail-safe
+      override threat).
+    * Sensor frames update the last-known pedal/transmission state.
+    * A ``FIRMWARE_UPDATE`` frame accepted outside remote-diagnostic mode
+      is logged as a critical-modification event.
+    """
+
+    def __init__(
+        self, catalog: MessageCatalog, policy_engine: PolicyHook | None = None
+    ) -> None:
+        super().__init__(NODE_EV_ECU, catalog, policy_engine)
+        self.sensor_state: dict[str, int] = {"accel": 0, "brake": 0, "transmission": 0}
+        self.firmware_updates_received = 0
+        self.on_message("ECU_DISABLE", self._handle_disable)
+        self.on_message("ECU_ENABLE", self._handle_enable)
+        self.on_message("SENSOR_ACCEL", self._handle_accel)
+        self.on_message("SENSOR_BRAKE", self._handle_brake)
+        self.on_message("SENSOR_TRANSMISSION", self._handle_transmission)
+        self.on_message("FIRMWARE_UPDATE", self._handle_firmware_update)
+
+    @property
+    def propulsion_available(self) -> bool:
+        """Whether the vehicle can currently be propelled."""
+        return self.operational
+
+    def _handle_disable(self, frame: CANFrame) -> None:
+        self.disable(reason=f"ECU_DISABLE received from {frame.source or 'unknown'}")
+
+    def _handle_enable(self, frame: CANFrame) -> None:
+        self.enable(reason=f"ECU_ENABLE received from {frame.source or 'unknown'}")
+
+    def _handle_accel(self, frame: CANFrame) -> None:
+        self.sensor_state["accel"] = frame.data[0] if frame.data else 0
+
+    def _handle_brake(self, frame: CANFrame) -> None:
+        self.sensor_state["brake"] = frame.data[0] if frame.data else 0
+
+    def _handle_transmission(self, frame: CANFrame) -> None:
+        self.sensor_state["transmission"] = frame.data[0] if frame.data else 0
+
+    def _handle_firmware_update(self, frame: CANFrame) -> None:
+        self.firmware_updates_received += 1
+        self.log_event(
+            "firmware-update-frame",
+            f"firmware update block from {frame.source or 'unknown'}",
+        )
+
+    def periodic_payload(self, message_name: str) -> bytes:
+        if message_name == "ECU_STATUS":
+            return bytes([1 if self.operational else 0, self.sensor_state["accel"] & 0xFF])
+        if message_name == "ECU_COMMAND":
+            return bytes([self.sensor_state["accel"] & 0xFF, self.sensor_state["brake"] & 0xFF])
+        return b"\x00"

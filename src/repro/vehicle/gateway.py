@@ -1,0 +1,77 @@
+"""CAN bus gateway.
+
+The gateway mediates between external interfaces (cellular backend, OBD
+diagnostic tools, WiFi companion apps) and the vehicle CAN bus.  The
+guideline-based countermeasure in Section V ("limit components with CAN
+bus access") is modelled here as an allow-list of messages the gateway
+will relay inward; the policy-based approach additionally fits the
+gateway node itself with a hardware policy engine.
+"""
+
+from __future__ import annotations
+
+from repro.can.frame import CANFrame
+from repro.can.node import PolicyHook
+from repro.vehicle.ecu import VehicleECU
+from repro.vehicle.messages import NODE_GATEWAY, MessageCatalog
+
+
+class CANGateway(VehicleECU):
+    """Gateway between external interfaces and the vehicle bus."""
+
+    def __init__(
+        self,
+        catalog: MessageCatalog,
+        policy_engine: PolicyHook | None = None,
+        relay_allowed: set[str] | None = None,
+    ) -> None:
+        super().__init__(NODE_GATEWAY, catalog, policy_engine)
+        # Messages the gateway will relay from external interfaces onto the
+        # bus.  By default only diagnostics may come in from outside.
+        self.relay_allowed: set[str] = (
+            set(relay_allowed) if relay_allowed is not None else {"DIAG_REQUEST"}
+        )
+        self.relayed_frames = 0
+        self.refused_relays = 0
+        self.external_log: list[str] = []
+        self.on_message("DIAG_RESPONSE", self._handle_diag_response)
+        self.on_message("TRACKING_REPORT", self._handle_tracking_report)
+
+    # -- inward relay ------------------------------------------------------------------
+
+    def relay_external_request(self, message_name: str, data: bytes = b"") -> bool:
+        """Relay a request arriving from an external interface onto the bus.
+
+        The gateway refuses messages outside its relay allow-list (the
+        guideline countermeasure); allowed messages are then still subject
+        to the gateway node's own policy engine and software filters.
+        Returns whether the frame reached the bus.
+        """
+        if message_name not in self.relay_allowed:
+            self.refused_relays += 1
+            self.log_event("relay-refused", message_name)
+            return False
+        self.relayed_frames += 1
+        self.log_event("relay", message_name)
+        return self.send_message(message_name, data)
+
+    def relay_raw_external(self, can_id: int, data: bytes = b"") -> bool:
+        """Relay a raw frame from outside (models a poorly configured gateway).
+
+        Unlike :meth:`relay_external_request`, no allow-list is applied --
+        only the node-level filters and policy engine stand in the way.
+        """
+        self.relayed_frames += 1
+        self.log_event("relay-raw", f"0x{can_id:03X}")
+        return self.send_raw(can_id, data)
+
+    # -- outward traffic ----------------------------------------------------------------
+
+    def _handle_diag_response(self, frame: CANFrame) -> None:
+        self.external_log.append(f"diag-response:{frame.data.hex()}")
+
+    def _handle_tracking_report(self, frame: CANFrame) -> None:
+        self.external_log.append(f"tracking:{frame.data.hex()}")
+
+    def periodic_payload(self, message_name: str) -> bytes:
+        return b"\x00"

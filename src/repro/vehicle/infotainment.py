@@ -1,0 +1,134 @@
+"""Infotainment system.
+
+The infotainment head unit renders car status values and GPS, runs a
+media player with a browser, and can install software.  Table I lists
+it as both an asset and the entry point for two threats: a browser
+exploit that gains access to a higher control level, and modification of
+the car status values it displays.  Section V's fine-grained policies
+("prevent software installation activities initiated from the media
+display", "enforce access of permitted commands using SELinux") are
+enforced through an optional software enforcement point.
+"""
+
+from __future__ import annotations
+
+from repro.can.frame import CANFrame
+from repro.can.node import PolicyHook
+from repro.selinux.hooks import SoftwareEnforcementPoint
+from repro.vehicle.ecu import VehicleECU
+from repro.vehicle.messages import NODE_INFOTAINMENT, MessageCatalog
+
+
+class InfotainmentSystem(VehicleECU):
+    """Infotainment head unit with display, browser and package installation."""
+
+    #: Entity names used when labelling infotainment operations for SELinux.
+    SUBJECT_MEDIA_DISPLAY = "infotainment-media-display"
+    SUBJECT_SYSTEM_UPDATER = "infotainment-system-updater"
+    OBJECT_SOFTWARE_STORE = "infotainment-software-store"
+    OBJECT_VEHICLE_BUS = "vehicle-can-bus"
+
+    def __init__(
+        self, catalog: MessageCatalog, policy_engine: PolicyHook | None = None
+    ) -> None:
+        super().__init__(NODE_INFOTAINMENT, catalog, policy_engine)
+        self.displayed_status: dict[str, int] = {"speed": 0, "range": 0, "gear": 0}
+        self.displayed_gps: tuple[int, int] = (0, 0)
+        self.installed_packages: list[str] = []
+        self.blocked_installations: list[str] = []
+        self.enforcement_point: SoftwareEnforcementPoint | None = None
+        self.on_message("CAR_STATUS_DISPLAY", self._handle_status)
+        self.on_message("GPS_POSITION", self._handle_gps)
+        self.on_message("ECU_STATUS", self._handle_ecu_status)
+
+    # -- software enforcement wiring --------------------------------------------------
+
+    def attach_enforcement_point(self, point: SoftwareEnforcementPoint) -> None:
+        """Attach the SELinux-style enforcement point guarding app operations."""
+        self.enforcement_point = point
+
+    # -- display ------------------------------------------------------------------------
+
+    def _handle_status(self, frame: CANFrame) -> None:
+        if frame.data:
+            self.displayed_status["speed"] = frame.data[0]
+        if len(frame.data) > 1:
+            self.displayed_status["gear"] = frame.data[1]
+
+    def _handle_gps(self, frame: CANFrame) -> None:
+        if len(frame.data) >= 2:
+            self.displayed_gps = (frame.data[0], frame.data[1])
+
+    def _handle_ecu_status(self, frame: CANFrame) -> None:
+        if len(frame.data) > 1:
+            self.displayed_status["range"] = frame.data[1]
+
+    # -- software installation -------------------------------------------------------------
+
+    def install_software(
+        self, package: str, initiated_from: str | None = None
+    ) -> bool:
+        """Attempt to install *package*.
+
+        When an enforcement point is attached, the installation is
+        checked as ``subject -> software-store : package install``.  The
+        fine-grained policy from Section V denies installations initiated
+        from the media display while allowing the system updater.
+        Without an enforcement point the installation always proceeds
+        (the unprotected baseline).
+        """
+        subject = initiated_from or self.SUBJECT_MEDIA_DISPLAY
+        if self.enforcement_point is not None:
+            decision = self.enforcement_point.check_operation(
+                subject=subject,
+                obj=self.OBJECT_SOFTWARE_STORE,
+                tclass="package",
+                permission="install",
+                comm="pkg-installer",
+            )
+            if not decision.allowed:
+                self.blocked_installations.append(package)
+                self.log_event("install-blocked", f"{package} from {subject}")
+                return False
+        self.installed_packages.append(package)
+        self.log_event("install", f"{package} from {subject}")
+        return True
+
+    # -- browser exploit / escalation --------------------------------------------------------
+
+    def browser_exploit(self) -> None:
+        """Model a media-player browser exploit compromising the firmware."""
+        self.compromise_firmware()
+        self.log_event("browser-exploit", "media player browser exploited")
+
+    def attempt_vehicle_control(self, can_id: int, data: bytes = b"\x00") -> bool:
+        """A compromised infotainment unit trying to command vehicle systems.
+
+        This is the "exploit to gain access to higher control level"
+        escalation: the unit emits a frame it has no business sending.
+        When an enforcement point is attached the operation is first
+        checked as a ``can_bus write``; the hardware/software CAN-level
+        filters then apply as usual.  Returns whether the frame reached
+        the bus.
+        """
+        if self.enforcement_point is not None:
+            decision = self.enforcement_point.check_operation(
+                subject=self.SUBJECT_MEDIA_DISPLAY,
+                obj=self.OBJECT_VEHICLE_BUS,
+                tclass="can_bus",
+                permission="write",
+                comm="browser",
+            )
+            if not decision.allowed and not self.firmware_compromised:
+                # A denied, uncompromised application cannot proceed at all.
+                self.log_event("control-attempt-blocked", f"0x{can_id:03X} denied by MAC")
+                return False
+        sent = self.send_raw(can_id, data)
+        self.log_event(
+            "control-attempt",
+            f"0x{can_id:03X} {'reached bus' if sent else 'blocked before bus'}",
+        )
+        return sent
+
+    def periodic_payload(self, message_name: str) -> bytes:
+        return b"\x00"

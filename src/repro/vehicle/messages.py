@@ -1,0 +1,355 @@
+"""The vehicle's CAN message catalogue.
+
+Vehicle platforms document every CAN identifier in a message catalogue
+(the industry's "DBC" database): who produces it, who consumes it and
+what it means.  The policy derivation uses this catalogue to translate
+asset-level read/write policies from the threat model (Table I) into
+per-node approved identifier lists for the hardware policy engine, and
+the mode column to make those lists mode-dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.can.frame import MAX_STANDARD_ID, CANFrame
+from repro.vehicle.modes import CarMode
+
+# Canonical node names used throughout the connected-car case study.
+NODE_EV_ECU = "EV-ECU"
+NODE_EPS = "EPS"
+NODE_ENGINE = "Engine"
+NODE_SENSORS = "Sensors"
+NODE_TELEMATICS = "Telematics"
+NODE_INFOTAINMENT = "Infotainment"
+NODE_DOOR_LOCKS = "DoorLocks"
+NODE_SAFETY = "Safety"
+NODE_GATEWAY = "Gateway"
+
+ALL_NODES = (
+    NODE_EV_ECU,
+    NODE_EPS,
+    NODE_ENGINE,
+    NODE_SENSORS,
+    NODE_TELEMATICS,
+    NODE_INFOTAINMENT,
+    NODE_DOOR_LOCKS,
+    NODE_SAFETY,
+    NODE_GATEWAY,
+)
+
+
+@dataclass(frozen=True)
+class VehicleMessage:
+    """One named CAN message of the vehicle platform.
+
+    Parameters
+    ----------
+    can_id:
+        The frame identifier.
+    name:
+        Symbolic message name, e.g. ``"ECU_DISABLE"``.
+    producers:
+        Nodes that legitimately emit the message.
+    consumers:
+        Nodes that legitimately consume the message.
+    allowed_modes:
+        Car modes in which legitimate production occurs; empty means all
+        modes.  Mode-restricted command messages (e.g. ``ECU_DISABLE``)
+        are the basis for mode-dependent approved lists.
+    safety_relevant:
+        Whether the message influences safety-critical behaviour.
+    description:
+        Free-text meaning of the message.
+    period_ms:
+        Broadcast period for periodic messages, ``None`` for event-driven
+        commands.
+    """
+
+    can_id: int
+    name: str
+    producers: tuple[str, ...]
+    consumers: tuple[str, ...]
+    allowed_modes: tuple[CarMode, ...] = field(default_factory=tuple)
+    safety_relevant: bool = False
+    description: str = ""
+    period_ms: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.can_id <= MAX_STANDARD_ID:
+            raise ValueError(f"vehicle messages use standard 11-bit IDs; 0x{self.can_id:X} invalid")
+        if not self.name.strip():
+            raise ValueError("message name must be non-empty")
+        if not self.producers:
+            raise ValueError(f"message {self.name} must have at least one producer")
+        object.__setattr__(self, "producers", tuple(self.producers))
+        object.__setattr__(self, "consumers", tuple(self.consumers))
+        object.__setattr__(self, "allowed_modes", tuple(self.allowed_modes))
+
+    def allowed_in_mode(self, mode: CarMode) -> bool:
+        """Whether legitimate production of this message occurs in *mode*."""
+        return not self.allowed_modes or mode in self.allowed_modes
+
+    def produced_by(self, node: str) -> bool:
+        """Whether *node* legitimately produces this message."""
+        return node in self.producers
+
+    def consumed_by(self, node: str) -> bool:
+        """Whether *node* legitimately consumes this message."""
+        return node in self.consumers
+
+    def frame(self, data: bytes = b"", source: str = "") -> CANFrame:
+        """Instantiate a CAN frame carrying this message."""
+        return CANFrame(can_id=self.can_id, data=data, source=source or self.producers[0])
+
+    def __str__(self) -> str:
+        return f"0x{self.can_id:03X} {self.name}"
+
+
+class MessageCatalog:
+    """Queryable catalogue of all vehicle CAN messages."""
+
+    def __init__(self, messages: Iterable[VehicleMessage] = ()) -> None:
+        self._by_id: dict[int, VehicleMessage] = {}
+        self._by_name: dict[str, VehicleMessage] = {}
+        for message in messages:
+            self.add(message)
+
+    def add(self, message: VehicleMessage) -> VehicleMessage:
+        """Register a message; identifiers and names must be unique."""
+        if message.can_id in self._by_id:
+            raise ValueError(f"duplicate CAN identifier 0x{message.can_id:03X}")
+        if message.name in self._by_name:
+            raise ValueError(f"duplicate message name {message.name!r}")
+        self._by_id[message.can_id] = message
+        self._by_name[message.name] = message
+        return message
+
+    # -- lookups ------------------------------------------------------------------
+
+    def by_id(self, can_id: int) -> VehicleMessage:
+        """The message with the given identifier."""
+        try:
+            return self._by_id[can_id]
+        except KeyError:
+            raise KeyError(f"no message with identifier 0x{can_id:03X}") from None
+
+    def by_name(self, name: str) -> VehicleMessage:
+        """The message with the given symbolic name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no message named {name!r}") from None
+
+    def id_of(self, name: str) -> int:
+        """The identifier of the named message."""
+        return self.by_name(name).can_id
+
+    def __contains__(self, key: object) -> bool:
+        if isinstance(key, int):
+            return key in self._by_id
+        return key in self._by_name
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[VehicleMessage]:
+        return iter(self._by_id.values())
+
+    # -- derived views -------------------------------------------------------------
+
+    def produced_by(self, node: str, mode: CarMode | None = None) -> list[VehicleMessage]:
+        """Messages legitimately produced by *node* (optionally in *mode*)."""
+        return [
+            m
+            for m in self._by_id.values()
+            if m.produced_by(node) and (mode is None or m.allowed_in_mode(mode))
+        ]
+
+    def consumed_by(self, node: str, mode: CarMode | None = None) -> list[VehicleMessage]:
+        """Messages legitimately consumed by *node* (optionally in *mode*)."""
+        return [
+            m
+            for m in self._by_id.values()
+            if m.consumed_by(node) and (mode is None or m.allowed_in_mode(mode))
+        ]
+
+    def write_ids_for(self, node: str, mode: CarMode | None = None) -> list[int]:
+        """Identifiers *node* may emit (optionally restricted to *mode*)."""
+        return [m.can_id for m in self.produced_by(node, mode)]
+
+    def read_ids_for(self, node: str, mode: CarMode | None = None) -> list[int]:
+        """Identifiers *node* may consume (optionally restricted to *mode*)."""
+        return [m.can_id for m in self.consumed_by(node, mode)]
+
+    def safety_relevant(self) -> list[VehicleMessage]:
+        """All safety-relevant messages."""
+        return [m for m in self._by_id.values() if m.safety_relevant]
+
+    def nodes(self) -> list[str]:
+        """All node names appearing as producer or consumer."""
+        seen: dict[str, None] = {}
+        for message in self._by_id.values():
+            for node in message.producers + message.consumers:
+                seen.setdefault(node, None)
+        return list(seen)
+
+
+def standard_catalog() -> MessageCatalog:
+    """The connected-car message catalogue used by the case study.
+
+    Identifiers follow CAN convention: lower identifiers (higher priority)
+    for powertrain/safety commands, higher identifiers for infotainment
+    and diagnostics.
+    """
+    normal = (CarMode.NORMAL,)
+    failsafe = (CarMode.FAIL_SAFE,)
+    diagnostic = (CarMode.REMOTE_DIAGNOSTIC,)
+    messages = [
+        VehicleMessage(
+            0x010, "ECU_DISABLE", (NODE_DOOR_LOCKS, NODE_SAFETY), (NODE_EV_ECU,),
+            allowed_modes=failsafe, safety_relevant=True,
+            description="Disable the propulsion ECU (theft protection / crash response).",
+        ),
+        VehicleMessage(
+            0x011, "ECU_ENABLE", (NODE_SAFETY,), (NODE_EV_ECU,),
+            allowed_modes=(CarMode.FAIL_SAFE, CarMode.REMOTE_DIAGNOSTIC),
+            safety_relevant=True,
+            description="Re-enable the propulsion ECU after a fail-safe event.",
+        ),
+        VehicleMessage(
+            0x012, "ECU_COMMAND", (NODE_EV_ECU,), (NODE_ENGINE, NODE_EPS),
+            safety_relevant=True, period_ms=10.0,
+            description="Torque and steering demands from the EV-ECU.",
+        ),
+        VehicleMessage(
+            0x020, "ECU_STATUS", (NODE_EV_ECU,),
+            (NODE_INFOTAINMENT, NODE_TELEMATICS, NODE_SAFETY),
+            period_ms=100.0,
+            description="Propulsion status broadcast (speed, state of charge).",
+        ),
+        VehicleMessage(
+            0x030, "EPS_DEACTIVATE", (NODE_SAFETY,), (NODE_EPS,),
+            allowed_modes=failsafe, safety_relevant=True,
+            description="Deactivate power steering assistance.",
+        ),
+        VehicleMessage(
+            0x031, "EPS_STATUS", (NODE_EPS,), (NODE_EV_ECU, NODE_INFOTAINMENT),
+            period_ms=100.0, description="Steering assistance status.",
+        ),
+        VehicleMessage(
+            0x040, "ENGINE_DEACTIVATE", (NODE_SAFETY,), (NODE_ENGINE,),
+            allowed_modes=failsafe, safety_relevant=True,
+            description="Deactivate the engine/propulsion drive.",
+        ),
+        VehicleMessage(
+            0x041, "ENGINE_STATUS", (NODE_ENGINE,),
+            (NODE_EV_ECU, NODE_INFOTAINMENT, NODE_TELEMATICS),
+            period_ms=100.0, description="Engine status broadcast (rpm, temperature).",
+        ),
+        VehicleMessage(
+            0x050, "SENSOR_ACCEL", (NODE_SENSORS,),
+            (NODE_EV_ECU, NODE_ENGINE, NODE_INFOTAINMENT),
+            period_ms=10.0, safety_relevant=True,
+            description="Accelerator pedal position.",
+        ),
+        VehicleMessage(
+            0x051, "SENSOR_BRAKE", (NODE_SENSORS,), (NODE_EV_ECU, NODE_ENGINE, NODE_SAFETY),
+            period_ms=10.0, safety_relevant=True,
+            description="Brake pedal position and pressure.",
+        ),
+        VehicleMessage(
+            0x052, "SENSOR_TRANSMISSION", (NODE_SENSORS,), (NODE_EV_ECU, NODE_INFOTAINMENT),
+            period_ms=50.0, description="Transmission selector state.",
+        ),
+        VehicleMessage(
+            0x055, "SENSOR_PROXIMITY", (NODE_SENSORS,), (NODE_EV_ECU, NODE_SAFETY),
+            period_ms=50.0, safety_relevant=True,
+            description="Proximity/parking sensor distances.",
+        ),
+        VehicleMessage(
+            0x060, "DOOR_UNLOCK_CMD", (NODE_TELEMATICS, NODE_SAFETY), (NODE_DOOR_LOCKS,),
+            allowed_modes=(CarMode.NORMAL, CarMode.FAIL_SAFE), safety_relevant=True,
+            description="Unlock the doors (remote command or crash response).",
+        ),
+        VehicleMessage(
+            0x061, "DOOR_LOCK_CMD", (NODE_TELEMATICS,), (NODE_DOOR_LOCKS,),
+            allowed_modes=normal, safety_relevant=True,
+            description="Lock the doors (remote command).",
+        ),
+        VehicleMessage(
+            0x062, "DOOR_STATUS", (NODE_DOOR_LOCKS,),
+            (NODE_TELEMATICS, NODE_SAFETY, NODE_INFOTAINMENT),
+            period_ms=200.0, description="Door lock and ajar status.",
+        ),
+        VehicleMessage(
+            0x070, "FAILSAFE_TRIGGER", (NODE_SAFETY, NODE_SENSORS),
+            (NODE_EV_ECU, NODE_DOOR_LOCKS, NODE_TELEMATICS, NODE_SAFETY),
+            safety_relevant=True,
+            description="Enter fail-safe mode (crash or critical fault detected).",
+        ),
+        VehicleMessage(
+            0x071, "AIRBAG_DEPLOY", (NODE_SAFETY,), (NODE_DOOR_LOCKS, NODE_TELEMATICS),
+            allowed_modes=failsafe, safety_relevant=True,
+            description="Airbag deployment notification.",
+        ),
+        VehicleMessage(
+            0x072, "ALARM_DISABLE", (NODE_TELEMATICS, NODE_DOOR_LOCKS), (NODE_SAFETY,),
+            allowed_modes=normal, safety_relevant=True,
+            description="Disable the anti-theft alarm (authorised unlock).",
+        ),
+        VehicleMessage(
+            0x073, "ALARM_TRIGGER", (NODE_SAFETY, NODE_DOOR_LOCKS), (NODE_TELEMATICS,),
+            description="Anti-theft alarm triggered notification.",
+        ),
+        VehicleMessage(
+            0x080, "TRACKING_REPORT", (NODE_TELEMATICS,), (NODE_GATEWAY,),
+            period_ms=1000.0,
+            description="Stolen-vehicle tracking report uplinked via cellular.",
+        ),
+        VehicleMessage(
+            0x081, "MODEM_CONTROL", (NODE_TELEMATICS, NODE_INFOTAINMENT), (NODE_TELEMATICS,),
+            allowed_modes=diagnostic, safety_relevant=True,
+            description="Enable/disable the cellular modem (maintenance only).",
+        ),
+        VehicleMessage(
+            0x082, "EMERGENCY_CALL", (NODE_SAFETY, NODE_TELEMATICS), (NODE_TELEMATICS, NODE_GATEWAY),
+            allowed_modes=failsafe, safety_relevant=True,
+            description="Initiate an emergency call after an accident.",
+        ),
+        VehicleMessage(
+            0x083, "TRACKING_DISABLE", (NODE_TELEMATICS,), (NODE_TELEMATICS, NODE_GATEWAY),
+            allowed_modes=diagnostic,
+            description="Disable the remote tracking system (maintenance only).",
+        ),
+        VehicleMessage(
+            0x085, "GPS_POSITION", (NODE_TELEMATICS,), (NODE_INFOTAINMENT, NODE_SAFETY),
+            period_ms=1000.0,
+            description="GPS position broadcast (navigation and e-call).",
+        ),
+        VehicleMessage(
+            0x090, "CAR_STATUS_DISPLAY", (NODE_EV_ECU, NODE_SENSORS), (NODE_INFOTAINMENT,),
+            period_ms=100.0,
+            description="Car status values for the infotainment display (speed, range).",
+        ),
+        VehicleMessage(
+            0x0A0, "FIRMWARE_UPDATE", (NODE_TELEMATICS,),
+            (NODE_INFOTAINMENT, NODE_EV_ECU, NODE_ENGINE),
+            allowed_modes=diagnostic, safety_relevant=True,
+            description="Firmware update blocks distributed by the OEM.",
+        ),
+        VehicleMessage(
+            0x0B0, "DIAG_REQUEST", (NODE_TELEMATICS, NODE_GATEWAY),
+            (NODE_EV_ECU, NODE_ENGINE, NODE_EPS, NODE_DOOR_LOCKS),
+            allowed_modes=diagnostic,
+            description="Diagnostic request from an authorised engineer.",
+        ),
+        VehicleMessage(
+            0x0B1, "DIAG_RESPONSE", (NODE_EV_ECU, NODE_ENGINE, NODE_EPS, NODE_DOOR_LOCKS),
+            (NODE_TELEMATICS, NODE_GATEWAY),
+            allowed_modes=diagnostic,
+            description="Diagnostic response data.",
+        ),
+    ]
+    return MessageCatalog(messages)

@@ -1,0 +1,118 @@
+"""Car operating modes.
+
+The case study defines three operating modes (paper Table I):
+
+1. **Normal** -- standard vehicle functionality (driving, parked).
+2. **Remote Diagnostic** -- maintenance by the manufacturer or an
+   authorised engineer.
+3. **Fail-safe** -- reserved for emergency situations.
+
+Threats and policies are mode-dependent, so the enforcement layer
+re-derives the approved lists whenever the mode changes; the
+:class:`ModeManager` provides the transition rules and notification
+hooks that trigger that re-derivation.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable
+
+
+class CarMode(Enum):
+    """One of the connected car's operating modes."""
+
+    NORMAL = "normal"
+    REMOTE_DIAGNOSTIC = "remote-diagnostic"
+    FAIL_SAFE = "fail-safe"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @classmethod
+    def parse(cls, text: str) -> "CarMode":
+        """Parse a mode name such as ``"normal"`` or ``"fail-safe"``."""
+        normalised = text.strip().lower().replace("_", "-").replace(" ", "-")
+        for mode in cls:
+            if mode.value == normalised:
+                return mode
+        raise ValueError(f"unknown car mode: {text!r}")
+
+
+#: Allowed mode transitions.  Remote diagnostics may only be entered from
+#: normal operation; fail-safe may be entered from anywhere (it is the
+#: emergency state) and only exits back to normal after recovery.
+ALLOWED_TRANSITIONS: dict[CarMode, frozenset[CarMode]] = {
+    CarMode.NORMAL: frozenset({CarMode.REMOTE_DIAGNOSTIC, CarMode.FAIL_SAFE}),
+    CarMode.REMOTE_DIAGNOSTIC: frozenset({CarMode.NORMAL, CarMode.FAIL_SAFE}),
+    CarMode.FAIL_SAFE: frozenset({CarMode.NORMAL}),
+}
+
+
+class InvalidModeTransition(ValueError):
+    """Raised when a mode transition is not permitted."""
+
+
+class ModeManager:
+    """Tracks the car's current mode and notifies listeners on change.
+
+    Parameters
+    ----------
+    initial:
+        The mode the car starts in (normally :attr:`CarMode.NORMAL`).
+    """
+
+    def __init__(self, initial: CarMode = CarMode.NORMAL) -> None:
+        self._mode = initial
+        self._listeners: list[Callable[[CarMode, CarMode], None]] = []
+        self._history: list[CarMode] = [initial]
+
+    @property
+    def mode(self) -> CarMode:
+        """The current operating mode."""
+        return self._mode
+
+    @property
+    def history(self) -> list[CarMode]:
+        """Every mode the car has been in, in order (including the initial one)."""
+        return list(self._history)
+
+    def add_listener(self, listener: Callable[[CarMode, CarMode], None]) -> None:
+        """Register a listener called as ``listener(previous, new)`` on change."""
+        self._listeners.append(listener)
+
+    def can_transition(self, target: CarMode) -> bool:
+        """Whether a transition from the current mode to *target* is allowed."""
+        if target == self._mode:
+            return True
+        return target in ALLOWED_TRANSITIONS[self._mode]
+
+    def transition(self, target: CarMode) -> CarMode:
+        """Switch to *target*, notifying listeners.
+
+        Raises :class:`InvalidModeTransition` for disallowed transitions.
+        Transitioning to the current mode is a no-op.
+        """
+        if target == self._mode:
+            return self._mode
+        if not self.can_transition(target):
+            raise InvalidModeTransition(
+                f"cannot transition from {self._mode} to {target}"
+            )
+        previous, self._mode = self._mode, target
+        self._history.append(target)
+        for listener in self._listeners:
+            listener(previous, target)
+        return target
+
+    def enter_fail_safe(self) -> CarMode:
+        """Enter the fail-safe (emergency) mode."""
+        return self.transition(CarMode.FAIL_SAFE)
+
+    def enter_remote_diagnostic(self) -> CarMode:
+        """Enter the remote diagnostic (maintenance) mode."""
+        return self.transition(CarMode.REMOTE_DIAGNOSTIC)
+
+    def return_to_normal(self) -> CarMode:
+        """Return to normal operation."""
+        return self.transition(CarMode.NORMAL)

@@ -1,0 +1,118 @@
+"""Safety-critical controller.
+
+The safety controller aggregates crash detection (brake and proximity
+sensors), deploys airbags, triggers fail-safe mode, places emergency
+calls via the telematics unit and manages the anti-theft alarm.
+Table I threats: false triggering of fail-safe mode to unlock the
+vehicle, and disabling the alarm and locking system to allow theft.
+"""
+
+from __future__ import annotations
+
+from repro.can.frame import CANFrame
+from repro.can.node import PolicyHook
+from repro.vehicle.ecu import VehicleECU
+from repro.vehicle.messages import NODE_SAFETY, MessageCatalog
+
+
+class SafetyCriticalController(VehicleECU):
+    """Crash detection, airbags, alarm and fail-safe coordination."""
+
+    #: Brake reading above which, combined with a critically close obstacle,
+    #: the controller declares a crash.
+    CRASH_BRAKE_THRESHOLD = 200
+    CRASH_PROXIMITY_THRESHOLD = 5  # raw proximity payload (cm / 4)
+
+    def __init__(
+        self, catalog: MessageCatalog, policy_engine: PolicyHook | None = None
+    ) -> None:
+        super().__init__(NODE_SAFETY, catalog, policy_engine)
+        self.alarm_armed = False
+        self.alarm_triggered = False
+        self.failsafe_active = False
+        self.airbags_deployed = False
+        self.last_brake = 0
+        self.last_proximity = 255
+        self.false_failsafe_events = 0
+        self.on_message("SENSOR_BRAKE", self._handle_brake)
+        self.on_message("SENSOR_PROXIMITY", self._handle_proximity)
+        self.on_message("FAILSAFE_TRIGGER", self._handle_failsafe_trigger)
+        self.on_message("ALARM_DISABLE", self._handle_alarm_disable)
+        self.on_message("DOOR_STATUS", self._handle_door_status)
+
+    # -- alarm -----------------------------------------------------------------------
+
+    def arm_alarm(self) -> None:
+        """Arm the anti-theft alarm."""
+        self.alarm_armed = True
+        self.log_event("alarm-armed")
+
+    def _handle_alarm_disable(self, frame: CANFrame) -> None:
+        if self.alarm_armed:
+            self.alarm_armed = False
+            self.log_event(
+                "alarm-disabled", f"disabled by frame from {frame.source or 'unknown'}"
+            )
+
+    def _handle_door_status(self, frame: CANFrame) -> None:
+        # An unlocked door while the alarm is armed triggers the alarm.
+        if self.alarm_armed and frame.data and frame.data[0] == 0:
+            self.trigger_alarm("door opened while armed")
+
+    def trigger_alarm(self, reason: str) -> None:
+        """Sound the alarm and notify the telematics unit."""
+        if not self.alarm_triggered:
+            self.alarm_triggered = True
+            self.log_event("alarm-triggered", reason)
+            self.send_message("ALARM_TRIGGER", b"\x01")
+
+    # -- crash detection and fail-safe ---------------------------------------------------
+
+    def _handle_brake(self, frame: CANFrame) -> None:
+        self.last_brake = frame.data[0] if frame.data else 0
+        self._evaluate_crash()
+
+    def _handle_proximity(self, frame: CANFrame) -> None:
+        self.last_proximity = frame.data[0] if frame.data else 255
+        self._evaluate_crash()
+
+    def _evaluate_crash(self) -> None:
+        if self.failsafe_active:
+            return
+        if (
+            self.last_brake >= self.CRASH_BRAKE_THRESHOLD
+            and self.last_proximity <= self.CRASH_PROXIMITY_THRESHOLD
+        ):
+            self.declare_crash("hard braking with imminent obstacle")
+
+    def declare_crash(self, reason: str) -> None:
+        """Declare a crash: fail-safe, airbags, unlock, emergency call."""
+        self.failsafe_active = True
+        self.airbags_deployed = True
+        self.log_event("crash-detected", reason)
+        self.send_message("FAILSAFE_TRIGGER", b"\x01")
+        self.send_message("AIRBAG_DEPLOY", b"\x01")
+        self.send_message("DOOR_UNLOCK_CMD", b"\x01")
+        self.send_message("EMERGENCY_CALL", b"\x01")
+
+    def _handle_failsafe_trigger(self, frame: CANFrame) -> None:
+        if frame.source == self.name:
+            return
+        if not self.failsafe_active:
+            self.failsafe_active = True
+            self.log_event(
+                "failsafe-entered", f"triggered by frame from {frame.source or 'unknown'}"
+            )
+            # Track triggers that did not come from the sensor cluster or this
+            # controller: candidates for the "false triggering" threat.
+            if frame.source not in ("Sensors", self.name):
+                self.false_failsafe_events += 1
+
+    def reset_failsafe(self) -> None:
+        """Clear the fail-safe condition after recovery."""
+        self.failsafe_active = False
+        self.airbags_deployed = False
+        self.log_event("failsafe-reset")
+
+    def periodic_payload(self, message_name: str) -> bytes:
+        return b"\x00"

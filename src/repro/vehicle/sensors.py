@@ -1,0 +1,89 @@
+"""Sensor cluster.
+
+The sensor cluster node publishes accelerator, brake, transmission and
+proximity readings on the bus.  It is both an asset (tampered sensor
+data misleads the EV-ECU and engine) and an entry point (a compromised
+sensor node can broadcast arbitrary frames -- Table I "Deactivation
+through compromised sensor", "False triggering of fail-safe mode").
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.can.node import PolicyHook
+from repro.vehicle.ecu import VehicleECU
+from repro.vehicle.messages import NODE_SENSORS, MessageCatalog
+
+
+class SensorCluster(VehicleECU):
+    """Publishes periodic sensor readings.
+
+    Parameters
+    ----------
+    catalog:
+        The vehicle message catalogue.
+    policy_engine:
+        Optional policy hook for the sensor node.
+    seed:
+        Seed for the deterministic pseudo-random reading generator.
+    """
+
+    def __init__(
+        self,
+        catalog: MessageCatalog,
+        policy_engine: PolicyHook | None = None,
+        seed: int = 7,
+    ) -> None:
+        super().__init__(NODE_SENSORS, catalog, policy_engine)
+        self._random = random.Random(seed)
+        self.accel_position = 0
+        self.brake_position = 0
+        self.transmission_gear = 1
+        self.proximity_cm = 250
+
+    # -- physical inputs -----------------------------------------------------------
+
+    def set_pedals(self, accel: int, brake: int) -> None:
+        """Set the accelerator and brake pedal positions (0-255)."""
+        self.accel_position = max(0, min(255, accel))
+        self.brake_position = max(0, min(255, brake))
+
+    def set_gear(self, gear: int) -> None:
+        """Set the transmission selector (0=P, 1=D, 2=R, 3=N)."""
+        if not 0 <= gear <= 3:
+            raise ValueError("gear must be 0..3")
+        self.transmission_gear = gear
+
+    def set_proximity(self, distance_cm: int) -> None:
+        """Set the measured proximity distance in centimetres."""
+        self.proximity_cm = max(0, min(1000, distance_cm))
+
+    def detect_obstacle(self) -> bool:
+        """Broadcast an immediate proximity reading; returns True if critical.
+
+        A critical (below 30 cm) reading is the legitimate trigger for an
+        emergency reaction, so it also emits ``FAILSAFE_TRIGGER``.
+        """
+        self.send_message("SENSOR_PROXIMITY", bytes([min(255, self.proximity_cm // 4)]))
+        if self.proximity_cm < 30:
+            self.send_message("FAILSAFE_TRIGGER", b"\x01")
+            self.log_event("failsafe-trigger", "critical proximity reading")
+            return True
+        return False
+
+    # -- periodic payloads -------------------------------------------------------------
+
+    def periodic_payload(self, message_name: str) -> bytes:
+        jitter = self._random.randint(0, 3)
+        if message_name == "SENSOR_ACCEL":
+            return bytes([min(255, self.accel_position + jitter)])
+        if message_name == "SENSOR_BRAKE":
+            return bytes([min(255, self.brake_position + jitter)])
+        if message_name == "SENSOR_TRANSMISSION":
+            return bytes([self.transmission_gear])
+        if message_name == "SENSOR_PROXIMITY":
+            return bytes([min(255, self.proximity_cm // 4)])
+        if message_name == "CAR_STATUS_DISPLAY":
+            return bytes([min(255, self.accel_position), self.transmission_gear])
+        return b"\x00"

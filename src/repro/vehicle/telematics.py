@@ -1,0 +1,101 @@
+"""Telematics unit (3G/4G/WiFi connectivity).
+
+The telematics unit provides cellular and WiFi connectivity: telemetry
+upload, remote tracking after theft, firmware distribution, emergency
+calls and remote lock/unlock.  Table I lists four threats against it,
+from privacy attacks via modified radio firmware to disabling the modem
+so fail-safe communications cannot operate.
+"""
+
+from __future__ import annotations
+
+from repro.can.frame import CANFrame
+from repro.can.node import PolicyHook
+from repro.vehicle.ecu import VehicleECU
+from repro.vehicle.messages import NODE_TELEMATICS, MessageCatalog
+
+
+class TelematicsUnit(VehicleECU):
+    """Cellular/WiFi connectivity controller."""
+
+    def __init__(
+        self, catalog: MessageCatalog, policy_engine: PolicyHook | None = None
+    ) -> None:
+        super().__init__(NODE_TELEMATICS, catalog, policy_engine)
+        self.modem_enabled = True
+        self.tracking_enabled = True
+        self.emergency_calls_placed = 0
+        self.tracking_reports_sent = 0
+        self.privacy_exfiltration_events = 0
+        self.on_message("MODEM_CONTROL", self._handle_modem_control)
+        self.on_message("TRACKING_DISABLE", self._handle_tracking_disable)
+        self.on_message("EMERGENCY_CALL", self._handle_emergency_call)
+        self.on_message("FAILSAFE_TRIGGER", self._handle_failsafe)
+
+    # -- connectivity state ----------------------------------------------------------
+
+    @property
+    def can_place_emergency_call(self) -> bool:
+        """Whether fail-safe communications are currently possible."""
+        return self.operational and self.modem_enabled
+
+    def _handle_modem_control(self, frame: CANFrame) -> None:
+        enable = bool(frame.data and frame.data[0])
+        previous = self.modem_enabled
+        self.modem_enabled = enable
+        if previous and not enable:
+            self.log_event(
+                "modem-disabled", f"modem disabled by frame from {frame.source or 'unknown'}"
+            )
+
+    def _handle_tracking_disable(self, frame: CANFrame) -> None:
+        if self.tracking_enabled:
+            self.tracking_enabled = False
+            self.log_event(
+                "tracking-disabled",
+                f"remote tracking disabled by frame from {frame.source or 'unknown'}",
+            )
+
+    def _handle_emergency_call(self, frame: CANFrame) -> None:
+        self.place_emergency_call()
+
+    def _handle_failsafe(self, frame: CANFrame) -> None:
+        # Entering fail-safe automatically attempts an emergency call.
+        self.place_emergency_call()
+
+    def place_emergency_call(self) -> bool:
+        """Attempt to notify emergency services; returns success."""
+        if not self.can_place_emergency_call:
+            self.log_event("emergency-call-failed", "modem disabled or unit not operational")
+            return False
+        self.emergency_calls_placed += 1
+        self.log_event("emergency-call", "emergency services notified")
+        return True
+
+    # -- radio firmware privacy attack ---------------------------------------------------
+
+    def exfiltrate_position(self) -> bool:
+        """Model the modified-radio-firmware privacy attack.
+
+        Only possible when the unit's firmware is compromised; returns
+        whether private position data actually left the vehicle.
+        """
+        if not self.firmware_compromised:
+            return False
+        if not self.modem_enabled:
+            return False
+        self.privacy_exfiltration_events += 1
+        self.log_event("privacy-exfiltration", "GPS position exfiltrated via radio firmware")
+        return True
+
+    # -- periodic payloads ------------------------------------------------------------------
+
+    def periodic_payload(self, message_name: str) -> bytes:
+        if message_name == "TRACKING_REPORT":
+            if self.tracking_enabled and self.modem_enabled:
+                self.tracking_reports_sent += 1
+                return b"\x01"
+            return b"\x00"
+        if message_name == "GPS_POSITION":
+            return bytes([0x42, 0x17])
+        return b"\x00"

@@ -1,0 +1,52 @@
+"""Shared pytest fixtures.
+
+Also makes the ``src/`` layout importable without an installed package,
+so the suite runs in environments where an editable install is not
+possible (e.g. offline CI images).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import pytest
+
+from repro.casestudy.builder import CaseStudyBuilder
+from repro.core.enforcement import EnforcementConfig
+from repro.vehicle.car import ConnectedCar
+from repro.vehicle.messages import standard_catalog
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    """The standard connected-car message catalogue."""
+    return standard_catalog()
+
+
+@pytest.fixture(scope="session")
+def builder():
+    """A case-study builder with the policy derived once per session."""
+    return CaseStudyBuilder()
+
+
+@pytest.fixture()
+def unprotected_car(builder) -> ConnectedCar:
+    """A fresh car with no runtime enforcement."""
+    return builder.build_car(config=None)
+
+
+@pytest.fixture()
+def protected_car(builder) -> ConnectedCar:
+    """A fresh car with full (HPE + SELinux) enforcement fitted."""
+    return builder.build_car(config=EnforcementConfig.full())
+
+
+@pytest.fixture()
+def hpe_only_car(builder) -> ConnectedCar:
+    """A fresh car with hardware policy engines only."""
+    return builder.build_car(config=EnforcementConfig.hardware_only())

@@ -1,0 +1,153 @@
+"""Tests for the analysis layer: Table I, Figures 1-4, metrics, comparisons."""
+
+import pytest
+
+from repro.analysis.comparison import (
+    EnforcementComparison,
+    compare_enforcement_configurations,
+    render_response_comparison,
+    response_comparison_rows,
+)
+from repro.analysis.coverage import run_derivation_sweep
+from repro.analysis.figures import (
+    FIG1_GROUPS,
+    fig1_stage_flow,
+    fig2_topology_graph,
+    fig3_node_structure,
+    fig4_hpe_structure,
+    render_fig1_lifecycle,
+    render_fig2_topology,
+    render_fig3_can_node,
+    render_fig4_hpe_node,
+)
+from repro.analysis.metrics import CampaignMetrics, measure_overhead
+from repro.analysis.tables import reproduce_table1
+from repro.attacks.campaign import AttackCampaign
+from repro.core.enforcement import EnforcementConfig
+from repro.core.lifecycle import STAGE_ORDER
+
+
+class TestTable1Reproduction:
+    def test_all_rows_reproduced_with_matching_averages(self):
+        table = reproduce_table1()
+        assert table.row_count == 16
+        assert table.matching_averages == 16
+        assert table.agreement == 1.0
+
+    def test_assets_in_paper_order(self):
+        assets = reproduce_table1().assets()
+        assert assets[0] == "EV-ECU"
+        assert assets[-1] == "Safety Critical"
+
+    def test_render_contains_key_cells(self):
+        text = reproduce_table1().render()
+        assert "Spoofed data over CAN bus causing disablement of ECU" in text
+        assert "8,5,4,6,4 (5.4)" in text
+        assert "STIDE" in text
+        assert "| R " in text and "| RW" in text and "| W " in text
+
+
+class TestFigures:
+    def test_fig1_flow_covers_every_stage(self):
+        flow = fig1_stage_flow()
+        assert len(flow) == len(STAGE_ORDER)
+        assert sum(len(stages) for stages in FIG1_GROUPS.values()) == len(STAGE_ORDER)
+        assert "security-model" in [stage for stage, _ in flow]
+        rendered = render_fig1_lifecycle()
+        assert "threat-modelling" in rendered
+        assert "security model" in rendered.lower()
+
+    def test_fig2_topology(self, unprotected_car):
+        graph = fig2_topology_graph(unprotected_car)
+        assert graph.number_of_nodes() == 14
+        rendered = render_fig2_topology(unprotected_car)
+        assert "EV-ECU" in rendered
+        assert "CAN bus" in rendered
+        assert "Cellular-3G/4G" in rendered
+
+    def test_fig3_structure(self):
+        structure = fig3_node_structure()
+        assert structure["transceiver"] == "CANTransceiver"
+        assert structure["controller"] == "CANController"
+        assert "Transceiver" in render_fig3_can_node()
+
+    def test_fig4_structure(self):
+        structure = fig4_hpe_structure()
+        assert structure["approved_read_ids"] == [0x020, 0x050]
+        rendered = render_fig4_hpe_node()
+        assert "approved reading list" in rendered
+        assert "0x020" in rendered
+
+    def test_fig4_reflects_live_engine(self, protected_car):
+        engine = protected_car.enforcement_coordinator.engines["EV-ECU"]
+        rendered = render_fig4_hpe_node(engine)
+        assert "EV-ECU" in rendered
+
+
+class TestMetrics:
+    def test_campaign_metrics(self, builder):
+        result = AttackCampaign(
+            builder.factory(EnforcementConfig.full()), configuration_name="full"
+        ).run()
+        metrics = CampaignMetrics(result)
+        summary = metrics.summary()
+        assert summary["scenarios"] == 16
+        assert summary["attack_success_rate"] <= 0.1
+        per_asset = metrics.per_asset()
+        assert sum(a.scenarios for a in per_asset) == 16
+        assert len(metrics.rows()) == 16
+        assert set(metrics.per_mode()) <= {"normal", "fail-safe", "remote-diagnostic"}
+
+    def test_overhead_measurement(self, builder):
+        protected = builder.build_car(EnforcementConfig.full(), start_periodic_traffic=True)
+        unprotected = builder.build_car(None, start_periodic_traffic=True)
+        protected.run(0.3)
+        unprotected.run(0.3)
+        with_enforcement = measure_overhead(protected, 0.3)
+        without = measure_overhead(unprotected, 0.3)
+        assert with_enforcement.hpe_decisions > 0
+        assert with_enforcement.decisions_per_frame >= 1.0
+        assert with_enforcement.mean_decision_latency_s > 0
+        assert with_enforcement.latency_overhead_ratio < 0.01
+        assert without.hpe_decisions == 0
+        assert without.selinux_checks == 0
+        assert with_enforcement.summary()["bus_utilisation"] > 0
+
+
+class TestComparisons:
+    def test_enforcement_comparison_shape(self, builder):
+        comparison = compare_enforcement_configurations(
+            configurations=(
+                ("unprotected", None),
+                ("hpe+selinux", EnforcementConfig.full()),
+            ),
+            builder=builder,
+        )
+        assert isinstance(comparison, EnforcementComparison)
+        rates = comparison.success_rates()
+        assert rates["unprotected"] == 1.0
+        assert rates["hpe+selinux"] < 0.1
+        matrix = comparison.scenario_matrix()
+        assert len(matrix) == 16
+        rendered = comparison.render()
+        assert "success rate" in rendered
+        assert "T01" in rendered
+
+    def test_response_comparison_rows(self):
+        rows = response_comparison_rows(fleet_size=50_000)
+        assert rows[0][0] == "policy"
+        policy_days = rows[0][2]
+        assert all(days > policy_days for _, _, days, _, _ in rows[1:])
+        assert all(slowdown > 1 for _, _, _, _, slowdown in rows[1:])
+        rendered = render_response_comparison()
+        assert "policy-update" in rendered
+        assert "product-recall" in rendered
+
+    def test_derivation_sweep_monotonic(self):
+        sweep = run_derivation_sweep(thresholds=(0.0, 5.0, 6.0, 7.0))
+        assert len(sweep.points) == 4
+        assert sweep.is_monotonic()
+        assert sweep.points[0].coverage == 1.0
+        assert sweep.points[-1].coverage < sweep.points[0].coverage
+        assert sweep.points[0].residual_risk == pytest.approx(0.0)
+        assert "Residual risk" in sweep.render()

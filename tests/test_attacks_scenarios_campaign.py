@@ -1,0 +1,127 @@
+"""Tests for the Table I scenarios and the attack-campaign machinery.
+
+The campaign-level tests are the integration heart of the reproduction:
+they assert the *shape* of the paper's argument -- every Table I attack
+succeeds against the unprotected baseline, and policy enforcement
+(hardware policy engines plus SELinux) mitigates nearly all of them.
+"""
+
+import pytest
+
+from repro.attacks.campaign import AttackCampaign
+from repro.attacks.scenarios import all_scenarios, scenario_by_threat_id
+from repro.casestudy.connected_car import TABLE1_ROWS
+from repro.core.enforcement import EnforcementConfig
+
+
+class TestScenarioDefinitions:
+    def test_sixteen_scenarios_matching_table1(self):
+        scenarios = all_scenarios()
+        assert len(scenarios) == 16
+        assert [s.threat_id for s in scenarios] == [r.threat_id for r in TABLE1_ROWS]
+
+    def test_assets_match_table1(self):
+        rows = {r.threat_id: r for r in TABLE1_ROWS}
+        for scenario in all_scenarios():
+            assert rows[scenario.threat_id].asset.startswith(
+                scenario.target_asset.split(" ")[0]
+            )
+
+    def test_lookup_by_id(self):
+        assert scenario_by_threat_id("T05").target_asset == "EPS"
+        with pytest.raises(KeyError):
+            scenario_by_threat_id("T99")
+
+
+class TestIndividualScenarios:
+    @pytest.mark.parametrize("threat_id", [r.threat_id for r in TABLE1_ROWS])
+    def test_every_attack_succeeds_without_enforcement(self, builder, threat_id):
+        scenario = scenario_by_threat_id(threat_id)
+        outcome = scenario.execute(builder.build_car(None))
+        assert outcome.objective_achieved, (
+            f"{threat_id} should succeed against the unprotected baseline: "
+            f"{outcome.detail}"
+        )
+
+    @pytest.mark.parametrize(
+        "threat_id",
+        ["T01", "T02", "T04", "T05", "T06", "T07", "T09", "T10", "T11", "T13", "T14",
+         "T15", "T16"],
+    )
+    def test_hpe_blocks_can_level_attacks(self, builder, threat_id):
+        scenario = scenario_by_threat_id(threat_id)
+        outcome = scenario.execute(builder.build_car(EnforcementConfig.hardware_only()))
+        assert outcome.mitigated, f"{threat_id} should be blocked by the HPE: {outcome.detail}"
+
+    def test_t08_needs_software_policy(self, builder):
+        scenario = scenario_by_threat_id("T08")
+        hpe_only = scenario.execute(builder.build_car(EnforcementConfig.hardware_only()))
+        with_selinux = scenario.execute(builder.build_car(EnforcementConfig.full()))
+        assert not hpe_only.mitigated
+        assert with_selinux.mitigated
+
+    def test_t12_is_accepted_residual_risk(self, builder):
+        # Forged status values from a legitimate producer cannot be stopped by
+        # ID-based filtering; the paper rates this row lowest (DREAD 4.6).
+        outcome = scenario_by_threat_id("T12").execute(
+            builder.build_car(EnforcementConfig.full())
+        )
+        assert not outcome.mitigated
+
+    def test_outcomes_record_blocked_frames(self, builder):
+        outcome = scenario_by_threat_id("T01").execute(
+            builder.build_car(EnforcementConfig.full())
+        )
+        assert outcome.frames_blocked > 0
+        assert outcome.mitigated
+
+
+class TestCampaign:
+    def test_unprotected_campaign_all_attacks_succeed(self, builder):
+        result = AttackCampaign(
+            builder.factory(None), configuration_name="unprotected"
+        ).run()
+        assert result.total == 16
+        assert result.attack_success_rate == 1.0
+        assert result.mitigated == []
+
+    def test_full_enforcement_mitigates_nearly_everything(self, builder):
+        result = AttackCampaign(
+            builder.factory(EnforcementConfig.full()), configuration_name="full"
+        ).run()
+        assert result.mitigation_rate >= 14 / 16
+        assert result.succeeded_ids() == ["T12"]
+        assert result.frames_blocked > 0
+
+    def test_enforcement_ordering_matches_paper_argument(self, builder):
+        """unprotected < selinux-only < hpe-only <= full, in mitigation terms."""
+        rates = {}
+        for name, config in (
+            ("unprotected", None),
+            ("selinux-only", EnforcementConfig.software_only()),
+            ("hpe-only", EnforcementConfig.hardware_only()),
+            ("full", EnforcementConfig.full()),
+        ):
+            rates[name] = AttackCampaign(
+                builder.factory(config), configuration_name=name
+            ).run().mitigation_rate
+        assert rates["unprotected"] == 0.0
+        assert rates["unprotected"] < rates["selinux-only"] < rates["hpe-only"]
+        assert rates["hpe-only"] <= rates["full"]
+        assert rates["full"] >= 0.9
+
+    def test_outcome_lookup_and_partial_campaign(self, builder):
+        campaign = AttackCampaign(
+            builder.factory(EnforcementConfig.full()),
+            scenarios=[scenario_by_threat_id("T01"), scenario_by_threat_id("T05")],
+            configuration_name="subset",
+        )
+        result = campaign.run()
+        assert result.total == 2
+        assert result.outcome_for("T01").mitigated
+        with pytest.raises(KeyError):
+            result.outcome_for("T16")
+        single = campaign.run_single("T05")
+        assert single.mitigated
+        with pytest.raises(KeyError):
+            campaign.run_single("T16")

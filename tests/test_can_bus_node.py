@@ -1,0 +1,212 @@
+"""Tests for the shared bus, nodes and the policy-hook integration."""
+
+import pytest
+
+from repro.can.bus import CANBus
+from repro.can.errors import NodeDetachedError
+from repro.can.frame import CANFrame
+from repro.can.node import ApplicationHooks, CANNode
+from repro.can.scheduler import EventScheduler
+from repro.can.trace import TraceEventKind
+
+
+def build_bus_with_nodes(*names: str) -> tuple[CANBus, dict[str, CANNode]]:
+    bus = CANBus(EventScheduler())
+    nodes = {}
+    for name in names:
+        node = CANNode(name)
+        bus.attach(node)
+        nodes[name] = node
+    return bus, nodes
+
+
+class DenyAllPolicy:
+    """PolicyHook test double that blocks everything."""
+
+    def permit_write(self, frame: CANFrame) -> bool:
+        return False
+
+    def permit_read(self, frame: CANFrame) -> bool:
+        return False
+
+
+class AllowListPolicy:
+    """PolicyHook test double with explicit read/write allow sets."""
+
+    def __init__(self, reads=(), writes=()):
+        self.reads = set(reads)
+        self.writes = set(writes)
+
+    def permit_write(self, frame: CANFrame) -> bool:
+        return frame.can_id in self.writes
+
+    def permit_read(self, frame: CANFrame) -> bool:
+        return frame.can_id in self.reads
+
+
+class TestBroadcast:
+    def test_frame_reaches_every_other_node(self):
+        bus, nodes = build_bus_with_nodes("a", "b", "c")
+        assert nodes["a"].send(CANFrame(can_id=0x10, data=b"\x01"))
+        bus.run_until_idle()
+        assert nodes["b"].received_ids() == [0x10]
+        assert nodes["c"].received_ids() == [0x10]
+        assert nodes["a"].received_ids() == []  # sender does not loop back
+
+    def test_source_is_stamped_with_sender_name(self):
+        bus, nodes = build_bus_with_nodes("a", "b")
+        nodes["a"].send(CANFrame(can_id=0x10))
+        bus.run_until_idle()
+        assert nodes["b"].inbox[0].source == "a"
+
+    def test_trace_records_transmission_and_delivery(self):
+        bus, nodes = build_bus_with_nodes("a", "b")
+        nodes["a"].send(CANFrame(can_id=0x10))
+        bus.run_until_idle()
+        assert bus.trace.count(TraceEventKind.SUBMITTED) == 1
+        assert bus.trace.count(TraceEventKind.TRANSMITTED) == 1
+        assert bus.trace.count(TraceEventKind.DELIVERED) == 1
+
+    def test_statistics(self):
+        bus, nodes = build_bus_with_nodes("a", "b", "c")
+        nodes["a"].send(CANFrame(can_id=0x10))
+        nodes["b"].send(CANFrame(can_id=0x20))
+        bus.run_until_idle()
+        assert bus.statistics.frames_submitted == 2
+        assert bus.statistics.frames_transmitted == 2
+        assert bus.statistics.frames_delivered == 4
+        assert bus.statistics.busy_time > 0
+        assert 0 < bus.statistics.utilisation(bus.scheduler.now + 1.0) <= 1.0
+
+    def test_receive_callback_invoked(self):
+        received = []
+        bus = CANBus()
+        sender = CANNode("sender")
+        listener = CANNode("listener", hooks=ApplicationHooks(on_receive=received.append))
+        bus.attach(sender)
+        bus.attach(listener)
+        sender.send(CANFrame(can_id=0x42))
+        bus.run_until_idle()
+        assert [f.can_id for f in received] == [0x42]
+
+
+class TestArbitration:
+    def test_lowest_id_wins_when_bus_busy(self):
+        bus, nodes = build_bus_with_nodes("a", "b", "c")
+        # First frame occupies the bus; the next two arbitrate.
+        nodes["a"].send(CANFrame(can_id=0x100))
+        nodes["b"].send(CANFrame(can_id=0x300))
+        nodes["c"].send(CANFrame(can_id=0x200))
+        bus.run_until_idle()
+        transmitted = [r.frame.can_id for r in bus.trace.of_kind(TraceEventKind.TRANSMITTED)]
+        assert transmitted == [0x100, 0x200, 0x300]
+        assert bus.statistics.arbitration_conflicts >= 1
+
+
+class TestTopology:
+    def test_duplicate_node_names_rejected(self):
+        bus, _ = build_bus_with_nodes("a")
+        with pytest.raises(ValueError):
+            bus.attach(CANNode("a"))
+
+    def test_detach(self):
+        bus, nodes = build_bus_with_nodes("a", "b")
+        bus.detach("b")
+        assert bus.node_names() == ["a"]
+        nodes["a"].send(CANFrame(can_id=0x1))
+        bus.run_until_idle()
+        assert nodes["b"].received_ids() == []
+        with pytest.raises(KeyError):
+            bus.detach("b")
+
+    def test_node_lookup(self):
+        bus, nodes = build_bus_with_nodes("a")
+        assert bus.node("a") is nodes["a"]
+        with pytest.raises(KeyError):
+            bus.node("zz")
+
+    def test_detached_node_cannot_send(self):
+        node = CANNode("loner")
+        with pytest.raises(NodeDetachedError):
+            node.send(CANFrame(can_id=0x1))
+
+    def test_broadcast_reach_excludes_sender(self):
+        bus, _ = build_bus_with_nodes("a", "b", "c")
+        assert set(bus.broadcast_reach("a")) == {"b", "c"}
+
+
+class TestPolicyHookIntegration:
+    def test_write_blocked_by_policy_never_reaches_bus(self):
+        bus, nodes = build_bus_with_nodes("a", "b")
+        nodes["a"].policy_engine = DenyAllPolicy()
+        assert not nodes["a"].send(CANFrame(can_id=0x10))
+        bus.run_until_idle()
+        assert bus.trace.count(TraceEventKind.TRANSMITTED) == 0
+        assert bus.trace.count(TraceEventKind.BLOCKED_WRITE_POLICY) == 1
+        assert nodes["a"].counters.send_blocked_by_policy == 1
+
+    def test_read_blocked_by_policy_never_reaches_application(self):
+        bus, nodes = build_bus_with_nodes("a", "b")
+        nodes["b"].policy_engine = DenyAllPolicy()
+        nodes["a"].send(CANFrame(can_id=0x10))
+        bus.run_until_idle()
+        assert nodes["b"].received_ids() == []
+        assert bus.trace.count(TraceEventKind.BLOCKED_READ_POLICY) == 1
+
+    def test_allow_list_policy_is_selective(self):
+        bus, nodes = build_bus_with_nodes("a", "b")
+        nodes["a"].policy_engine = AllowListPolicy(writes={0x10})
+        nodes["b"].policy_engine = AllowListPolicy(reads={0x10})
+        assert nodes["a"].send(CANFrame(can_id=0x10))
+        assert not nodes["a"].send(CANFrame(can_id=0x20))
+        bus.run_until_idle()
+        assert nodes["b"].received_ids() == [0x10]
+
+    def test_software_filter_blocked_write_is_traced(self):
+        bus, nodes = build_bus_with_nodes("a", "b")
+        nodes["a"].controller.tx_filters.set_default_reject()
+        assert not nodes["a"].send(CANFrame(can_id=0x10))
+        assert bus.trace.count(TraceEventKind.BLOCKED_WRITE_FILTER) == 1
+
+    def test_software_filter_blocked_read_is_traced(self):
+        bus, nodes = build_bus_with_nodes("a", "b")
+        nodes["b"].controller.rx_filters.set_default_reject()
+        nodes["a"].send(CANFrame(can_id=0x10))
+        bus.run_until_idle()
+        assert bus.trace.count(TraceEventKind.BLOCKED_READ_FILTER) == 1
+        assert nodes["b"].received_ids() == []
+
+    def test_firmware_compromise_bypasses_software_but_not_policy(self):
+        bus, nodes = build_bus_with_nodes("a", "b")
+        nodes["a"].controller.tx_filters.set_default_reject()
+        nodes["a"].policy_engine = AllowListPolicy(writes={0x10})
+        # Software filter blocks before compromise...
+        assert not nodes["a"].send(CANFrame(can_id=0x10))
+        # ...compromise bypasses it, the policy hook still constrains IDs.
+        nodes["a"].compromise_firmware()
+        assert nodes["a"].firmware_compromised
+        assert nodes["a"].send(CANFrame(can_id=0x10))
+        assert not nodes["a"].send(CANFrame(can_id=0x99))
+        nodes["a"].restore_firmware()
+        assert not nodes["a"].firmware_compromised
+
+    def test_blocked_callbacks_fire(self):
+        blocked = []
+        bus = CANBus()
+        node = CANNode(
+            "a",
+            hooks=ApplicationHooks(
+                on_send_blocked=lambda frame, reason: blocked.append(("send", reason))
+            ),
+        )
+        node.policy_engine = DenyAllPolicy()
+        bus.attach(node)
+        node.send(CANFrame(can_id=0x10))
+        assert blocked == [("send", "policy-engine")]
+
+    def test_clear_inbox(self):
+        bus, nodes = build_bus_with_nodes("a", "b")
+        nodes["a"].send(CANFrame(can_id=0x10))
+        bus.run_until_idle()
+        nodes["b"].clear_inbox()
+        assert nodes["b"].received_ids() == []

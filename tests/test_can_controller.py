@@ -1,0 +1,96 @@
+"""Tests for the CAN controller error-confinement state machine and filters."""
+
+import pytest
+
+from repro.can.controller import (
+    BUS_OFF_THRESHOLD,
+    ERROR_PASSIVE_THRESHOLD,
+    CANController,
+    ControllerState,
+)
+from repro.can.errors import BusOffError
+from repro.can.frame import CANFrame
+
+
+class TestErrorConfinement:
+    def test_starts_error_active(self):
+        controller = CANController("node")
+        assert controller.state is ControllerState.ERROR_ACTIVE
+        assert not controller.is_bus_off
+
+    def test_becomes_error_passive_on_tx_errors(self):
+        controller = CANController("node")
+        for _ in range(ERROR_PASSIVE_THRESHOLD // 8):
+            controller.record_tx_error()
+        assert controller.state is ControllerState.ERROR_PASSIVE
+
+    def test_becomes_error_passive_on_rx_errors(self):
+        controller = CANController("node")
+        for _ in range(ERROR_PASSIVE_THRESHOLD):
+            controller.record_rx_error()
+        assert controller.state is ControllerState.ERROR_PASSIVE
+
+    def test_becomes_bus_off_on_many_tx_errors(self):
+        controller = CANController("node")
+        for _ in range(BUS_OFF_THRESHOLD // 8):
+            controller.record_tx_error()
+        assert controller.state is ControllerState.BUS_OFF
+        with pytest.raises(BusOffError):
+            controller.check_transmit(CANFrame(can_id=0x1))
+
+    def test_success_decrements_counters(self):
+        controller = CANController("node")
+        controller.record_tx_error()
+        assert controller.tx_error_counter == 8
+        for _ in range(8):
+            controller.record_tx_success()
+        assert controller.tx_error_counter == 0
+        controller.record_tx_success()
+        assert controller.tx_error_counter == 0
+
+    def test_rx_success_decrements(self):
+        controller = CANController("node")
+        controller.record_rx_error()
+        assert controller.rx_error_counter == 1
+        controller.record_rx_success()
+        assert controller.rx_error_counter == 0
+
+    def test_reset_recovers_from_bus_off(self):
+        controller = CANController("node")
+        for _ in range(BUS_OFF_THRESHOLD // 8):
+            controller.record_tx_error()
+        controller.reset()
+        assert controller.state is ControllerState.ERROR_ACTIVE
+        assert controller.check_transmit(CANFrame(can_id=0x1))
+
+
+class TestFiltersAndCompromise:
+    def test_check_receive_counts(self):
+        controller = CANController("node")
+        controller.rx_filters.set_default_reject()
+        controller.rx_filters.add_exact(0x10)
+        assert controller.check_receive(CANFrame(can_id=0x10))
+        assert not controller.check_receive(CANFrame(can_id=0x20))
+        assert controller.frames_accepted == 1
+        assert controller.frames_rejected == 1
+
+    def test_check_transmit_uses_tx_filters(self):
+        controller = CANController("node")
+        controller.tx_filters.set_default_reject()
+        controller.tx_filters.add_exact(0x10)
+        assert controller.check_transmit(CANFrame(can_id=0x10))
+        assert not controller.check_transmit(CANFrame(can_id=0x20))
+
+    def test_compromise_bypasses_both_banks(self):
+        controller = CANController("node")
+        controller.rx_filters.set_default_reject()
+        controller.tx_filters.set_default_reject()
+        assert not controller.check_receive(CANFrame(can_id=0x99))
+        assert not controller.check_transmit(CANFrame(can_id=0x99))
+        controller.compromise()
+        assert controller.compromised
+        assert controller.check_receive(CANFrame(can_id=0x99))
+        assert controller.check_transmit(CANFrame(can_id=0x99))
+        controller.restore()
+        assert not controller.compromised
+        assert not controller.check_transmit(CANFrame(can_id=0x99))

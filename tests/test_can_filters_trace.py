@@ -1,0 +1,138 @@
+"""Tests for software acceptance filters and the bus trace."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.can.filters import AcceptanceFilter, FilterBank
+from repro.can.frame import MAX_STANDARD_ID, CANFrame
+from repro.can.trace import BusTrace, TraceEventKind
+
+standard_ids = st.integers(min_value=0, max_value=MAX_STANDARD_ID)
+
+
+class TestAcceptanceFilter:
+    def test_exact_filter(self):
+        acceptance = AcceptanceFilter.exact(0x123)
+        assert acceptance.matches(CANFrame(can_id=0x123))
+        assert not acceptance.matches(CANFrame(can_id=0x124))
+
+    def test_accept_all(self):
+        acceptance = AcceptanceFilter.accept_all()
+        assert acceptance.matches(CANFrame(can_id=0x000))
+        assert acceptance.matches(CANFrame(can_id=0x7FF))
+
+    def test_masked_match(self):
+        # Match any identifier in the 0x100-0x10F range.
+        acceptance = AcceptanceFilter(value=0x100, mask=0x7F0)
+        assert acceptance.matches_id(0x105)
+        assert not acceptance.matches_id(0x115)
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            AcceptanceFilter(value=-1, mask=0)
+        with pytest.raises(ValueError):
+            AcceptanceFilter(value=0, mask=0x3FFFFFFF)
+
+    @given(standard_ids)
+    def test_exact_filter_matches_only_itself(self, can_id):
+        acceptance = AcceptanceFilter.exact(can_id)
+        assert acceptance.matches_id(can_id)
+        assert not acceptance.matches_id((can_id + 1) & MAX_STANDARD_ID) or MAX_STANDARD_ID == 0
+
+
+class TestFilterBank:
+    def test_empty_bank_default_accept(self):
+        assert FilterBank().accepts(CANFrame(can_id=0x1))
+
+    def test_empty_bank_default_reject(self):
+        bank = FilterBank()
+        bank.set_default_reject()
+        assert not bank.accepts(CANFrame(can_id=0x1))
+        bank.set_default_accept()
+        assert bank.accepts(CANFrame(can_id=0x1))
+
+    def test_configured_bank_accepts_only_matches(self):
+        bank = FilterBank()
+        bank.add_exact(0x10)
+        bank.add_exact(0x20)
+        assert bank.accepts(CANFrame(can_id=0x10))
+        assert bank.accepts_id(0x20)
+        assert not bank.accepts(CANFrame(can_id=0x30))
+
+    def test_compromise_bypasses_filtering(self):
+        bank = FilterBank()
+        bank.set_default_reject()
+        bank.add_exact(0x10)
+        assert not bank.accepts_id(0x30)
+        bank.compromise()
+        assert bank.compromised
+        assert bank.accepts_id(0x30)
+        bank.restore()
+        assert not bank.accepts_id(0x30)
+
+    def test_clear_and_len(self):
+        bank = FilterBank([AcceptanceFilter.exact(0x10)])
+        assert len(bank) == 1
+        bank.clear()
+        assert len(bank) == 0
+
+    @given(st.sets(standard_ids, min_size=1, max_size=16), standard_ids)
+    def test_bank_accepts_exactly_configured_ids(self, approved, probe):
+        bank = FilterBank()
+        bank.set_default_reject()
+        for can_id in approved:
+            bank.add_exact(can_id)
+        assert bank.accepts_id(probe) == (probe in approved)
+
+
+class TestBusTrace:
+    def make_trace(self) -> BusTrace:
+        trace = BusTrace()
+        frame_a = CANFrame(can_id=0x10, source="Sensors")
+        frame_b = CANFrame(can_id=0x20, source="EV-ECU")
+        trace.record(0.0, TraceEventKind.SUBMITTED, frame_a, node="Sensors")
+        trace.record(0.1, TraceEventKind.TRANSMITTED, frame_a, node="Sensors")
+        trace.record(0.1, TraceEventKind.DELIVERED, frame_a, node="EV-ECU")
+        trace.record(0.2, TraceEventKind.BLOCKED_READ_POLICY, frame_b, node="EPS",
+                     detail="not approved")
+        return trace
+
+    def test_counts_and_queries(self):
+        trace = self.make_trace()
+        assert len(trace) == 4
+        assert trace.count(TraceEventKind.DELIVERED) == 1
+        assert len(trace.of_kind(TraceEventKind.TRANSMITTED)) == 1
+        assert len(trace.for_frame_id(0x10)) == 3
+        assert len(trace.for_node("EPS")) == 1
+        assert trace[0].kind is TraceEventKind.SUBMITTED
+
+    def test_blocked_and_delivered_helpers(self):
+        trace = self.make_trace()
+        assert len(trace.blocked()) == 1
+        assert trace.was_delivered("EV-ECU", 0x10)
+        assert not trace.was_delivered("EV-ECU", 0x20)
+        assert len(trace.delivered_to("EV-ECU")) == 1
+
+    def test_summary(self):
+        summary = self.make_trace().summary()
+        assert summary["delivered"] == 1
+        assert summary["blocked-read-policy"] == 1
+
+    def test_filter_predicate(self):
+        trace = self.make_trace()
+        late = trace.filter(lambda r: r.time >= 0.1)
+        assert len(late) == 3
+
+    def test_merge_orders_by_time(self):
+        first, second = BusTrace(), BusTrace()
+        frame = CANFrame(can_id=0x1)
+        first.record(0.5, TraceEventKind.TRANSMITTED, frame)
+        second.record(0.1, TraceEventKind.SUBMITTED, frame)
+        merged = first.merge(second)
+        assert [r.time for r in merged] == [0.1, 0.5]
+
+    def test_clear(self):
+        trace = self.make_trace()
+        trace.clear()
+        assert len(trace) == 0

@@ -1,0 +1,104 @@
+"""Tests for CAN frames and message definitions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.can.errors import InvalidFrameError
+from repro.can.frame import (
+    MAX_EXTENDED_ID,
+    MAX_STANDARD_ID,
+    CANFrame,
+    FrameKind,
+    MessageDefinition,
+)
+
+
+class TestCANFrame:
+    def test_basic_frame(self):
+        frame = CANFrame(can_id=0x123, data=b"\x01\x02")
+        assert frame.dlc == 2
+        assert frame.priority == 0x123
+        assert frame.kind is FrameKind.DATA
+
+    def test_standard_id_bounds(self):
+        CANFrame(can_id=MAX_STANDARD_ID)
+        with pytest.raises(InvalidFrameError):
+            CANFrame(can_id=MAX_STANDARD_ID + 1)
+
+    def test_extended_id_bounds(self):
+        CANFrame(can_id=MAX_EXTENDED_ID, extended=True)
+        with pytest.raises(InvalidFrameError):
+            CANFrame(can_id=MAX_EXTENDED_ID + 1, extended=True)
+
+    def test_payload_limit(self):
+        CANFrame(can_id=1, data=bytes(8))
+        with pytest.raises(InvalidFrameError):
+            CANFrame(can_id=1, data=bytes(9))
+
+    def test_payload_type_checked(self):
+        with pytest.raises(InvalidFrameError):
+            CANFrame(can_id=1, data="not bytes")
+
+    def test_remote_frame_has_no_payload(self):
+        CANFrame(can_id=1, kind=FrameKind.REMOTE)
+        with pytest.raises(InvalidFrameError):
+            CANFrame(can_id=1, kind=FrameKind.REMOTE, data=b"\x01")
+
+    def test_error_frame_bit_length(self):
+        assert CANFrame(can_id=0, kind=FrameKind.ERROR).bit_length == 20
+
+    def test_arbitration_prefers_lower_id(self):
+        high_priority = CANFrame(can_id=0x010)
+        low_priority = CANFrame(can_id=0x700)
+        assert high_priority.arbitrates_before(low_priority)
+        assert not low_priority.arbitrates_before(high_priority)
+
+    def test_transmission_time_scales_with_bitrate(self):
+        frame = CANFrame(can_id=1, data=bytes(8))
+        assert frame.transmission_time(500_000) == pytest.approx(frame.bit_length / 500_000)
+        assert frame.transmission_time(125_000) > frame.transmission_time(500_000)
+
+    def test_transmission_time_rejects_bad_bitrate(self):
+        with pytest.raises(ValueError):
+            CANFrame(can_id=1).transmission_time(0)
+
+    def test_with_source_and_with_data(self):
+        frame = CANFrame(can_id=0x20, data=b"\x01")
+        tagged = frame.with_source("EV-ECU")
+        assert tagged.source == "EV-ECU"
+        assert tagged.can_id == frame.can_id
+        changed = tagged.with_data(b"\x02\x03")
+        assert changed.data == b"\x02\x03"
+        assert changed.source == "EV-ECU"
+
+    @given(st.integers(min_value=0, max_value=MAX_STANDARD_ID),
+           st.binary(max_size=8))
+    def test_bit_length_monotone_in_payload(self, can_id, data):
+        frame = CANFrame(can_id=can_id, data=data)
+        empty = CANFrame(can_id=can_id)
+        assert frame.bit_length >= empty.bit_length
+        assert frame.bit_length >= 44  # at least the control-field overhead
+
+    @given(st.integers(min_value=0, max_value=MAX_STANDARD_ID), st.binary(max_size=8))
+    def test_frames_are_value_objects(self, can_id, data):
+        assert CANFrame(can_id=can_id, data=data) == CANFrame(can_id=can_id, data=data)
+
+
+class TestMessageDefinition:
+    def test_frame_instantiation(self):
+        definition = MessageDefinition(
+            can_id=0x20, name="ECU_STATUS", producer="EV-ECU", consumers=("Infotainment",)
+        )
+        frame = definition.frame(data=b"\x01")
+        assert frame.can_id == 0x20
+        assert frame.source == "EV-ECU"
+        assert definition.frame(source="spoofer").source == "spoofer"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MessageDefinition(can_id=0x20, name=" ", producer="X")
+        with pytest.raises(ValueError):
+            MessageDefinition(can_id=0x20, name="M", producer=" ")
+        with pytest.raises(InvalidFrameError):
+            MessageDefinition(can_id=MAX_EXTENDED_ID + 1, name="M", producer="X")

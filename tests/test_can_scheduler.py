@@ -1,0 +1,131 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.can.scheduler import EventScheduler
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(0.3, lambda: order.append("c"))
+        scheduler.schedule(0.1, lambda: order.append("a"))
+        scheduler.schedule(0.2, lambda: order.append("b"))
+        scheduler.run()
+        assert order == ["a", "b", "c"]
+        assert scheduler.now == pytest.approx(0.3)
+
+    def test_equal_times_run_in_scheduling_order(self):
+        scheduler = EventScheduler()
+        order = []
+        for label in "abc":
+            scheduler.schedule(0.5, lambda label=label: order.append(label))
+        scheduler.run()
+        assert order == ["a", "b", "c"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_in_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(1.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(0.5, lambda: None)
+
+    def test_run_until_leaves_later_events_pending(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(0.1, lambda: fired.append(1))
+        scheduler.schedule(1.0, lambda: fired.append(2))
+        executed = scheduler.run(until=0.5)
+        assert executed == 1
+        assert fired == [1]
+        assert scheduler.pending_events == 1
+        assert scheduler.now == pytest.approx(0.5)
+        scheduler.run()
+        assert fired == [1, 2]
+
+    def test_run_respects_max_events(self):
+        scheduler = EventScheduler()
+        for _ in range(10):
+            scheduler.schedule(0.1, lambda: None)
+        assert scheduler.run(max_events=3) == 3
+        assert scheduler.processed_events == 3
+
+    def test_step(self):
+        scheduler = EventScheduler()
+        fired = []
+        scheduler.schedule(0.1, lambda: fired.append(1))
+        assert scheduler.step() is True
+        assert fired == [1]
+        assert scheduler.step() is False
+
+    def test_cancellation(self):
+        scheduler = EventScheduler()
+        fired = []
+        handle = scheduler.schedule(0.1, lambda: fired.append(1), label="cancel-me")
+        scheduler.schedule(0.2, lambda: fired.append(2))
+        handle.cancel()
+        assert handle.cancelled
+        assert handle.label == "cancel-me"
+        scheduler.run()
+        assert fired == [2]
+
+    def test_clear(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(0.1, lambda: None)
+        scheduler.clear()
+        assert scheduler.run() == 0
+
+    def test_events_scheduled_during_execution_run(self):
+        scheduler = EventScheduler()
+        fired = []
+
+        def first():
+            fired.append("first")
+            scheduler.schedule(0.1, lambda: fired.append("second"))
+
+        scheduler.schedule(0.1, first)
+        scheduler.run()
+        assert fired == ["first", "second"]
+        assert scheduler.now == pytest.approx(0.2)
+
+
+class TestPeriodic:
+    def test_periodic_with_count(self):
+        scheduler = EventScheduler()
+        ticks = []
+        scheduler.schedule_periodic(0.1, lambda: ticks.append(scheduler.now), count=3)
+        scheduler.run()
+        assert len(ticks) == 3
+        assert ticks[0] == pytest.approx(0.1)
+        assert ticks[-1] == pytest.approx(0.3)
+
+    def test_periodic_bounded_by_until(self):
+        scheduler = EventScheduler()
+        ticks = []
+        scheduler.schedule_periodic(0.1, lambda: ticks.append(scheduler.now))
+        scheduler.run(until=0.55)
+        assert len(ticks) == 5
+
+    def test_periodic_custom_start_delay(self):
+        scheduler = EventScheduler()
+        ticks = []
+        scheduler.schedule_periodic(
+            0.2, lambda: ticks.append(scheduler.now), start_delay=0.0, count=2
+        )
+        scheduler.run()
+        assert ticks[0] == pytest.approx(0.0)
+        assert ticks[1] == pytest.approx(0.2)
+
+    def test_periodic_zero_count_is_noop(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_periodic(0.1, lambda: None, count=0)
+        assert scheduler.run() == 0
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule_periodic(0.0, lambda: None)

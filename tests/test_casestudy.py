@@ -1,0 +1,127 @@
+"""Tests for the connected-car case-study dataset and builders."""
+
+import pytest
+
+from repro.casestudy.builder import CaseStudyBuilder, build_case_study_model, car_factory
+from repro.casestudy.connected_car import (
+    PAPER_DREAD_AVERAGES,
+    TABLE1_ROWS,
+    build_guideline_model,
+    build_threat_model,
+    build_threat_policy_entries,
+    case_study_assets,
+    case_study_entry_points,
+    table1_threats,
+)
+from repro.core.enforcement import EnforcementConfig
+from repro.threat.dread import RiskLevel
+
+
+class TestTable1Data:
+    def test_sixteen_rows(self):
+        assert len(TABLE1_ROWS) == 16
+
+    def test_dread_averages_match_paper(self):
+        for row in TABLE1_ROWS:
+            assert row.dread_average == pytest.approx(
+                PAPER_DREAD_AVERAGES[row.threat_id], abs=0.05
+            ), f"{row.threat_id} average mismatch"
+
+    def test_seven_assets_plus_sensors(self):
+        assets = {row.asset for row in TABLE1_ROWS}
+        assert assets == {
+            "EV-ECU", "EPS (Steering)", "Engine", "3G/4G/WiFi",
+            "Infotainment System", "Door locks", "Safety Critical",
+        }
+
+    def test_policies_are_valid_permissions(self):
+        assert {row.policy for row in TABLE1_ROWS} <= {"R", "W", "RW"}
+
+    def test_highest_risk_row_is_lock_during_accident(self):
+        worst = max(TABLE1_ROWS, key=lambda row: row.dread_average)
+        assert worst.threat_id == "T14"
+        assert worst.dread_average == pytest.approx(6.8)
+
+    def test_lowest_risk_row_is_tracking_disable(self):
+        best = min(TABLE1_ROWS, key=lambda row: row.dread_average)
+        assert best.threat_id == "T03"
+
+
+class TestThreatModel:
+    def test_assets_and_entry_points(self):
+        assert len(case_study_assets()) == 8
+        assert len(case_study_entry_points()) == 11
+
+    def test_threats_built_from_rows(self):
+        threats = table1_threats()
+        assert len(threats) == 16
+        by_id = {t.identifier: t for t in threats}
+        assert by_id["T01"].stride.letters == "STD"
+        assert by_id["T07"].stride.letters == "STIDE"
+        assert by_id["T16"].stride.letters == "TE"
+        assert by_id["T14"].risk_level is RiskLevel.HIGH
+
+    def test_model_is_internally_consistent(self):
+        model = build_threat_model()
+        assert len(model.threats) == 16
+        assert len(model.assets) == 8
+        # Every threat references registered entry points (enforced on add),
+        # and only the sensor asset legitimately has no direct threat row.
+        findings = model.validate()
+        unthreatened = [f for f in findings if "no identified threats" in f]
+        assert len(unthreatened) == 1 and "Sensors" in unthreatened[0]
+
+    def test_summary_statistics(self):
+        model = build_threat_model()
+        summary = model.summary()
+        assert summary["threats"] == 16
+        assert 5.0 < summary["mean_dread_average"] < 6.5
+
+
+class TestGuidelineBaseline:
+    def test_guidelines_cover_a_subset_of_threats(self):
+        model = build_guideline_model()
+        threat_ids = [row.threat_id for row in TABLE1_ROWS]
+        coverage = model.coverage(threat_ids)
+        assert 0.4 < coverage < 1.0
+
+    def test_paper_guidelines_present(self):
+        texts = [g.text for g in build_guideline_model()]
+        assert any("Limit components with CAN bus access" in t for t in texts)
+        assert any("unauthorised software installation" in t for t in texts)
+
+
+class TestBuilders:
+    def test_case_study_model_is_deployable(self):
+        model = build_case_study_model()
+        assert model.is_deployable()
+        assert model.policy_coverage() > 0.8
+        assert model.guideline_coverage() > 0.0
+        assert model.summary()["access_rules"] >= 25
+
+    def test_uncovered_threats_are_only_the_documented_residual(self):
+        model = build_case_study_model()
+        assert model.uncovered_threats() == []
+
+    def test_builder_reuses_one_policy(self, builder):
+        first = builder.build_car(EnforcementConfig.full())
+        second = builder.build_car(EnforcementConfig.full())
+        assert first is not second
+        assert (
+            first.enforcement_coordinator.policy is second.enforcement_coordinator.policy
+        )
+
+    def test_factory_builds_fresh_cars(self):
+        factory = car_factory(EnforcementConfig.hardware_only())
+        car_a, car_b = factory(), factory()
+        assert car_a is not car_b
+        assert car_a.enforcement_coordinator.engines
+
+    def test_unprotected_factory_has_no_coordinator(self, builder):
+        car = builder.factory(None)()
+        assert getattr(car, "enforcement_coordinator", None) is None
+
+    def test_threshold_propagates_to_derivation(self):
+        strict = CaseStudyBuilder(dread_threshold=6.5)
+        assert len(strict.model.policy.access_rules) < 28
+        assert strict.derivation.skipped_threats

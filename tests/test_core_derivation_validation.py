@@ -1,0 +1,203 @@
+"""Tests for policy derivation and validation."""
+
+import pytest
+
+from repro.casestudy.connected_car import build_threat_model, build_threat_policy_entries
+from repro.core.derivation import CanRestriction, PolicyDerivation, ThreatPolicyEntry
+from repro.core.policy import (
+    AccessRule,
+    Direction,
+    Permission,
+    PolicyCondition,
+    RuleEffect,
+    SecurityPolicy,
+)
+from repro.core.validation import PolicyValidator, Severity
+from repro.threat.countermeasures import CountermeasureKind
+from repro.threat.dread import DreadScore
+from repro.threat.stride import StrideClassification
+from repro.threat.threats import Threat
+from repro.vehicle.messages import NODE_EV_ECU, NODE_SENSORS
+
+
+def make_threat(identifier="TX", average_scores=(8, 5, 4, 6, 4)) -> Threat:
+    return Threat(
+        identifier=identifier,
+        description="synthetic threat",
+        asset="EV-ECU",
+        entry_points=("Sensors",),
+        stride=StrideClassification.parse("STD"),
+        dread=DreadScore.from_sequence(average_scores),
+    )
+
+
+def make_entry(threat=None, **kwargs) -> ThreatPolicyEntry:
+    threat = threat if threat is not None else make_threat()
+    defaults = dict(
+        permission=Permission.READ,
+        can_restrictions=(
+            CanRestriction(
+                node=NODE_SENSORS, direction=Direction.WRITE, messages=("ECU_DISABLE",)
+            ),
+        ),
+    )
+    defaults.update(kwargs)
+    return ThreatPolicyEntry(threat=threat, **defaults)
+
+
+class TestPolicyDerivation:
+    def test_rules_and_countermeasures_created(self, catalog):
+        derivation = PolicyDerivation(catalog).derive([make_entry()], policy_name="p")
+        assert len(derivation.policy.access_rules) == 1
+        rule = derivation.policy.access_rules[0]
+        assert rule.rule_id == "P-TX-1"
+        assert rule.derived_from == "TX"
+        assert rule.effect is RuleEffect.DENY
+        hpe_cms = derivation.countermeasures.by_kind(CountermeasureKind.HARDWARE_POLICY)
+        assert len(hpe_cms) == 1
+        assert hpe_cms[0].mitigates_threat("TX")
+
+    def test_threshold_skips_low_risk_threats(self, catalog):
+        low = make_entry(threat=make_threat("T-LOW", (1, 1, 1, 1, 1)))
+        high = make_entry(threat=make_threat("T-HIGH", (9, 9, 9, 9, 9)))
+        derivation = PolicyDerivation(catalog, dread_threshold=5.0).derive([low, high])
+        assert derivation.skipped_threats == ["T-LOW"]
+        assert derivation.policy.mitigated_threats() == {"T-HIGH"}
+        best_practice = derivation.countermeasures.by_kind(CountermeasureKind.BEST_PRACTICE)
+        assert [cm.mitigates[0] for cm in best_practice] == ["T-LOW"]
+
+    def test_unknown_message_rejected(self, catalog):
+        entry = make_entry(
+            can_restrictions=(
+                CanRestriction(NODE_SENSORS, Direction.WRITE, ("GHOST_MESSAGE",)),
+            )
+        )
+        with pytest.raises(KeyError):
+            PolicyDerivation(catalog).derive([entry])
+
+    def test_guidelines_become_guideline_countermeasures(self, catalog):
+        entry = make_entry(guidelines=("do the right thing",))
+        derivation = PolicyDerivation(catalog).derive([entry])
+        guideline_cms = derivation.countermeasures.by_kind(CountermeasureKind.GUIDELINE)
+        assert len(guideline_cms) == 1
+
+    def test_app_statements_compiled_into_module(self, catalog, builder):
+        derivation = builder.derivation
+        assert derivation.selinux_module is not None
+        assert len(derivation.selinux_module.rules) >= 1
+        assert derivation.policy.app_statements
+
+    def test_case_study_derivation_covers_most_threats(self, catalog, builder):
+        policy = builder.model.policy
+        mitigated = policy.mitigated_threats()
+        # T08 is handled purely by SELinux statements, T12 has residual risk,
+        # every other Table I threat gets at least one CAN-level rule.
+        assert len(mitigated) >= 14
+        assert "T01" in mitigated
+        assert "T16" in mitigated
+
+    def test_summary(self, catalog):
+        derivation = PolicyDerivation(catalog).derive([make_entry()])
+        summary = derivation.summary()
+        assert summary["access_rules"] == 1
+        assert summary["countermeasures"] == 1
+
+
+class TestPolicyValidator:
+    def make_validator(self, catalog) -> PolicyValidator:
+        model = build_threat_model()
+        return PolicyValidator(catalog, model.threats)
+
+    def test_case_study_policy_is_deployable(self, catalog, builder):
+        validator = self.make_validator(catalog)
+        assert validator.is_deployable(builder.model.policy)
+        assert validator.coverage_ratio(builder.model.policy) > 0.8
+
+    def test_unknown_node_is_an_error(self, catalog):
+        validator = self.make_validator(catalog)
+        policy = SecurityPolicy("p")
+        policy.add_rule(
+            AccessRule("P-1", RuleEffect.DENY, "Spaceship", Direction.READ, ("ECU_DISABLE",))
+        )
+        errors = validator.errors(policy)
+        assert any(f.code == "unknown-node" for f in errors)
+        assert not validator.is_deployable(policy)
+
+    def test_unknown_message_is_an_error(self, catalog):
+        validator = self.make_validator(catalog)
+        policy = SecurityPolicy("p")
+        policy.add_rule(
+            AccessRule("P-1", RuleEffect.DENY, NODE_EV_ECU, Direction.READ, ("GHOST",))
+        )
+        assert any(f.code == "unknown-message" for f in validator.errors(policy))
+
+    def test_allow_deny_overlap_is_a_warning(self, catalog):
+        validator = self.make_validator(catalog)
+        policy = SecurityPolicy("p")
+        policy.add_rule(
+            AccessRule("P-A", RuleEffect.ALLOW, NODE_EV_ECU, Direction.READ, ("ECU_DISABLE",))
+        )
+        policy.add_rule(
+            AccessRule("P-D", RuleEffect.DENY, NODE_EV_ECU, Direction.READ, ("ECU_DISABLE",))
+        )
+        findings = validator.validate(policy)
+        overlaps = [f for f in findings if f.code == "allow-deny-overlap"]
+        assert overlaps and overlaps[0].severity is Severity.WARNING
+        # Overlap warnings alone do not block deployment.
+        assert validator.is_deployable(policy)
+
+    def test_non_overlapping_conditions_do_not_warn(self, catalog):
+        validator = self.make_validator(catalog)
+        policy = SecurityPolicy("p")
+        policy.add_rule(
+            AccessRule(
+                "P-A", RuleEffect.ALLOW, NODE_EV_ECU, Direction.READ, ("ECU_DISABLE",),
+                condition=PolicyCondition(in_motion=False),
+            )
+        )
+        policy.add_rule(
+            AccessRule(
+                "P-D", RuleEffect.DENY, NODE_EV_ECU, Direction.READ, ("ECU_DISABLE",),
+                condition=PolicyCondition(in_motion=True),
+            )
+        )
+        assert not [f for f in validator.validate(policy) if f.code == "allow-deny-overlap"]
+
+    def test_duplicate_rule_detected(self, catalog):
+        validator = self.make_validator(catalog)
+        policy = SecurityPolicy("p")
+        for rule_id in ("P-1", "P-2"):
+            policy.add_rule(
+                AccessRule(rule_id, RuleEffect.DENY, NODE_EV_ECU, Direction.READ,
+                           ("ECU_DISABLE",))
+            )
+        findings = validator.validate(policy)
+        assert any(f.code == "duplicate-rule" for f in findings)
+
+    def test_uncovered_high_risk_threat_is_a_warning(self, catalog):
+        validator = self.make_validator(catalog)
+        findings = validator.validate(SecurityPolicy("empty"))
+        uncovered = [f for f in findings if f.code == "uncovered-threat"]
+        assert len(uncovered) == 16
+        assert any(f.severity is Severity.WARNING for f in uncovered)
+
+    def test_findings_by_severity_grouping(self, catalog):
+        validator = self.make_validator(catalog)
+        findings = validator.validate(SecurityPolicy("empty"))
+        grouped = PolicyValidator.findings_by_severity(findings)
+        assert sum(len(v) for v in grouped.values()) == len(findings)
+
+
+class TestCaseStudyEntries:
+    def test_sixteen_entries_matching_table1(self, catalog):
+        entries = build_threat_policy_entries(catalog)
+        assert len(entries) == 16
+        assert [e.threat_id for e in entries] == [f"T{i:02d}" for i in range(1, 17)]
+
+    def test_permissions_match_paper_column(self, catalog):
+        entries = {e.threat_id: e for e in build_threat_policy_entries(catalog)}
+        assert entries["T01"].permission is Permission.READ
+        assert entries["T03"].permission is Permission.READ_WRITE
+        assert entries["T09"].permission is Permission.READ_WRITE
+        assert entries["T14"].permission is Permission.WRITE
+        assert entries["T16"].permission is Permission.WRITE

@@ -1,0 +1,182 @@
+"""Tests for the textual policy language."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dsl import (
+    PolicySyntaxError,
+    parse_condition,
+    parse_policy,
+    parse_rule,
+    render_policy,
+)
+from repro.core.policy import (
+    AccessRule,
+    Direction,
+    PolicyCondition,
+    RuleEffect,
+    SecurityPolicy,
+)
+from repro.vehicle.modes import CarMode
+
+
+class TestParseRule:
+    def test_simple_deny(self):
+        rule = parse_rule("P-1: deny EV-ECU read ECU_DISABLE")
+        assert rule.rule_id == "P-1"
+        assert rule.effect is RuleEffect.DENY
+        assert rule.node == "EV-ECU"
+        assert rule.direction is Direction.READ
+        assert rule.messages == ("ECU_DISABLE",)
+        assert rule.condition.is_unconditional
+
+    def test_rule_with_condition_and_comment(self):
+        rule = parse_rule(
+            "P-2: deny DoorLocks read DOOR_UNLOCK_CMD when in-motion no-accident # T13"
+        )
+        assert rule.condition.in_motion is True
+        assert rule.condition.accident is False
+        assert rule.derived_from == "T13"
+
+    def test_rule_with_mode_condition(self):
+        rule = parse_rule("P-3: allow DoorLocks write ECU_DISABLE when mode=normal stationary")
+        assert rule.effect is RuleEffect.ALLOW
+        assert rule.condition.modes == frozenset({CarMode.NORMAL})
+        assert rule.condition.in_motion is False
+
+    def test_multiple_messages(self):
+        rule = parse_rule("P-4: deny Infotainment write ECU_DISABLE,EPS_DEACTIVATE")
+        assert rule.messages == ("ECU_DISABLE", "EPS_DEACTIVATE")
+
+    def test_default_rule_id(self):
+        rule = parse_rule("deny EV-ECU read ECU_DISABLE", default_rule_id="R001")
+        assert rule.rule_id == "R001"
+
+    @pytest.mark.parametrize(
+        "bad_line",
+        [
+            "P-1: explode EV-ECU read X",          # unknown effect
+            "P-1: deny EV-ECU sideways X",          # unknown direction
+            "P-1: deny EV-ECU read",                # missing messages
+            "P-1: deny EV-ECU read X if sunny",     # missing 'when'
+            "P-1: deny EV-ECU read X when mode=warp",  # unknown mode
+            "P-1: deny EV-ECU read X when flying",  # unknown condition token
+            "deny EV-ECU read X",                   # no id and no default
+        ],
+    )
+    def test_syntax_errors(self, bad_line):
+        with pytest.raises(PolicySyntaxError):
+            parse_rule(bad_line)
+
+
+class TestParseCondition:
+    def test_all_tokens(self):
+        condition = parse_condition(
+            ["mode=normal,fail-safe", "stationary", "alarm-armed", "no-accident"]
+        )
+        assert condition.modes == frozenset({CarMode.NORMAL, CarMode.FAIL_SAFE})
+        assert condition.in_motion is False
+        assert condition.alarm_armed is True
+        assert condition.accident is False
+
+    def test_empty_tokens(self):
+        assert parse_condition([]).is_unconditional
+
+
+class TestParsePolicy:
+    def test_document_with_header_and_comments(self):
+        text = """
+        policy connected-car v3
+        # a comment line
+
+        P-T01-1: deny EV-ECU read ECU_DISABLE when mode=normal in-motion # T01
+        P-T13-1: deny DoorLocks read DOOR_UNLOCK_CMD when in-motion
+        """
+        policy = parse_policy(text)
+        assert policy.name == "connected-car"
+        assert policy.version == 3
+        assert len(policy) == 2
+        assert policy.rule("P-T01-1").derived_from == "T01"
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(PolicySyntaxError) as excinfo:
+            parse_policy("policy p v1\nP-1: nonsense line here\n")
+        assert "line 2" in str(excinfo.value)
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(PolicySyntaxError):
+            parse_policy("policy p vNaN\n")
+
+    def test_rules_without_ids_get_sequential_defaults(self):
+        policy = parse_policy("deny EV-ECU read ECU_DISABLE\ndeny EPS read EPS_DEACTIVATE\n")
+        assert [r.rule_id for r in policy.access_rules] == ["R001", "R002"]
+
+
+class TestRoundTrip:
+    def test_render_parse_roundtrip_preserves_rules(self):
+        policy = SecurityPolicy("round-trip", version=2)
+        policy.add_rule(
+            AccessRule(
+                "P-1", RuleEffect.DENY, "EV-ECU", Direction.READ, ("ECU_DISABLE",),
+                condition=PolicyCondition(
+                    modes=frozenset({CarMode.NORMAL}), in_motion=True
+                ),
+                derived_from="T01",
+            )
+        )
+        policy.add_rule(
+            AccessRule(
+                "P-2", RuleEffect.ALLOW, "DoorLocks", Direction.WRITE, ("ECU_DISABLE",),
+                condition=PolicyCondition(in_motion=False, alarm_armed=True),
+            )
+        )
+        parsed = parse_policy(render_policy(policy))
+        assert parsed.name == policy.name
+        assert parsed.version == policy.version
+        assert len(parsed) == len(policy)
+        for original in policy.access_rules:
+            restored = parsed.rule(original.rule_id)
+            assert restored.effect == original.effect
+            assert restored.node == original.node
+            assert restored.direction == original.direction
+            assert restored.messages == original.messages
+            assert restored.condition == original.condition
+            assert restored.derived_from == original.derived_from
+
+    node_names = st.sampled_from(["EV-ECU", "EPS", "DoorLocks", "Telematics", "*"])
+    message_names = st.lists(
+        st.sampled_from(["ECU_DISABLE", "EPS_DEACTIVATE", "DOOR_LOCK_CMD", "MODEM_CONTROL"]),
+        min_size=1, max_size=3, unique=True,
+    )
+
+    @given(
+        effect=st.sampled_from(list(RuleEffect)),
+        node=node_names,
+        direction=st.sampled_from(list(Direction)),
+        messages=message_names,
+        modes=st.frozensets(st.sampled_from(list(CarMode)), max_size=2),
+        in_motion=st.one_of(st.none(), st.booleans()),
+        alarm_armed=st.one_of(st.none(), st.booleans()),
+        accident=st.one_of(st.none(), st.booleans()),
+    )
+    def test_arbitrary_rule_roundtrip(
+        self, effect, node, direction, messages, modes, in_motion, alarm_armed, accident
+    ):
+        rule = AccessRule(
+            rule_id="P-X",
+            effect=effect,
+            node=node,
+            direction=direction,
+            messages=tuple(messages),
+            condition=PolicyCondition(
+                modes=modes, in_motion=in_motion, alarm_armed=alarm_armed, accident=accident
+            ),
+        )
+        policy = SecurityPolicy("fuzz", access_rules=[rule])
+        restored = parse_policy(render_policy(policy)).rule("P-X")
+        assert restored.effect == rule.effect
+        assert restored.node == rule.node
+        assert restored.direction == rule.direction
+        assert restored.messages == rule.messages
+        assert restored.condition == rule.condition

@@ -1,0 +1,144 @@
+"""Tests for the life-cycle model, response comparison and the guideline baseline."""
+
+import pytest
+
+from repro.core.guidelines import Guideline, GuidelineSecurityModel, RemediationPath
+from repro.core.lifecycle import (
+    STAGE_ORDER,
+    LifecycleStage,
+    ResponseModel,
+    ResponseParameters,
+    SecureDevelopmentLifecycle,
+)
+
+
+class TestSecureDevelopmentLifecycle:
+    def test_stages_complete_in_order(self):
+        lifecycle = SecureDevelopmentLifecycle("connected-car")
+        assert lifecycle.current_stage is LifecycleStage.REQUIREMENTS
+        lifecycle.complete(LifecycleStage.REQUIREMENTS)
+        assert lifecycle.current_stage is LifecycleStage.RISK_ASSESSMENT
+        with pytest.raises(ValueError):
+            lifecycle.complete(LifecycleStage.DEPLOYMENT)
+
+    def test_complete_through(self):
+        lifecycle = SecureDevelopmentLifecycle("connected-car")
+        lifecycle.complete_through(LifecycleStage.DEPLOYMENT)
+        assert lifecycle.deployed
+        assert lifecycle.current_stage is LifecycleStage.MAINTENANCE
+        assert lifecycle.completed == list(STAGE_ORDER[:8])
+
+    def test_security_model_bridges_threat_modelling_and_design(self):
+        order = list(STAGE_ORDER)
+        assert order.index(LifecycleStage.SECURITY_MODEL) > order.index(
+            LifecycleStage.THREAT_MODELLING
+        )
+        assert order.index(LifecycleStage.SECURITY_MODEL) < order.index(
+            LifecycleStage.SECURITY_TESTING
+        )
+
+    def test_empty_product_name_rejected(self):
+        with pytest.raises(ValueError):
+            SecureDevelopmentLifecycle(" ")
+
+
+class TestResponseModel:
+    def test_policy_response_is_much_faster_than_redesign(self):
+        comparison = ResponseModel(fleet_size=100_000).compare(
+            RemediationPath.SOFTWARE_REDESIGN
+        )
+        assert comparison.policy.response_days < comparison.guideline.response_days
+        assert comparison.speedup > 5
+        assert comparison.cost_ratio > 2
+        assert not comparison.policy.requires_redeployment
+        assert comparison.guideline.requires_redeployment
+
+    def test_recall_is_the_most_expensive_path(self):
+        model = ResponseModel(fleet_size=100_000)
+        comparisons = model.compare_all()
+        recall_cost = comparisons[RemediationPath.PRODUCT_RECALL].guideline.total_cost
+        software_cost = comparisons[RemediationPath.SOFTWARE_REDESIGN].guideline.total_cost
+        assert recall_cost > software_cost
+        assert all(c.speedup > 1 for c in comparisons.values())
+
+    def test_policy_cost_scales_gently_with_fleet_size(self):
+        small = ResponseModel(fleet_size=1_000).policy_response().total_cost
+        large = ResponseModel(fleet_size=1_000_000).policy_response().total_cost
+        assert large > small
+        # Distribution dominates far less than a recall would.
+        recall_large = ResponseModel(fleet_size=1_000_000).guideline_response(
+            RemediationPath.PRODUCT_RECALL
+        ).total_cost
+        assert large < recall_large / 100
+
+    def test_already_covered_costs_only_analysis(self):
+        model = ResponseModel()
+        estimate = model.guideline_response(RemediationPath.ALREADY_COVERED)
+        assert estimate.response_days == model.parameters.threat_analysis_days
+        assert not estimate.requires_redeployment
+
+    def test_custom_parameters(self):
+        parameters = ResponseParameters(policy_distribution_days=0.5)
+        model = ResponseModel(fleet_size=10, parameters=parameters)
+        assert model.policy_response().response_days == pytest.approx(
+            parameters.threat_analysis_days
+            + parameters.policy_derivation_days
+            + parameters.policy_testing_days
+            + 0.5
+        )
+
+    def test_invalid_fleet_size(self):
+        with pytest.raises(ValueError):
+            ResponseModel(fleet_size=0)
+
+    def test_comparison_rows(self):
+        rows = ResponseModel().compare().rows()
+        assert len(rows) == 2
+        assert rows[0][0] == "policy"
+        assert rows[1][0] == "guideline"
+
+
+class TestGuidelineSecurityModel:
+    def make_model(self) -> GuidelineSecurityModel:
+        model = GuidelineSecurityModel("baseline")
+        model.add(Guideline("G-1", "Limit CAN access", addresses=("T01", "T02")))
+        model.add(Guideline("G-2", "Patch the infotainment system", addresses=("T08",)))
+        return model
+
+    def test_coverage(self):
+        model = self.make_model()
+        assert model.covered_threats() == {"T01", "T02", "T08"}
+        assert model.coverage(["T01", "T02", "T08", "T16"]) == pytest.approx(0.75)
+        assert model.coverage([]) == 1.0
+        assert [g.identifier for g in model.guidelines_for("T08")] == ["G-2"]
+
+    def test_duplicate_rejected(self):
+        model = self.make_model()
+        with pytest.raises(ValueError):
+            model.add(Guideline("G-1", "duplicate"))
+
+    def test_deployment_freezes_the_model(self):
+        model = self.make_model()
+        model.mark_deployed()
+        with pytest.raises(RuntimeError):
+            model.add(Guideline("G-3", "too late"))
+
+    def test_remediation_paths_after_deployment(self):
+        model = self.make_model()
+        assert model.remediation_for_new_threat() is RemediationPath.ALREADY_COVERED
+        model.mark_deployed()
+        assert model.remediation_for_new_threat() is RemediationPath.SOFTWARE_REDESIGN
+        assert (
+            model.remediation_for_new_threat(requires_hardware_change=True)
+            is RemediationPath.HARDWARE_REDESIGN
+        )
+        assert (
+            model.remediation_for_new_threat(recall_required=True)
+            is RemediationPath.PRODUCT_RECALL
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GuidelineSecurityModel(" ")
+        with pytest.raises(ValueError):
+            Guideline("G-1", " ")

@@ -1,0 +1,127 @@
+"""Property-based tests for the policy evaluator's core invariants.
+
+These invariants are what make the enforcement sound:
+
+* a deny rule can never *add* access (effective sets only shrink);
+* an allow rule can never remove access;
+* deny always wins over allow for the same message;
+* effective identifier sets are always a subset of the catalogue.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy import (
+    AccessRule,
+    CarSituation,
+    Direction,
+    PolicyCondition,
+    RuleEffect,
+    SecurityPolicy,
+)
+from repro.core.policy_engine import PolicyEvaluator
+from repro.vehicle.messages import ALL_NODES, standard_catalog
+from repro.vehicle.modes import CarMode
+
+CATALOG = standard_catalog()
+EVALUATOR = PolicyEvaluator(CATALOG)
+ALL_MESSAGE_NAMES = [m.name for m in CATALOG]
+ALL_IDS = frozenset(m.can_id for m in CATALOG)
+
+nodes = st.sampled_from(list(ALL_NODES))
+messages = st.lists(st.sampled_from(ALL_MESSAGE_NAMES), min_size=1, max_size=4, unique=True)
+directions = st.sampled_from(list(Direction))
+situations = st.builds(
+    CarSituation,
+    mode=st.sampled_from(list(CarMode)),
+    in_motion=st.booleans(),
+    alarm_armed=st.booleans(),
+    accident=st.booleans(),
+)
+conditions = st.builds(
+    PolicyCondition,
+    modes=st.frozensets(st.sampled_from(list(CarMode)), max_size=2),
+    in_motion=st.one_of(st.none(), st.booleans()),
+    alarm_armed=st.one_of(st.none(), st.booleans()),
+    accident=st.one_of(st.none(), st.booleans()),
+)
+
+
+def rule_strategy(effect: RuleEffect):
+    return st.builds(
+        AccessRule,
+        rule_id=st.uuids().map(lambda u: f"P-{u.hex[:8]}"),
+        effect=st.just(effect),
+        node=st.one_of(nodes, st.just("*")),
+        direction=directions,
+        messages=messages.map(tuple),
+        condition=conditions,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(rules=st.lists(rule_strategy(RuleEffect.DENY), max_size=5),
+       node=nodes, situation=situations)
+def test_deny_rules_only_shrink_access(rules, node, situation):
+    base = EVALUATOR.effective_for_node(node, SecurityPolicy("empty"), situation)
+    restricted = EVALUATOR.effective_for_node(
+        node, SecurityPolicy("deny", access_rules=rules), situation
+    )
+    assert restricted.read_ids <= base.read_ids
+    assert restricted.write_ids <= base.write_ids
+
+
+@settings(max_examples=60, deadline=None)
+@given(rules=st.lists(rule_strategy(RuleEffect.ALLOW), max_size=5),
+       node=nodes, situation=situations)
+def test_allow_rules_only_grow_access(rules, node, situation):
+    base = EVALUATOR.effective_for_node(node, SecurityPolicy("empty"), situation)
+    widened = EVALUATOR.effective_for_node(
+        node, SecurityPolicy("allow", access_rules=rules), situation
+    )
+    assert widened.read_ids >= base.read_ids
+    assert widened.write_ids >= base.write_ids
+
+
+@settings(max_examples=60, deadline=None)
+@given(node=nodes, message=st.sampled_from(ALL_MESSAGE_NAMES),
+       direction=st.sampled_from([Direction.READ, Direction.WRITE]),
+       situation=situations)
+def test_deny_wins_over_allow_for_the_same_message(node, message, direction, situation):
+    policy = SecurityPolicy("conflict")
+    policy.add_rule(AccessRule("P-ALLOW", RuleEffect.ALLOW, node, direction, (message,)))
+    policy.add_rule(AccessRule("P-DENY", RuleEffect.DENY, node, direction, (message,)))
+    effective = EVALUATOR.effective_for_node(node, policy, situation)
+    can_id = CATALOG.id_of(message)
+    if direction is Direction.READ:
+        assert can_id not in effective.read_ids
+    else:
+        assert can_id not in effective.write_ids
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    deny_rules=st.lists(rule_strategy(RuleEffect.DENY), max_size=3),
+    allow_rules=st.lists(rule_strategy(RuleEffect.ALLOW), max_size=3),
+    node=nodes,
+    situation=situations,
+)
+def test_effective_sets_stay_within_the_catalogue(deny_rules, allow_rules, node, situation):
+    policy = SecurityPolicy("mixed", access_rules=deny_rules + allow_rules)
+    effective = EVALUATOR.effective_for_node(node, policy, situation)
+    assert effective.read_ids <= ALL_IDS
+    assert effective.write_ids <= ALL_IDS
+
+
+@settings(max_examples=40, deadline=None)
+@given(node=nodes, situation=situations)
+def test_empty_policy_matches_catalogue_exactly(node, situation):
+    effective = EVALUATOR.effective_for_node(node, SecurityPolicy("empty"), situation)
+    expected_reads = {
+        m.can_id for m in CATALOG.consumed_by(node) if m.allowed_in_mode(situation.mode)
+    }
+    expected_writes = {
+        m.can_id for m in CATALOG.produced_by(node) if m.allowed_in_mode(situation.mode)
+    }
+    assert effective.read_ids == expected_reads
+    assert effective.write_ids == expected_writes

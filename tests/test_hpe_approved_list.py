@@ -1,0 +1,113 @@
+"""Tests for the HPE approved identifier lists."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hpe.approved_list import ApprovedIdList, IdRange
+
+standard_ids = st.integers(min_value=0, max_value=0x7FF)
+
+
+class TestIdRange:
+    def test_contains(self):
+        id_range = IdRange(0x100, 0x1FF)
+        assert 0x100 in id_range
+        assert 0x1FF in id_range
+        assert 0x150 in id_range
+        assert 0x200 not in id_range
+        assert "x" not in id_range
+
+    def test_length(self):
+        assert len(IdRange(0x10, 0x1F)) == 16
+        assert len(IdRange(0x10, 0x10)) == 1
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            IdRange(0x20, 0x10)
+        with pytest.raises(ValueError):
+            IdRange(-1, 5)
+
+
+class TestApprovedIdList:
+    def test_add_and_approve(self):
+        approved = ApprovedIdList([0x10, 0x20])
+        assert approved.approves(0x10)
+        assert 0x20 in approved
+        assert not approved.approves(0x30)
+
+    def test_ranges(self):
+        approved = ApprovedIdList(ranges=[IdRange(0x100, 0x10F)])
+        assert approved.approves(0x105)
+        assert not approved.approves(0x110)
+        assert len(approved) == 16
+
+    def test_iteration_covers_ids_and_ranges(self):
+        approved = ApprovedIdList([0x1], ranges=[IdRange(0x10, 0x12)])
+        assert sorted(approved) == [0x1, 0x10, 0x11, 0x12]
+
+    def test_remove(self):
+        approved = ApprovedIdList([0x10])
+        approved.remove(0x10)
+        assert not approved.approves(0x10)
+        with pytest.raises(KeyError):
+            approved.remove(0x10)
+
+    def test_remove_range_covered_id_rejected(self):
+        approved = ApprovedIdList(ranges=[IdRange(0x10, 0x1F)])
+        with pytest.raises(ValueError):
+            approved.remove(0x15)
+
+    def test_replace_is_atomic_whole_list(self):
+        approved = ApprovedIdList([0x10, 0x20])
+        approved.replace([0x30], ranges=[IdRange(0x40, 0x41)])
+        assert not approved.approves(0x10)
+        assert approved.approves(0x30)
+        assert approved.approves(0x41)
+
+    def test_clear(self):
+        approved = ApprovedIdList([0x10], ranges=[IdRange(0x20, 0x21)])
+        approved.clear()
+        assert len(approved) == 0
+
+    def test_out_of_range_id_rejected(self):
+        with pytest.raises(ValueError):
+            ApprovedIdList([0x3FFFFFFF])
+        approved = ApprovedIdList()
+        with pytest.raises(ValueError):
+            approved.replace([-1])
+
+    def test_lock_blocks_direct_modification(self):
+        approved = ApprovedIdList([0x10])
+        approved.lock()
+        assert approved.locked
+        with pytest.raises(PermissionError):
+            approved.add(0x20)
+        with pytest.raises(PermissionError):
+            approved.remove(0x10)
+        with pytest.raises(PermissionError):
+            approved.replace([0x30])
+        with pytest.raises(PermissionError):
+            approved.clear()
+        with pytest.raises(PermissionError):
+            approved.add_range(IdRange(0x40, 0x41))
+        # Reads still work while locked.
+        assert approved.approves(0x10)
+
+    @given(st.sets(standard_ids, max_size=32), standard_ids)
+    def test_membership_matches_construction(self, ids, probe):
+        approved = ApprovedIdList(ids)
+        assert approved.approves(probe) == (probe in ids)
+
+    @given(st.sets(standard_ids, min_size=1, max_size=32))
+    def test_explicit_ids_roundtrip(self, ids):
+        assert ApprovedIdList(ids).explicit_ids() == frozenset(ids)
+
+    @given(st.sets(standard_ids, max_size=16), st.sets(standard_ids, max_size=16))
+    def test_replace_swaps_membership(self, before, after):
+        approved = ApprovedIdList(before)
+        approved.replace(after)
+        for can_id in after:
+            assert approved.approves(can_id)
+        for can_id in before - after:
+            assert not approved.approves(can_id)

@@ -1,0 +1,156 @@
+"""Tests for the HPE decision block, directional filters and the engine."""
+
+import pytest
+
+from repro.can.frame import CANFrame
+from repro.can.node import PolicyHook
+from repro.hpe.approved_list import ApprovedIdList, IdRange
+from repro.hpe.decision_block import Decision, DecisionBlock, DecisionOutcome
+from repro.hpe.engine import HardwarePolicyEngine
+from repro.hpe.filters import Direction, ReadFilter, WriteFilter
+from repro.hpe.tamper import TamperSource
+
+
+class TestDecisionBlock:
+    def test_whitelist_grants_only_listed_ids(self):
+        block = DecisionBlock(ApprovedIdList([0x10]))
+        assert block.evaluate_id(0x10).granted
+        assert not block.evaluate_id(0x20).granted
+        assert block.decisions_made == 2
+        assert block.grants == 1
+        assert block.blocks == 1
+        assert block.block_rate == pytest.approx(0.5)
+
+    def test_blacklist_semantics(self):
+        block = DecisionBlock(ApprovedIdList([0x10]), default_grant=True)
+        assert not block.evaluate_id(0x10).granted
+        assert block.evaluate_id(0x20).granted
+
+    def test_decision_carries_reason_and_latency(self):
+        block = DecisionBlock(ApprovedIdList([0x10]), latency_s=1e-7)
+        decision = block.evaluate(CANFrame(can_id=0x10))
+        assert isinstance(decision, Decision)
+        assert decision.outcome is DecisionOutcome.GRANT
+        assert decision.latency_s == pytest.approx(1e-7)
+        assert "approved list" in decision.reason
+        assert bool(decision) is True
+
+    def test_latency_accumulates(self):
+        block = DecisionBlock(ApprovedIdList([0x10]), latency_s=1e-8)
+        for _ in range(10):
+            block.evaluate_id(0x10)
+        assert block.total_latency_s == pytest.approx(1e-7)
+
+    def test_reset_counters(self):
+        block = DecisionBlock(ApprovedIdList([0x10]))
+        block.evaluate_id(0x10)
+        block.reset_counters()
+        assert block.decisions_made == 0
+        assert block.total_latency_s == 0.0
+        assert block.block_rate == 0.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionBlock(ApprovedIdList(), latency_s=-1.0)
+
+
+class TestDirectionalFilters:
+    def test_directions(self):
+        assert ReadFilter(ApprovedIdList()).direction is Direction.READ
+        assert WriteFilter(ApprovedIdList()).direction is Direction.WRITE
+
+    def test_counters(self):
+        read_filter = ReadFilter(ApprovedIdList([0x10]))
+        assert read_filter.permits(CANFrame(can_id=0x10))
+        assert not read_filter.permits(CANFrame(can_id=0x20))
+        assert read_filter.decisions_made == 2
+        assert read_filter.grants == 1
+        assert read_filter.blocks == 1
+        assert read_filter.total_latency_s > 0
+
+
+class TestHardwarePolicyEngine:
+    def make_engine(self) -> HardwarePolicyEngine:
+        return HardwarePolicyEngine(
+            "EV-ECU",
+            approved_reads=(0x010, 0x050),
+            approved_writes=(0x020,),
+            configuration_key=0xABC,
+        )
+
+    def test_implements_policy_hook_protocol(self):
+        assert isinstance(self.make_engine(), PolicyHook)
+
+    def test_read_and_write_filtering(self):
+        engine = self.make_engine()
+        assert engine.permit_read(CANFrame(can_id=0x010))
+        assert not engine.permit_read(CANFrame(can_id=0x020))
+        assert engine.permit_write(CANFrame(can_id=0x020))
+        assert not engine.permit_write(CANFrame(can_id=0x010))
+        assert engine.decisions_made == 4
+        assert engine.frames_blocked == 2
+
+    def test_ranges_supported(self):
+        engine = HardwarePolicyEngine(
+            "node", read_ranges=(IdRange(0x100, 0x10F),)
+        )
+        assert engine.permit_read(CANFrame(can_id=0x105))
+        assert not engine.permit_read(CANFrame(can_id=0x110))
+
+    def test_authorised_policy_update(self):
+        engine = self.make_engine()
+        assert engine.update_policy(
+            approved_reads=[0x099], approved_writes=[0x098], key=0xABC
+        )
+        assert engine.permit_read(CANFrame(can_id=0x099))
+        assert not engine.permit_read(CANFrame(can_id=0x010))
+        assert engine.permit_write(CANFrame(can_id=0x098))
+        assert len(engine.tamper_log.succeeded()) == 1
+        assert engine.tamper_log.unauthorised_successes() == []
+
+    def test_update_with_wrong_key_rejected(self):
+        engine = self.make_engine()
+        assert not engine.update_policy(
+            approved_reads=[0x099], approved_writes=[], key=0xDEAD
+        )
+        assert not engine.permit_read(CANFrame(can_id=0x099))
+        assert len(engine.tamper_log.rejected()) == 1
+
+    def test_update_from_unauthorised_source_rejected(self):
+        engine = self.make_engine()
+        assert not engine.update_policy(
+            approved_reads=[0x099], approved_writes=[], key=0xABC,
+            source=TamperSource.NODE_FIRMWARE,
+        )
+        assert not engine.permit_read(CANFrame(can_id=0x099))
+
+    def test_firmware_reconfiguration_always_fails_and_is_logged(self):
+        engine = self.make_engine()
+        assert not engine.attempt_firmware_reconfiguration(
+            approved_reads=range(0x000, 0x7FF), approved_writes=range(0x000, 0x7FF)
+        )
+        assert not engine.permit_read(CANFrame(can_id=0x7F0))
+        assert len(engine.tamper_log.rejected()) == 1
+        assert engine.tamper_log.rejected()[0].source is TamperSource.NODE_FIRMWARE
+
+    def test_lists_stay_locked_after_update(self):
+        engine = self.make_engine()
+        engine.update_policy(approved_reads=[0x099], approved_writes=[], key=0xABC)
+        with pytest.raises(PermissionError):
+            engine._read_list.add(0x123)
+
+    def test_register_write_through_config_port(self):
+        engine = self.make_engine()
+        assert engine.write_configuration_register(0, 0xFF, key=0xABC) is True
+        assert engine.registers.read(0) == 0xFF
+        # A wrong key fails and the attempt is logged.
+        assert engine.write_configuration_register(1, 0xFF, key=0x0, source="firmware") is False
+        assert engine.registers.read(1) == 0
+        assert len(engine.registers.denied_accesses()) == 1
+
+    def test_counters_reset(self):
+        engine = self.make_engine()
+        engine.permit_read(CANFrame(can_id=0x010))
+        engine.reset_counters()
+        assert engine.decisions_made == 0
+        assert engine.total_latency_s == 0.0

@@ -1,0 +1,93 @@
+"""Tests for the HPE register file and the tamper model."""
+
+import pytest
+
+from repro.hpe.registers import AccessError, RegisterFile
+from repro.hpe.tamper import (
+    AUTHORISED_SOURCES,
+    TamperLog,
+    TamperSource,
+    is_authorised,
+)
+
+
+class TestRegisterFile:
+    def test_read_write_with_key(self):
+        registers = RegisterFile(size=4, configuration_key=0x111)
+        registers.write(0, 0xDEADBEEF, key=0x111)
+        assert registers.read(0) == 0xDEADBEEF
+        assert len(registers) == 4
+
+    def test_values_masked_to_32_bits(self):
+        registers = RegisterFile(configuration_key=0x111)
+        registers.write(0, 0x1_FFFF_FFFF, key=0x111)
+        assert registers.read(0) == 0xFFFFFFFF
+
+    def test_wrong_key_rejected_and_logged(self):
+        registers = RegisterFile(configuration_key=0x111)
+        with pytest.raises(AccessError):
+            registers.write(0, 1, key=0x222, source="firmware")
+        assert registers.read(0) == 0
+        denied = registers.denied_accesses()
+        assert len(denied) == 1
+        assert denied[0].source == "firmware"
+
+    def test_write_lock(self):
+        registers = RegisterFile(configuration_key=0x111)
+        registers.lock_writes()
+        assert registers.write_locked
+        with pytest.raises(AccessError):
+            registers.write(0, 1, key=0x111)
+        registers.unlock_writes(0x111)
+        registers.write(0, 1, key=0x111)
+        assert registers.read(0) == 1
+
+    def test_unlock_requires_key(self):
+        registers = RegisterFile(configuration_key=0x111)
+        registers.lock_writes()
+        with pytest.raises(AccessError):
+            registers.unlock_writes(0x999)
+        assert registers.write_locked
+
+    def test_bad_address_rejected(self):
+        registers = RegisterFile(size=2, configuration_key=0x111)
+        with pytest.raises(AccessError):
+            registers.read(5)
+        with pytest.raises(AccessError):
+            registers.write(-1, 0, key=0x111)
+
+    def test_access_log_records_reads_and_writes(self):
+        registers = RegisterFile(configuration_key=0x111)
+        registers.write(0, 1, key=0x111)
+        registers.read(0)
+        log = registers.access_log()
+        assert len(log) == 2
+        assert log[0].write and log[0].granted
+        assert not log[1].write
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFile(size=0)
+
+
+class TestTamperModel:
+    def test_only_oem_channel_authorised(self):
+        assert AUTHORISED_SOURCES == frozenset({TamperSource.OEM_UPDATE_CHANNEL})
+        assert is_authorised(TamperSource.OEM_UPDATE_CHANNEL)
+        assert not is_authorised(TamperSource.NODE_FIRMWARE)
+        assert not is_authorised(TamperSource.BUS_MESSAGE)
+        assert not is_authorised(TamperSource.PHYSICAL_DEBUG)
+
+    def test_log_partitions_attempts(self):
+        log = TamperLog()
+        log.record(TamperSource.NODE_FIRMWARE, "rewrite lists", succeeded=False)
+        log.record(TamperSource.OEM_UPDATE_CHANNEL, "policy update", succeeded=True)
+        assert len(log) == 2
+        assert len(log.rejected()) == 1
+        assert len(log.succeeded()) == 1
+        assert log.unauthorised_successes() == []
+
+    def test_unauthorised_success_detected(self):
+        log = TamperLog()
+        log.record(TamperSource.NODE_FIRMWARE, "rewrite lists", succeeded=True)
+        assert len(log.unauthorised_successes()) == 1

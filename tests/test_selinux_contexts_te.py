@@ -1,0 +1,125 @@
+"""Tests for SELinux-like contexts, labelling and type enforcement."""
+
+import pytest
+
+from repro.selinux.contexts import LabelStore, SecurityContext
+from repro.selinux.te import AllowRule, TypeEnforcementPolicy, permissions_for_class
+
+
+class TestSecurityContext:
+    def test_parse_and_render(self):
+        context = SecurityContext.parse("system_u:system_r:infotainment_t")
+        assert context.type_ == "infotainment_t"
+        assert context.render() == "system_u:system_r:infotainment_t"
+
+    def test_parse_with_level(self):
+        context = SecurityContext.parse("system_u:object_r:can_t:s0")
+        assert context.level == "s0"
+        assert context.render().endswith(":s0")
+
+    def test_parse_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            SecurityContext.parse("just-one-part")
+
+    def test_components_validated(self):
+        with pytest.raises(ValueError):
+            SecurityContext(user="", role="r", type_="t")
+        with pytest.raises(ValueError):
+            SecurityContext(user="a:b", role="r", type_="t")
+
+    def test_convenience_constructors(self):
+        assert SecurityContext.for_domain("x_t").role == "system_r"
+        assert SecurityContext.for_object("x_t").role == "object_r"
+
+
+class TestLabelStore:
+    def test_label_and_lookup(self):
+        labels = LabelStore()
+        labels.label_domain("browser", "infotainment_media_t")
+        labels.label_object("store", "software_store_t")
+        assert labels.type_of("browser") == "infotainment_media_t"
+        assert labels.context_of("store").role == "object_r"
+        assert "browser" in labels
+        assert len(labels) == 2
+        assert labels.entities_of_type("software_store_t") == ["store"]
+
+    def test_unlabelled_entity_raises(self):
+        with pytest.raises(KeyError):
+            LabelStore().context_of("ghost")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            LabelStore().label(" ", SecurityContext.for_domain("x_t"))
+
+
+class TestAllowRule:
+    def test_grants(self):
+        rule = AllowRule("a_t", "b_t", "can_bus", frozenset({"read"}))
+        assert rule.grants("a_t", "b_t", "can_bus", "read")
+        assert not rule.grants("a_t", "b_t", "can_bus", "write")
+        assert not rule.grants("x_t", "b_t", "can_bus", "read")
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            AllowRule("a_t", "b_t", "nonsense", frozenset({"read"}))
+
+    def test_unknown_permission_rejected(self):
+        with pytest.raises(ValueError):
+            AllowRule("a_t", "b_t", "can_bus", frozenset({"fly"}))
+
+    def test_empty_permissions_rejected(self):
+        with pytest.raises(ValueError):
+            AllowRule("a_t", "b_t", "can_bus", frozenset())
+
+    def test_render(self):
+        rule = AllowRule("a_t", "b_t", "can_bus", frozenset({"read", "write"}))
+        assert rule.render() == "allow a_t b_t:can_bus { read write };"
+
+    def test_permissions_for_class(self):
+        assert "install" in permissions_for_class("package")
+        with pytest.raises(ValueError):
+            permissions_for_class("martian")
+
+
+class TestTypeEnforcementPolicy:
+    def make_policy(self) -> TypeEnforcementPolicy:
+        policy = TypeEnforcementPolicy(types=("a_t", "b_t", "c_t"))
+        policy.add_rule(AllowRule("a_t", "b_t", "can_bus", frozenset({"read"})))
+        policy.add_rule(AllowRule("a_t", "b_t", "can_bus", frozenset({"write"})))
+        policy.add_rule(AllowRule("c_t", "b_t", "package", frozenset({"install"})))
+        return policy
+
+    def test_default_deny(self):
+        policy = self.make_policy()
+        assert policy.check("a_t", "b_t", "can_bus", "read")
+        assert not policy.check("b_t", "a_t", "can_bus", "read")
+        assert not policy.check("c_t", "b_t", "package", "remove")
+
+    def test_rules_accumulate_permissions(self):
+        policy = self.make_policy()
+        assert policy.allowed_permissions("a_t", "b_t", "can_bus") == {"read", "write"}
+        assert policy.allowed_permissions("x_t", "y_t", "can_bus") == frozenset()
+
+    def test_undeclared_type_rejected(self):
+        policy = TypeEnforcementPolicy(types=("a_t",))
+        with pytest.raises(ValueError):
+            policy.add_rule(AllowRule("a_t", "ghost_t", "can_bus", frozenset({"read"})))
+
+    def test_rules_for_source_and_target(self):
+        policy = self.make_policy()
+        assert len(policy.rules_for_source("a_t")) == 2
+        assert len(policy.rules_for_target("b_t")) == 3
+
+    def test_render_contains_declarations_and_rules(self):
+        text = self.make_policy().render()
+        assert "type a_t;" in text
+        assert "allow c_t b_t:package { install };" in text
+
+    def test_merge(self):
+        policy = self.make_policy()
+        other = TypeEnforcementPolicy(types=("d_t", "b_t"))
+        other.add_rule(AllowRule("d_t", "b_t", "service", frozenset({"start"})))
+        merged = policy.merge(other)
+        assert merged.check("a_t", "b_t", "can_bus", "read")
+        assert merged.check("d_t", "b_t", "service", "start")
+        assert len(merged) == 4

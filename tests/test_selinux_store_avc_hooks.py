@@ -1,0 +1,176 @@
+"""Tests for the modular policy store, AVC and enforcement hooks."""
+
+import pytest
+
+from repro.selinux.avc import AccessVectorCache
+from repro.selinux.compiler import PermissionStatement, compile_statements
+from repro.selinux.contexts import LabelStore
+from repro.selinux.hooks import EnforcementMode, SoftwareEnforcementPoint
+from repro.selinux.policy_store import ModularPolicyStore, PolicyModule
+from repro.selinux.te import AllowRule
+
+
+def make_module(name="infotainment", version=1, permissions=("read",)) -> PolicyModule:
+    return PolicyModule(
+        name=name,
+        version=version,
+        types=("media_t", "bus_t"),
+        rules=(
+            AllowRule("media_t", "bus_t", "can_bus", frozenset(permissions)),
+        ),
+    )
+
+
+class TestModularPolicyStore:
+    def test_install_and_compile(self):
+        store = ModularPolicyStore()
+        store.install(make_module())
+        assert store.active_policy().check("media_t", "bus_t", "can_bus", "read")
+        assert len(store) == 1
+        assert "infotainment" in store
+
+    def test_upgrade_requires_higher_version(self):
+        store = ModularPolicyStore()
+        store.install(make_module(version=1))
+        with pytest.raises(ValueError):
+            store.install(make_module(version=1))
+        store.install(make_module(version=2, permissions=("read", "write")))
+        assert store.module("infotainment").version == 2
+        assert store.active_policy().check("media_t", "bus_t", "can_bus", "write")
+
+    def test_remove(self):
+        store = ModularPolicyStore()
+        store.install(make_module())
+        removed = store.remove("infotainment")
+        assert removed.name == "infotainment"
+        assert not store.active_policy().check("media_t", "bus_t", "can_bus", "read")
+        with pytest.raises(KeyError):
+            store.remove("infotainment")
+
+    def test_reload_listeners_and_count(self):
+        store = ModularPolicyStore()
+        events = []
+        store.add_reload_listener(lambda: events.append(1))
+        store.install(make_module())
+        store.remove("infotainment")
+        assert len(events) == 2
+        assert store.reload_count == 2
+
+    def test_module_validation(self):
+        with pytest.raises(ValueError):
+            PolicyModule(name=" ", version=1)
+        with pytest.raises(ValueError):
+            PolicyModule(name="m", version=0)
+
+
+class TestAccessVectorCache:
+    def test_hits_and_misses(self):
+        store = ModularPolicyStore()
+        store.install(make_module())
+        avc = AccessVectorCache(store)
+        assert avc.check("media_t", "bus_t", "can_bus", "read")
+        assert avc.check("media_t", "bus_t", "can_bus", "read")
+        assert avc.misses == 1
+        assert avc.hits == 1
+        assert avc.hit_rate == pytest.approx(0.5)
+        assert avc.size == 1
+
+    def test_flushes_on_policy_reload(self):
+        store = ModularPolicyStore()
+        store.install(make_module())
+        avc = AccessVectorCache(store)
+        assert not avc.check("media_t", "bus_t", "can_bus", "write")
+        store.install(make_module(version=2, permissions=("read", "write")))
+        # The upgraded module now allows write; the stale cache entry must not
+        # mask it.
+        assert avc.check("media_t", "bus_t", "can_bus", "write")
+        assert avc.flushes >= 1
+
+    def test_lru_eviction(self):
+        store = ModularPolicyStore()
+        store.install(make_module())
+        avc = AccessVectorCache(store, capacity=2)
+        avc.allowed_permissions("a", "b", "can_bus")
+        avc.allowed_permissions("c", "d", "can_bus")
+        avc.allowed_permissions("e", "f", "can_bus")
+        assert avc.size == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            AccessVectorCache(ModularPolicyStore(), capacity=0)
+
+
+class TestSoftwareEnforcementPoint:
+    def make_point(self, mode=EnforcementMode.ENFORCING) -> SoftwareEnforcementPoint:
+        store = ModularPolicyStore()
+        store.install(make_module())
+        labels = LabelStore()
+        labels.label_domain("browser", "media_t")
+        labels.label_domain("updater", "updater_t")
+        labels.label_object("bus", "bus_t")
+        return SoftwareEnforcementPoint(store, labels, mode=mode)
+
+    def test_allowed_operation(self):
+        point = self.make_point()
+        decision = point.check_operation("browser", "bus", "can_bus", "read")
+        assert decision.allowed
+        assert decision.enforced
+        assert point.denials == 0
+
+    def test_denied_operation_enforcing(self):
+        point = self.make_point()
+        decision = point.check_operation("browser", "bus", "can_bus", "write")
+        assert not decision.allowed
+        assert point.denials == 1
+        assert point.denial_rate() == pytest.approx(0.5) or point.denial_rate() == 1.0
+
+    def test_permissive_mode_audits_but_allows(self):
+        point = self.make_point(mode=EnforcementMode.PERMISSIVE)
+        decision = point.check_operation("browser", "bus", "can_bus", "write")
+        assert decision.allowed
+        assert not decision.enforced
+        assert len(point.denial_records()) == 1
+
+    def test_disabled_mode_skips_checks(self):
+        point = self.make_point(mode=EnforcementMode.DISABLED)
+        decision = point.check_operation("ghost", "bus", "can_bus", "write")
+        assert decision.allowed
+        assert point.checks_performed == 0
+        assert point.audit_log == []
+
+    def test_audit_record_format(self):
+        point = self.make_point()
+        point.check_operation("browser", "bus", "can_bus", "write", comm="pkgd")
+        record = point.denial_records()[0]
+        assert "denied" in record.render()
+        assert "comm=pkgd" in record.render()
+        assert "tclass=can_bus" in record.render()
+
+    def test_unlabelled_subject_raises(self):
+        point = self.make_point()
+        with pytest.raises(KeyError):
+            point.check_operation("ghost", "bus", "can_bus", "read")
+
+
+class TestCompiler:
+    def test_statements_merge_into_rules(self):
+        module = compile_statements(
+            "m",
+            [
+                PermissionStatement("a_t", "b_t", "can_bus", frozenset({"read"})),
+                PermissionStatement("a_t", "b_t", "can_bus", frozenset({"write"})),
+                PermissionStatement("c_t", "b_t", "package", frozenset({"install"})),
+            ],
+            version=3,
+        )
+        assert module.version == 3
+        assert len(module.rules) == 2
+        assert set(module.types) == {"a_t", "b_t", "c_t"}
+        merged = [r for r in module.rules if r.tclass == "can_bus"][0]
+        assert merged.permissions == {"read", "write"}
+
+    def test_statement_validation(self):
+        with pytest.raises(ValueError):
+            PermissionStatement("a_t", "b_t", "can_bus", frozenset({"install"}))
+        with pytest.raises(ValueError):
+            PermissionStatement("a_t", "b_t", "can_bus", frozenset())

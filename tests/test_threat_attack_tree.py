@@ -1,0 +1,111 @@
+"""Tests for attack trees."""
+
+import pytest
+
+from repro.threat.attack_tree import AttackTree, AttackTreeNode, NodeType
+
+
+def build_example_tree() -> AttackTree:
+    """Goal: disable the EV-ECU.
+
+    OR(
+        spoof-direct (leaf, 0.4),
+        AND(compromise-infotainment (0.5), pivot-to-bus (0.8))
+    )
+    """
+    tree = AttackTree(AttackTreeNode("disable-ecu", NodeType.OR))
+    tree.add_child("disable-ecu", AttackTreeNode("spoof-direct", feasibility=0.4, cost=2.0))
+    tree.add_child(
+        "disable-ecu", AttackTreeNode("via-infotainment", NodeType.AND, cost=0.0)
+    )
+    tree.add_child(
+        "via-infotainment",
+        AttackTreeNode("compromise-infotainment", feasibility=0.5, cost=3.0),
+    )
+    tree.add_child(
+        "via-infotainment", AttackTreeNode("pivot-to-bus", feasibility=0.8, cost=1.0)
+    )
+    return tree
+
+
+class TestConstruction:
+    def test_children_and_leaves(self):
+        tree = build_example_tree()
+        assert {c.name for c in tree.children("disable-ecu")} == {
+            "spoof-direct", "via-infotainment",
+        }
+        assert {leaf.name for leaf in tree.leaves()} == {
+            "spoof-direct", "compromise-infotainment", "pivot-to-bus",
+        }
+        assert len(tree) == 5
+        assert "pivot-to-bus" in tree
+
+    def test_cannot_attach_to_leaf(self):
+        tree = build_example_tree()
+        with pytest.raises(ValueError):
+            tree.add_child("spoof-direct", AttackTreeNode("x"))
+
+    def test_unknown_parent_rejected(self):
+        tree = build_example_tree()
+        with pytest.raises(KeyError):
+            tree.add_child("nope", AttackTreeNode("x"))
+
+    def test_invalid_feasibility_rejected(self):
+        with pytest.raises(ValueError):
+            AttackTreeNode("x", feasibility=1.5)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            AttackTreeNode("x", cost=-1)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            AttackTreeNode("  ")
+
+
+class TestAnalysis:
+    def test_goal_feasibility(self):
+        tree = build_example_tree()
+        and_branch = 0.5 * 0.8
+        expected = 1 - (1 - 0.4) * (1 - and_branch)
+        assert tree.goal_feasibility() == pytest.approx(expected)
+
+    def test_cheapest_path_cost(self):
+        tree = build_example_tree()
+        # Direct spoof costs 2.0; the infotainment chain costs 3.0 + 1.0.
+        assert tree.cheapest_path_cost() == pytest.approx(2.0)
+
+    def test_attack_scenarios_are_minimal_cut_sets(self):
+        scenarios = build_example_tree().attack_scenarios()
+        assert frozenset({"spoof-direct"}) in scenarios
+        assert frozenset({"compromise-infotainment", "pivot-to-bus"}) in scenarios
+        assert len(scenarios) == 2
+
+    def test_mitigated_feasibility_drops_when_leaf_blocked(self):
+        tree = build_example_tree()
+        baseline = tree.goal_feasibility()
+        blocked = tree.mitigated_feasibility(["spoof-direct"])
+        assert blocked < baseline
+        assert blocked == pytest.approx(0.5 * 0.8)
+
+    def test_blocking_all_leaves_gives_zero(self):
+        tree = build_example_tree()
+        assert tree.mitigated_feasibility(
+            ["spoof-direct", "compromise-infotainment", "pivot-to-bus"]
+        ) == pytest.approx(0.0)
+
+    def test_mitigated_feasibility_unknown_leaf_rejected(self):
+        with pytest.raises(KeyError):
+            build_example_tree().mitigated_feasibility(["nope"])
+
+    def test_single_leaf_tree(self):
+        tree = AttackTree(AttackTreeNode("simple", feasibility=0.3, cost=5.0))
+        assert tree.goal_feasibility() == pytest.approx(0.3)
+        assert tree.cheapest_path_cost() == pytest.approx(5.0)
+        assert tree.attack_scenarios() == [frozenset({"simple"})]
+
+    def test_and_requires_all_children(self):
+        tree = AttackTree(AttackTreeNode("goal", NodeType.AND))
+        tree.add_child("goal", AttackTreeNode("a", feasibility=1.0))
+        tree.add_child("goal", AttackTreeNode("b", feasibility=0.0))
+        assert tree.goal_feasibility() == pytest.approx(0.0)

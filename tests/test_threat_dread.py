@@ -1,0 +1,147 @@
+"""Tests for DREAD risk rating."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.threat.dread import (
+    DreadScore,
+    RiskLevel,
+    aggregate_scores,
+    mean_average,
+)
+
+score_components = st.integers(min_value=0, max_value=10)
+dread_scores = st.builds(
+    DreadScore,
+    damage=score_components,
+    reproducibility=score_components,
+    exploitability=score_components,
+    affected_users=score_components,
+    discoverability=score_components,
+)
+
+
+class TestDreadScore:
+    def test_paper_row_average(self):
+        # Table I first row: 8,5,4,6,4 -> 5.4
+        score = DreadScore(8, 5, 4, 6, 4)
+        assert score.average == pytest.approx(5.4)
+        assert score.total == 27
+
+    def test_parse_plain(self):
+        assert DreadScore.parse("8,5,4,6,4") == DreadScore(8, 5, 4, 6, 4)
+
+    def test_parse_with_average(self):
+        assert DreadScore.parse("6,6,7,8,6 (6.6)") == DreadScore(6, 6, 7, 8, 6)
+
+    def test_parse_rejects_wrong_average(self):
+        with pytest.raises(ValueError):
+            DreadScore.parse("6,6,7,8,6 (9.9)")
+
+    def test_parse_rejects_wrong_arity(self):
+        with pytest.raises(ValueError):
+            DreadScore.parse("1,2,3")
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            DreadScore(11, 0, 0, 0, 0)
+        with pytest.raises(ValueError):
+            DreadScore(-1, 0, 0, 0, 0)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(TypeError):
+            DreadScore(1.5, 0, 0, 0, 0)
+
+    def test_render_matches_paper_notation(self):
+        assert DreadScore(8, 6, 7, 8, 5).render() == "8,6,7,8,5 (6.8)"
+
+    def test_ordering_by_average(self):
+        low = DreadScore(1, 1, 1, 1, 1)
+        high = DreadScore(9, 9, 9, 9, 9)
+        assert low < high
+        assert high > low
+        assert low <= low
+        assert high >= high
+
+    def test_components_mapping(self):
+        score = DreadScore(1, 2, 3, 4, 5)
+        assert score.components() == {
+            "damage": 1,
+            "reproducibility": 2,
+            "exploitability": 3,
+            "affected_users": 4,
+            "discoverability": 5,
+        }
+
+    def test_iteration_order(self):
+        assert list(DreadScore(1, 2, 3, 4, 5)) == [1, 2, 3, 4, 5]
+
+    def test_likelihood_and_impact_proxies(self):
+        score = DreadScore(8, 5, 4, 6, 4)
+        assert score.likelihood == pytest.approx((5 + 4 + 4) / 3)
+        assert score.impact == pytest.approx((8 + 6) / 2)
+
+    @given(dread_scores)
+    def test_average_bounded(self, score):
+        assert 0.0 <= score.average <= 10.0
+
+    @given(dread_scores)
+    def test_average_equals_total_over_five(self, score):
+        assert score.average == pytest.approx(score.total / 5.0)
+
+    @given(dread_scores)
+    def test_render_parse_roundtrip(self, score):
+        assert DreadScore.parse(score.render()) == score
+
+    @given(dread_scores)
+    def test_level_consistent_with_average(self, score):
+        assert score.level is RiskLevel.from_average(score.average)
+
+
+class TestRiskLevel:
+    @pytest.mark.parametrize(
+        "average, expected",
+        [
+            (0.0, RiskLevel.LOW),
+            (2.9, RiskLevel.LOW),
+            (3.0, RiskLevel.MEDIUM),
+            (5.9, RiskLevel.MEDIUM),
+            (6.0, RiskLevel.HIGH),
+            (7.9, RiskLevel.HIGH),
+            (8.0, RiskLevel.CRITICAL),
+            (10.0, RiskLevel.CRITICAL),
+        ],
+    )
+    def test_banding(self, average, expected):
+        assert RiskLevel.from_average(average) is expected
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            RiskLevel.from_average(10.5)
+        with pytest.raises(ValueError):
+            RiskLevel.from_average(-0.1)
+
+
+class TestAggregation:
+    def test_aggregate_takes_componentwise_maximum(self):
+        combined = aggregate_scores(
+            [DreadScore(8, 1, 1, 1, 1), DreadScore(1, 9, 1, 1, 1)]
+        )
+        assert combined == DreadScore(8, 9, 1, 1, 1)
+
+    def test_aggregate_empty_returns_none(self):
+        assert aggregate_scores([]) is None
+
+    def test_mean_average(self):
+        assert mean_average([DreadScore(5, 5, 5, 5, 5), DreadScore(7, 7, 7, 7, 7)]) == 6.0
+
+    def test_mean_average_empty(self):
+        assert mean_average([]) == 0.0
+
+    @given(st.lists(dread_scores, min_size=1, max_size=8))
+    def test_aggregate_dominates_every_input(self, scores):
+        combined = aggregate_scores(scores)
+        for score in scores:
+            for name, value in score.components().items():
+                assert combined.components()[name] >= value

@@ -1,0 +1,170 @@
+"""Tests for the threat-model document, countermeasures and report rendering."""
+
+import pytest
+
+from repro.threat.assets import Asset
+from repro.threat.countermeasures import (
+    Countermeasure,
+    CountermeasureCatalog,
+    CountermeasureKind,
+    DeploymentPhase,
+)
+from repro.threat.dread import DreadScore
+from repro.threat.entry_points import EntryPoint
+from repro.threat.model import ThreatModel, ThreatModelStep, UseCase
+from repro.threat.report import render_model_report, render_table, render_threat_table
+from repro.threat.stride import StrideClassification
+from repro.threat.threats import Threat
+
+
+def make_model() -> ThreatModel:
+    model = ThreatModel(UseCase("Connected Car", security_requirements=("req-1",)))
+    model.add_asset(Asset("EV-ECU"))
+    model.add_asset(Asset("Engine"))
+    model.add_entry_point(EntryPoint("Sensors", exposes=("EV-ECU", "Engine")))
+    model.add_threat(
+        Threat(
+            identifier="T1",
+            description="Spoofed disable",
+            asset="EV-ECU",
+            entry_points=("Sensors",),
+            stride=StrideClassification.parse("STD"),
+            dread=DreadScore(8, 5, 4, 6, 4),
+        )
+    )
+    return model
+
+
+class TestCountermeasures:
+    def test_policy_kinds_are_runtime_enforceable(self):
+        assert CountermeasureKind.HARDWARE_POLICY.enforceable_at_runtime
+        assert CountermeasureKind.SOFTWARE_POLICY.updateable_post_deployment
+        assert not CountermeasureKind.GUIDELINE.enforceable_at_runtime
+
+    def test_policy_defaults_to_post_deployment_phase(self):
+        cm = Countermeasure("CM1", "hpe rule", CountermeasureKind.HARDWARE_POLICY)
+        assert cm.deployment_phase is DeploymentPhase.POST_DEPLOYMENT
+        assert cm.is_policy
+
+    def test_guideline_keeps_design_phase(self):
+        cm = Countermeasure("CM2", "guideline", CountermeasureKind.GUIDELINE)
+        assert cm.deployment_phase is DeploymentPhase.DESIGN
+
+    def test_effectiveness_bounds(self):
+        with pytest.raises(ValueError):
+            Countermeasure("CM3", "x", CountermeasureKind.GUIDELINE, effectiveness=1.5)
+
+    def test_catalog_queries(self):
+        catalog = CountermeasureCatalog(
+            [
+                Countermeasure("CM1", "hpe", CountermeasureKind.HARDWARE_POLICY,
+                               mitigates=("T1",)),
+                Countermeasure("CM2", "guide", CountermeasureKind.GUIDELINE,
+                               mitigates=("T2",)),
+            ]
+        )
+        assert len(catalog.policies()) == 1
+        assert len(catalog.guidelines()) == 1
+        assert [cm.identifier for cm in catalog.for_threat("T1")] == ["CM1"]
+        assert catalog.unmitigated_threats(["T1", "T2", "T3"]) == ["T3"]
+        assert catalog.coverage(["T1", "T2", "T3"]) == pytest.approx(2 / 3)
+        assert catalog.coverage([]) == 1.0
+
+    def test_catalog_duplicate_rejected(self):
+        catalog = CountermeasureCatalog()
+        catalog.add(Countermeasure("CM1", "x", CountermeasureKind.GUIDELINE))
+        with pytest.raises(ValueError):
+            catalog.add(Countermeasure("CM1", "y", CountermeasureKind.GUIDELINE))
+
+
+class TestThreatModel:
+    def test_step_tracking(self):
+        model = make_model()
+        completed = model.completed_steps()
+        assert ThreatModelStep.IDENTIFY_ASSETS in completed
+        assert ThreatModelStep.THREAT_RATING in completed
+        assert ThreatModelStep.DETERMINE_COUNTERMEASURES not in completed
+        assert 0 < model.progress < 1
+        assert not model.is_complete
+
+    def test_completes_after_countermeasure(self):
+        model = make_model()
+        model.add_countermeasure(
+            Countermeasure("CM1", "hpe", CountermeasureKind.HARDWARE_POLICY, mitigates=("T1",))
+        )
+        assert model.is_complete
+        assert model.progress == 1.0
+
+    def test_threat_requires_registered_asset(self):
+        model = make_model()
+        with pytest.raises(KeyError):
+            model.add_threat(
+                Threat(
+                    identifier="T9", description="x", asset="Unknown",
+                    entry_points=("Sensors",),
+                    stride=StrideClassification.parse("S"),
+                    dread=DreadScore(1, 1, 1, 1, 1),
+                )
+            )
+
+    def test_threat_requires_registered_entry_point(self):
+        model = make_model()
+        with pytest.raises(KeyError):
+            model.add_threat(
+                Threat(
+                    identifier="T9", description="x", asset="EV-ECU",
+                    entry_points=("Unknown",),
+                    stride=StrideClassification.parse("S"),
+                    dread=DreadScore(1, 1, 1, 1, 1),
+                )
+            )
+
+    def test_countermeasure_requires_known_threat(self):
+        model = make_model()
+        with pytest.raises(KeyError):
+            model.add_countermeasure(
+                Countermeasure("CM1", "x", CountermeasureKind.GUIDELINE, mitigates=("T9",))
+            )
+
+    def test_validate_reports_unthreatened_assets_and_uncovered_threats(self):
+        model = make_model()
+        findings = model.validate()
+        assert any("Engine" in f for f in findings)
+        assert any("T1" in f for f in findings)
+
+    def test_summary(self):
+        summary = make_model().summary()
+        assert summary["assets"] == 2
+        assert summary["threats"] == 1
+        assert summary["use_case"] == "Connected Car"
+
+    def test_risk_assessment_integration(self):
+        assessment = make_model().risk_assessment()
+        assert assessment.per_asset_summary()["EV-ECU"].threat_count == 1
+
+
+class TestReportRendering:
+    def test_render_table_basic(self):
+        table = render_table(("A", "B"), [("1", "22"), ("333", "4")])
+        lines = table.splitlines()
+        assert lines[0].startswith("+")
+        assert "A" in lines[1] and "B" in lines[1]
+        assert len({len(line) for line in lines}) == 1  # rectangular
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(("A", "B"), [("only-one",)])
+
+    def test_render_threat_table_contains_threat(self):
+        model = make_model()
+        text = render_threat_table(model.threats)
+        assert "T1" in text
+        assert "STD" in text
+        assert "5.4" in text
+
+    def test_render_model_report_sections(self):
+        report = render_model_report(make_model())
+        assert "Threat model: Connected Car" in report
+        assert "Assets (2)" in report
+        assert "Entry points (1)" in report
+        assert "Validation findings" in report

@@ -1,0 +1,138 @@
+"""Tests for STRIDE categorisation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.threat.stride import (
+    StrideCategory,
+    StrideClassification,
+    classify_attack_effects,
+)
+
+
+class TestStrideCategory:
+    def test_six_categories(self):
+        assert len(StrideCategory) == 6
+
+    def test_letters_are_unique(self):
+        letters = {c.letter for c in StrideCategory}
+        assert letters == {"S", "T", "R", "I", "D", "E"}
+
+    @pytest.mark.parametrize(
+        "letter, expected",
+        [
+            ("S", StrideCategory.SPOOFING),
+            ("t", StrideCategory.TAMPERING),
+            ("R", StrideCategory.REPUDIATION),
+            ("i", StrideCategory.INFORMATION_DISCLOSURE),
+            ("D", StrideCategory.DENIAL_OF_SERVICE),
+            ("e", StrideCategory.ELEVATION_OF_PRIVILEGE),
+        ],
+    )
+    def test_from_letter(self, letter, expected):
+        assert StrideCategory.from_letter(letter) is expected
+
+    def test_from_letter_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            StrideCategory.from_letter("X")
+
+    def test_violated_properties(self):
+        assert StrideCategory.SPOOFING.violated_property == "authentication"
+        assert StrideCategory.TAMPERING.violated_property == "integrity"
+        assert StrideCategory.DENIAL_OF_SERVICE.violated_property == "availability"
+
+    def test_descriptions_are_non_empty(self):
+        for category in StrideCategory:
+            assert category.description
+
+
+class TestStrideClassification:
+    def test_parse_paper_notation(self):
+        classification = StrideClassification.parse("STD")
+        assert StrideCategory.SPOOFING in classification
+        assert StrideCategory.TAMPERING in classification
+        assert StrideCategory.DENIAL_OF_SERVICE in classification
+        assert StrideCategory.REPUDIATION not in classification
+
+    def test_parse_is_case_insensitive(self):
+        assert StrideClassification.parse("stide") == StrideClassification.parse("STIDE")
+
+    def test_letters_render_in_canonical_order(self):
+        assert StrideClassification.parse("DTS").letters == "STD"
+        assert StrideClassification.parse("EIT").letters == "TIE"
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(ValueError):
+            StrideClassification.parse("")
+
+    def test_parse_rejects_unknown_letters(self):
+        with pytest.raises(ValueError):
+            StrideClassification.parse("SXZ")
+
+    def test_of_constructor(self):
+        classification = StrideClassification.of(
+            StrideCategory.SPOOFING, StrideCategory.ELEVATION_OF_PRIVILEGE
+        )
+        assert classification.letters == "SE"
+
+    def test_empty_classification_rejected(self):
+        with pytest.raises(ValueError):
+            StrideClassification(frozenset())
+
+    def test_union(self):
+        merged = StrideClassification.parse("ST").union(StrideClassification.parse("DE"))
+        assert merged.letters == "STDE"
+
+    def test_intersection(self):
+        common = StrideClassification.parse("STD").intersection(
+            StrideClassification.parse("TDE")
+        )
+        assert common == {StrideCategory.TAMPERING, StrideCategory.DENIAL_OF_SERVICE}
+
+    def test_violated_properties_follow_order(self):
+        assert StrideClassification.parse("SD").violated_properties == (
+            "authentication",
+            "availability",
+        )
+
+    def test_len_and_iter(self):
+        classification = StrideClassification.parse("TIE")
+        assert len(classification) == 3
+        assert [c.letter for c in classification] == ["T", "I", "E"]
+
+    def test_hashable(self):
+        assert {StrideClassification.parse("ST"), StrideClassification.parse("TS")} == {
+            StrideClassification.parse("ST")
+        }
+
+    @given(
+        st.sets(
+            st.sampled_from(list(StrideCategory)), min_size=1, max_size=6
+        )
+    )
+    def test_parse_render_roundtrip(self, categories):
+        classification = StrideClassification(frozenset(categories))
+        assert StrideClassification.parse(classification.letters) == classification
+
+    @given(st.sets(st.sampled_from(list(StrideCategory)), min_size=1))
+    def test_letters_length_matches_category_count(self, categories):
+        classification = StrideClassification(frozenset(categories))
+        assert len(classification.letters) == len(categories)
+
+
+class TestClassifyAttackEffects:
+    def test_spoofing_and_dos(self):
+        classification = classify_attack_effects(
+            ["spoofed CAN data", "ECU becomes unresponsive"]
+        )
+        assert StrideCategory.SPOOFING in classification
+        assert StrideCategory.DENIAL_OF_SERVICE in classification
+
+    def test_privacy_effect_maps_to_information_disclosure(self):
+        classification = classify_attack_effects(["privacy attack leaking GPS"])
+        assert StrideCategory.INFORMATION_DISCLOSURE in classification
+
+    def test_unrecognised_effects_raise(self):
+        with pytest.raises(ValueError):
+            classify_attack_effects(["nothing interesting"])

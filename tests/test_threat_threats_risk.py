@@ -1,0 +1,205 @@
+"""Tests for threats, catalogues and risk assessment."""
+
+import pytest
+
+from repro.threat.assets import Asset, AssetRegistry
+from repro.threat.dread import DreadScore, RiskLevel
+from repro.threat.risk import RiskAssessment, RiskMatrix
+from repro.threat.stride import StrideCategory, StrideClassification
+from repro.threat.threats import Threat, ThreatCatalog
+
+
+def make_threat(identifier="T1", asset="EV-ECU", average=None, **kwargs) -> Threat:
+    dread = kwargs.pop("dread", DreadScore(8, 5, 4, 6, 4))
+    return Threat(
+        identifier=identifier,
+        description=kwargs.pop("description", "Spoofed disable command"),
+        asset=asset,
+        entry_points=kwargs.pop("entry_points", ("Sensors",)),
+        stride=kwargs.pop("stride", StrideClassification.parse("STD")),
+        dread=dread,
+        **kwargs,
+    )
+
+
+class TestThreat:
+    def test_basic_properties(self):
+        threat = make_threat()
+        assert threat.average_score == pytest.approx(5.4)
+        assert threat.risk_level is RiskLevel.MEDIUM
+        assert threat.involves(StrideCategory.SPOOFING)
+        assert not threat.involves(StrideCategory.REPUDIATION)
+        assert threat.uses_entry_point("Sensors")
+
+    def test_mode_applicability(self):
+        threat = make_threat(applicable_modes=("normal",))
+        assert threat.applies_in_mode("normal")
+        assert not threat.applies_in_mode("fail-safe")
+        unrestricted = make_threat(identifier="T2")
+        assert unrestricted.applies_in_mode("anything")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_threat(identifier=" ")
+        with pytest.raises(ValueError):
+            make_threat(asset=" ")
+        with pytest.raises(ValueError):
+            make_threat(entry_points=())
+
+
+class TestThreatCatalog:
+    def make_catalog(self) -> ThreatCatalog:
+        catalog = ThreatCatalog()
+        catalog.add(make_threat("T1", asset="EV-ECU", dread=DreadScore(8, 5, 4, 6, 4)))
+        catalog.add(
+            make_threat(
+                "T2", asset="Engine", dread=DreadScore(6, 5, 4, 7, 5),
+                stride=StrideClassification.parse("TD"), entry_points=("Sensors", "EV-ECU"),
+            )
+        )
+        catalog.add(
+            make_threat(
+                "T3", asset="EV-ECU", dread=DreadScore(9, 8, 8, 9, 8),
+                stride=StrideClassification.parse("E"), applicable_modes=("fail-safe",),
+            )
+        )
+        return catalog
+
+    def test_duplicate_identifier_rejected(self):
+        catalog = self.make_catalog()
+        with pytest.raises(ValueError):
+            catalog.add(make_threat("T1"))
+
+    def test_lookup_and_membership(self):
+        catalog = self.make_catalog()
+        assert catalog.get("T2").asset == "Engine"
+        assert "T3" in catalog
+        assert len(catalog) == 3
+        with pytest.raises(KeyError):
+            catalog.get("T9")
+
+    def test_against_and_via(self):
+        catalog = self.make_catalog()
+        assert [t.identifier for t in catalog.against("EV-ECU")] == ["T1", "T3"]
+        assert {t.identifier for t in catalog.via("Sensors")} == {"T1", "T2", "T3"}
+
+    def test_involving(self):
+        catalog = self.make_catalog()
+        assert {t.identifier for t in catalog.involving(StrideCategory.TAMPERING)} == {
+            "T1", "T2",
+        }
+
+    def test_in_mode(self):
+        catalog = self.make_catalog()
+        assert {t.identifier for t in catalog.in_mode("normal")} == {"T1", "T2"}
+        assert {t.identifier for t in catalog.in_mode("fail-safe")} == {"T1", "T2", "T3"}
+
+    def test_prioritised_orders_by_average_descending(self):
+        prioritised = self.make_catalog().prioritised()
+        averages = [t.average_score for t in prioritised]
+        assert averages == sorted(averages, reverse=True)
+        assert prioritised[0].identifier == "T3"
+
+    def test_at_level(self):
+        catalog = self.make_catalog()
+        assert {t.identifier for t in catalog.at_level(RiskLevel.CRITICAL)} == {"T3"}
+
+    def test_assets_and_entry_points_orderings(self):
+        catalog = self.make_catalog()
+        assert catalog.assets() == ["EV-ECU", "Engine"]
+        assert catalog.entry_points() == ["Sensors", "EV-ECU"]
+
+    def test_stride_histogram(self):
+        histogram = self.make_catalog().stride_histogram()
+        assert histogram[StrideCategory.SPOOFING] == 1
+        assert histogram[StrideCategory.TAMPERING] == 2
+        assert histogram[StrideCategory.ELEVATION_OF_PRIVILEGE] == 1
+
+    def test_mean_dread_average(self):
+        catalog = self.make_catalog()
+        expected = (5.4 + 5.4 + 8.4) / 3
+        assert catalog.mean_dread_average() == pytest.approx(expected)
+        assert ThreatCatalog().mean_dread_average() == 0.0
+
+    def test_filter(self):
+        catalog = self.make_catalog()
+        high_damage = catalog.filter(lambda t: t.dread.damage >= 8)
+        assert {t.identifier for t in high_damage} == {"T1", "T3"}
+
+
+class TestRiskMatrix:
+    def test_total_and_bands(self):
+        catalog = ThreatCatalog(
+            [
+                make_threat("T1", dread=DreadScore(9, 9, 9, 9, 9)),
+                make_threat("T2", dread=DreadScore(1, 1, 1, 1, 1)),
+            ]
+        )
+        matrix = RiskMatrix(catalog)
+        assert matrix.total_threats() == 2
+        assert matrix.cell("high", "high").threats == ("T1",)
+        assert matrix.cell("low", "low").threats == ("T2",)
+
+    def test_hotspots(self):
+        catalog = ThreatCatalog([make_threat("T1", dread=DreadScore(9, 9, 9, 9, 9))])
+        hotspots = RiskMatrix(catalog).hotspots()
+        assert len(hotspots) == 1
+
+    def test_unknown_band_rejected(self):
+        matrix = RiskMatrix(ThreatCatalog())
+        with pytest.raises(KeyError):
+            matrix.cell("extreme", "low")
+
+
+class TestRiskAssessment:
+    def make_assessment(self) -> RiskAssessment:
+        catalog = ThreatCatalog(
+            [
+                make_threat("T1", asset="EV-ECU", dread=DreadScore(8, 5, 4, 6, 4)),
+                make_threat("T2", asset="EV-ECU", dread=DreadScore(5, 5, 5, 7, 6)),
+                make_threat("T3", asset="Engine", dread=DreadScore(6, 5, 4, 7, 5)),
+            ]
+        )
+        assets = AssetRegistry([Asset("EV-ECU"), Asset("Engine"), Asset("Sensors")])
+        assets.add_dependency("EV-ECU", "Sensors")
+        assets.add_dependency("Engine", "Sensors")
+        return RiskAssessment(catalog, assets)
+
+    def test_per_asset_summary(self):
+        summary = self.make_assessment().per_asset_summary()
+        assert summary["EV-ECU"].threat_count == 2
+        assert summary["EV-ECU"].worst_case.damage == 8
+        assert summary["Engine"].threat_count == 1
+
+    def test_remediation_order(self):
+        ordered = self.make_assessment().remediation_order()
+        averages = [t.average_score for t in ordered]
+        assert averages == sorted(averages, reverse=True)
+
+    def test_above_threshold(self):
+        assessment = self.make_assessment()
+        assert {t.identifier for t in assessment.above_threshold(5.5)} == {"T2"}
+
+    def test_residual_risk_decreases_with_mitigation(self):
+        assessment = self.make_assessment()
+        nothing = assessment.residual_risk([])
+        partial = assessment.residual_risk(["T1"])
+        everything = assessment.residual_risk(["T1", "T2", "T3"])
+        assert nothing > partial > everything == 0.0
+
+    def test_coverage_by_level(self):
+        assessment = self.make_assessment()
+        coverage = assessment.coverage_by_level(["T1", "T3"])
+        assert coverage[RiskLevel.MEDIUM] == pytest.approx(2 / 3)
+
+    def test_indirect_exposure_requires_registry(self):
+        catalog = ThreatCatalog([make_threat("T1", asset="Sensors")])
+        with pytest.raises(ValueError):
+            RiskAssessment(catalog).indirect_exposure("EV-ECU")
+
+    def test_indirect_exposure(self):
+        catalog = ThreatCatalog([make_threat("T1", asset="Sensors")])
+        assets = AssetRegistry([Asset("EV-ECU"), Asset("Sensors")])
+        assets.add_dependency("EV-ECU", "Sensors")
+        exposure = RiskAssessment(catalog, assets).indirect_exposure("EV-ECU")
+        assert [t.identifier for t in exposure] == ["T1"]

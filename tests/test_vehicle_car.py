@@ -1,0 +1,90 @@
+"""Tests for the assembled connected car."""
+
+import pytest
+
+from repro.vehicle.car import ConnectedCar
+from repro.vehicle.messages import ALL_NODES
+from repro.vehicle.modes import CarMode
+
+
+class TestAssembly:
+    def test_all_nodes_attached(self):
+        car = ConnectedCar()
+        assert set(car.node_names()) == set(ALL_NODES)
+        assert len(car.bus.nodes) == len(ALL_NODES)
+
+    def test_ecu_lookup(self):
+        car = ConnectedCar()
+        assert car.ecu("EV-ECU") is car.ev_ecu
+        assert car.ecu("Safety") is car.safety
+        with pytest.raises(KeyError):
+            car.ecu("Ghost")
+
+    def test_initial_health_is_green(self):
+        health = ConnectedCar().health()
+        assert all(health.values())
+
+    def test_initial_mode(self):
+        assert ConnectedCar().mode is CarMode.NORMAL
+
+
+class TestBehaviour:
+    def test_periodic_traffic_flows(self):
+        car = ConnectedCar(start_periodic_traffic=True)
+        car.run(0.5)
+        assert car.bus.statistics.frames_transmitted > 50
+        assert car.bus.statistics.frames_delivered > car.bus.statistics.frames_transmitted
+
+    def test_drive_updates_state(self):
+        car = ConnectedCar(start_periodic_traffic=True)
+        car.drive(accel=100, duration=0.5)
+        assert car.door_locks.vehicle_in_motion
+        assert car.ev_ecu.sensor_state["accel"] >= 100
+        assert car.engine.rpm > 800
+        assert car.infotainment.displayed_status["speed"] > 0
+
+    def test_park_and_arm_immobilises(self):
+        car = ConnectedCar()
+        car.park_and_arm()
+        assert car.safety.alarm_armed
+        assert car.door_locks.locked
+        assert not car.ev_ecu.propulsion_available
+
+    def test_mode_listener_called(self):
+        car = ConnectedCar()
+        events = []
+        car.add_mode_listener(lambda previous, new: events.append(new))
+        car.modes.enter_fail_safe()
+        assert events == [CarMode.FAIL_SAFE]
+
+    def test_sync_enforcement_without_coordinator_is_noop(self):
+        car = ConnectedCar()
+        car.sync_enforcement()  # must not raise
+
+    def test_crash_scenario_end_to_end(self):
+        car = ConnectedCar(start_periodic_traffic=True)
+        car.drive(accel=80, duration=0.2)
+        car.sensors.set_pedals(accel=0, brake=255)
+        car.sensors.set_proximity(5)
+        car.run(0.2)
+        assert car.safety.failsafe_active
+        assert car.telematics.emergency_calls_placed >= 1
+        assert not car.door_locks.locked
+
+
+class TestTopology:
+    def test_topology_matches_fig2(self):
+        car = ConnectedCar()
+        graph = car.topology()
+        # Bus node plus 9 ECUs plus 4 external interfaces.
+        assert graph.number_of_nodes() == 1 + len(ALL_NODES) + 4
+        bus_degree = graph.degree(car.bus.name)
+        assert bus_degree == len(ALL_NODES)
+        assert graph.has_edge("Cellular-3G/4G", "Telematics")
+        assert graph.has_edge("OBD-Port", "Gateway")
+        assert graph.has_edge("Media-Browser", "Infotainment")
+
+    def test_external_interfaces_not_on_bus_directly(self):
+        graph = ConnectedCar().topology()
+        for external in ("Cellular-3G/4G", "WiFi", "OBD-Port", "Media-Browser"):
+            assert not graph.has_edge(external, "vehicle-can")

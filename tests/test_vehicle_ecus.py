@@ -1,0 +1,265 @@
+"""Tests for the individual vehicle ECU applications."""
+
+import pytest
+
+from repro.can.bus import CANBus
+from repro.vehicle.door_locks import DoorLockController
+from repro.vehicle.ecu import VehicleECU
+from repro.vehicle.engine_ecu import EngineController
+from repro.vehicle.eps import PowerSteeringController
+from repro.vehicle.ev_ecu import ElectronicVehicleECU
+from repro.vehicle.gateway import CANGateway
+from repro.vehicle.infotainment import InfotainmentSystem
+from repro.vehicle.messages import standard_catalog
+from repro.vehicle.safety import SafetyCriticalController
+from repro.vehicle.sensors import SensorCluster
+from repro.vehicle.telematics import TelematicsUnit
+
+
+@pytest.fixture()
+def rig():
+    """A bus with every ECU attached (no enforcement, no periodic traffic)."""
+    catalog = standard_catalog()
+    bus = CANBus(name="rig")
+    ecus = {
+        "ev_ecu": ElectronicVehicleECU(catalog),
+        "eps": PowerSteeringController(catalog),
+        "engine": EngineController(catalog),
+        "sensors": SensorCluster(catalog),
+        "telematics": TelematicsUnit(catalog),
+        "infotainment": InfotainmentSystem(catalog),
+        "door_locks": DoorLockController(catalog),
+        "safety": SafetyCriticalController(catalog),
+        "gateway": CANGateway(catalog),
+    }
+    for ecu in ecus.values():
+        bus.attach(ecu.node)
+    return bus, catalog, ecus
+
+
+def run(bus: CANBus, duration: float = 0.05) -> None:
+    bus.run(duration)
+
+
+class TestEvEcu:
+    def test_disable_and_enable(self, rig):
+        bus, catalog, ecus = rig
+        ev_ecu, safety = ecus["ev_ecu"], ecus["safety"]
+        assert ev_ecu.propulsion_available
+        safety.send_message("ECU_DISABLE", b"\x01")
+        run(bus)
+        assert not ev_ecu.propulsion_available
+        assert ev_ecu.events_of_kind("disabled")
+        safety.send_message("ECU_ENABLE", b"\x01")
+        run(bus)
+        assert ev_ecu.propulsion_available
+
+    def test_sensor_state_tracking(self, rig):
+        bus, catalog, ecus = rig
+        ecus["sensors"].set_pedals(accel=120, brake=0)
+        ecus["sensors"].send_message("SENSOR_ACCEL", bytes([120]))
+        run(bus)
+        assert ecus["ev_ecu"].sensor_state["accel"] == 120
+
+    def test_firmware_update_frames_are_logged(self, rig):
+        bus, catalog, ecus = rig
+        ecus["telematics"].send_message("FIRMWARE_UPDATE", b"\x01")
+        run(bus)
+        assert ecus["ev_ecu"].firmware_updates_received == 1
+
+
+class TestEpsAndEngine:
+    def test_eps_deactivation(self, rig):
+        bus, catalog, ecus = rig
+        assert ecus["eps"].assisting
+        ecus["safety"].send_message("EPS_DEACTIVATE", b"\x01")
+        run(bus)
+        assert not ecus["eps"].assisting
+
+    def test_eps_diag_response(self, rig):
+        bus, catalog, ecus = rig
+        ecus["telematics"].send_message("DIAG_REQUEST", b"\x01")
+        run(bus)
+        assert any("diag-response" in entry for entry in ecus["gateway"].external_log)
+
+    def test_engine_deactivation_and_rpm(self, rig):
+        bus, catalog, ecus = rig
+        engine = ecus["engine"]
+        ecus["ev_ecu"].send_message("ECU_COMMAND", bytes([100, 0]))
+        run(bus)
+        assert engine.rpm > 800
+        ecus["safety"].send_message("ENGINE_DEACTIVATE", b"\x01")
+        run(bus)
+        assert not engine.running
+
+    def test_engine_modification_events(self, rig):
+        bus, catalog, ecus = rig
+        ecus["telematics"].send_message("FIRMWARE_UPDATE", b"\x01")
+        run(bus)
+        assert ecus["engine"].modification_events == 1
+
+
+class TestSensorsAndSafety:
+    def test_obstacle_detection_triggers_failsafe(self, rig):
+        bus, catalog, ecus = rig
+        sensors, safety = ecus["sensors"], ecus["safety"]
+        sensors.set_proximity(10)
+        assert sensors.detect_obstacle() is True
+        run(bus)
+        assert safety.failsafe_active
+
+    def test_far_obstacle_does_not_trigger(self, rig):
+        bus, catalog, ecus = rig
+        ecus["sensors"].set_proximity(500)
+        assert ecus["sensors"].detect_obstacle() is False
+
+    def test_crash_detection_unlocks_and_calls(self, rig):
+        bus, catalog, ecus = rig
+        sensors, safety, door_locks, telematics = (
+            ecus["sensors"], ecus["safety"], ecus["door_locks"], ecus["telematics"],
+        )
+        door_locks.locked = True
+        sensors.set_pedals(accel=0, brake=255)
+        sensors.set_proximity(10)
+        sensors.send_message("SENSOR_BRAKE", bytes([255]))
+        sensors.send_message("SENSOR_PROXIMITY", bytes([2]))
+        run(bus)
+        assert safety.failsafe_active
+        assert safety.airbags_deployed
+        assert not door_locks.locked
+        assert telematics.emergency_calls_placed >= 1
+
+    def test_alarm_triggered_by_door_opening(self, rig):
+        bus, catalog, ecus = rig
+        safety, door_locks = ecus["safety"], ecus["door_locks"]
+        safety.arm_alarm()
+        door_locks.send_message("DOOR_STATUS", bytes([0, 0]))
+        run(bus)
+        assert safety.alarm_triggered
+
+    def test_alarm_disable_handling(self, rig):
+        bus, catalog, ecus = rig
+        ecus["safety"].arm_alarm()
+        ecus["telematics"].send_message("ALARM_DISABLE", b"\x01")
+        run(bus)
+        assert not ecus["safety"].alarm_armed
+
+    def test_gear_validation(self, rig):
+        _, _, ecus = rig
+        with pytest.raises(ValueError):
+            ecus["sensors"].set_gear(7)
+
+
+class TestDoorLocks:
+    def test_lock_unlock_via_commands(self, rig):
+        bus, catalog, ecus = rig
+        door_locks = ecus["door_locks"]
+        ecus["telematics"].send_message("DOOR_LOCK_CMD", b"\x01")
+        run(bus)
+        assert door_locks.locked
+        ecus["telematics"].send_message("DOOR_UNLOCK_CMD", b"\x01")
+        run(bus)
+        assert not door_locks.locked
+        assert door_locks.hazard_events == []
+
+    def test_unlock_in_motion_is_a_hazard(self, rig):
+        bus, catalog, ecus = rig
+        door_locks = ecus["door_locks"]
+        door_locks.locked = True
+        door_locks.set_motion(True)
+        ecus["telematics"].send_message("DOOR_UNLOCK_CMD", b"\x01")
+        run(bus)
+        assert "unlocked-in-motion" in door_locks.hazard_events
+
+    def test_lock_during_accident_is_a_hazard(self, rig):
+        bus, catalog, ecus = rig
+        door_locks = ecus["door_locks"]
+        ecus["safety"].declare_crash("test crash")
+        run(bus)
+        ecus["telematics"].send_message("DOOR_LOCK_CMD", b"\x01")
+        run(bus)
+        assert "locked-during-accident" in door_locks.hazard_events
+
+    def test_arm_and_immobilise_disables_propulsion(self, rig):
+        bus, catalog, ecus = rig
+        assert ecus["door_locks"].arm_and_immobilise()
+        run(bus)
+        assert not ecus["ev_ecu"].propulsion_available
+
+
+class TestTelematics:
+    def test_modem_disable_blocks_emergency_calls(self, rig):
+        bus, catalog, ecus = rig
+        telematics = ecus["telematics"]
+        ecus["infotainment"].send_message("MODEM_CONTROL", b"\x00")
+        run(bus)
+        assert not telematics.modem_enabled
+        assert not telematics.place_emergency_call()
+        assert telematics.events_of_kind("emergency-call-failed")
+
+    def test_tracking_disable(self, rig):
+        bus, catalog, ecus = rig
+        # The disable command arrives from outside; emit it from a compromised
+        # gateway (whose software transmit filter would normally stop it) to
+        # exercise the telematics handler.
+        ecus["gateway"].compromise_firmware()
+        assert ecus["gateway"].send_raw(catalog.id_of("TRACKING_DISABLE"), b"\x01")
+        run(bus)
+        assert not ecus["telematics"].tracking_enabled
+
+    def test_exfiltration_requires_compromise(self, rig):
+        _, _, ecus = rig
+        telematics = ecus["telematics"]
+        assert not telematics.exfiltrate_position()
+        telematics.compromise_firmware()
+        assert telematics.exfiltrate_position()
+        assert telematics.privacy_exfiltration_events == 1
+
+
+class TestInfotainment:
+    def test_status_display_updates(self, rig):
+        bus, catalog, ecus = rig
+        ecus["ev_ecu"].send_message("CAR_STATUS_DISPLAY", bytes([88, 2]))
+        run(bus)
+        assert ecus["infotainment"].displayed_status["speed"] == 88
+        ecus["telematics"].send_message("GPS_POSITION", bytes([1, 2]))
+        run(bus)
+        assert ecus["infotainment"].displayed_gps == (1, 2)
+
+    def test_install_without_enforcement_always_succeeds(self, rig):
+        _, _, ecus = rig
+        assert ecus["infotainment"].install_software("any-app")
+        assert "any-app" in ecus["infotainment"].installed_packages
+
+    def test_browser_exploit_compromises_firmware(self, rig):
+        _, _, ecus = rig
+        ecus["infotainment"].browser_exploit()
+        assert ecus["infotainment"].firmware_compromised
+
+
+class TestGatewayAndBase:
+    def test_relay_allow_list(self, rig):
+        bus, catalog, ecus = rig
+        gateway = ecus["gateway"]
+        assert gateway.relay_external_request("DIAG_REQUEST", b"\x01")
+        assert not gateway.relay_external_request("ECU_DISABLE", b"\x01")
+        assert gateway.refused_relays == 1
+
+    def test_raw_relay_bypasses_allow_list_but_not_filters(self, rig):
+        bus, catalog, ecus = rig
+        gateway = ecus["gateway"]
+        # The gateway's own software TX filter only allows its catalogue
+        # messages, so a raw ECU_DISABLE relay is stopped at the node.
+        assert not gateway.relay_raw_external(catalog.id_of("ECU_DISABLE"), b"\x01")
+
+    def test_unknown_message_handler_registration_fails(self, rig):
+        _, catalog, _ = rig
+        ecu = VehicleECU("Gateway", catalog)
+        with pytest.raises(KeyError):
+            ecu.on_message("GHOST_MESSAGE", lambda frame: None)
+
+    def test_periodic_broadcast_requires_attachment(self):
+        catalog = standard_catalog()
+        ecu = SensorCluster(catalog)
+        with pytest.raises(RuntimeError):
+            ecu.start_periodic_broadcasts()

@@ -1,0 +1,163 @@
+"""Tests for the vehicle message catalogue and car modes."""
+
+import pytest
+
+from repro.vehicle.messages import (
+    ALL_NODES,
+    NODE_EV_ECU,
+    NODE_SAFETY,
+    NODE_SENSORS,
+    MessageCatalog,
+    VehicleMessage,
+    standard_catalog,
+)
+from repro.vehicle.modes import (
+    ALLOWED_TRANSITIONS,
+    CarMode,
+    InvalidModeTransition,
+    ModeManager,
+)
+
+
+class TestCarMode:
+    def test_parse(self):
+        assert CarMode.parse("normal") is CarMode.NORMAL
+        assert CarMode.parse("Fail Safe") is CarMode.FAIL_SAFE
+        assert CarMode.parse("remote_diagnostic") is CarMode.REMOTE_DIAGNOSTIC
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            CarMode.parse("turbo")
+
+    def test_three_modes_match_paper(self):
+        assert len(CarMode) == 3
+
+
+class TestModeManager:
+    def test_initial_mode_and_history(self):
+        manager = ModeManager()
+        assert manager.mode is CarMode.NORMAL
+        assert manager.history == [CarMode.NORMAL]
+
+    def test_allowed_transitions(self):
+        manager = ModeManager()
+        manager.enter_remote_diagnostic()
+        assert manager.mode is CarMode.REMOTE_DIAGNOSTIC
+        manager.return_to_normal()
+        manager.enter_fail_safe()
+        assert manager.mode is CarMode.FAIL_SAFE
+        manager.return_to_normal()
+        assert manager.history[-1] is CarMode.NORMAL
+
+    def test_failsafe_cannot_go_to_diagnostic(self):
+        manager = ModeManager(CarMode.FAIL_SAFE)
+        assert not manager.can_transition(CarMode.REMOTE_DIAGNOSTIC)
+        with pytest.raises(InvalidModeTransition):
+            manager.transition(CarMode.REMOTE_DIAGNOSTIC)
+
+    def test_transition_to_same_mode_is_noop(self):
+        manager = ModeManager()
+        events = []
+        manager.add_listener(lambda previous, new: events.append((previous, new)))
+        manager.transition(CarMode.NORMAL)
+        assert events == []
+        assert manager.history == [CarMode.NORMAL]
+
+    def test_listeners_notified(self):
+        manager = ModeManager()
+        events = []
+        manager.add_listener(lambda previous, new: events.append((previous, new)))
+        manager.enter_fail_safe()
+        assert events == [(CarMode.NORMAL, CarMode.FAIL_SAFE)]
+
+    def test_transition_table_is_complete(self):
+        assert set(ALLOWED_TRANSITIONS) == set(CarMode)
+
+
+class TestVehicleMessage:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VehicleMessage(0x800, "X", ("A",), ())
+        with pytest.raises(ValueError):
+            VehicleMessage(0x10, " ", ("A",), ())
+        with pytest.raises(ValueError):
+            VehicleMessage(0x10, "X", (), ())
+
+    def test_mode_applicability(self):
+        message = VehicleMessage(
+            0x10, "X", ("A",), ("B",), allowed_modes=(CarMode.FAIL_SAFE,)
+        )
+        assert message.allowed_in_mode(CarMode.FAIL_SAFE)
+        assert not message.allowed_in_mode(CarMode.NORMAL)
+        unrestricted = VehicleMessage(0x11, "Y", ("A",), ("B",))
+        assert unrestricted.allowed_in_mode(CarMode.NORMAL)
+
+    def test_frame_generation(self):
+        message = VehicleMessage(0x10, "X", ("A",), ("B",))
+        frame = message.frame(b"\x01", source="A")
+        assert frame.can_id == 0x10
+        assert frame.source == "A"
+
+
+class TestStandardCatalog:
+    def test_unique_ids_and_names(self, catalog):
+        ids = [m.can_id for m in catalog]
+        names = [m.name for m in catalog]
+        assert len(set(ids)) == len(ids)
+        assert len(set(names)) == len(names)
+        assert len(catalog) >= 25
+
+    def test_every_node_appears(self, catalog):
+        nodes = set(catalog.nodes())
+        for node in ALL_NODES:
+            assert node in nodes
+
+    def test_lookup_by_id_and_name(self, catalog):
+        message = catalog.by_name("ECU_DISABLE")
+        assert catalog.by_id(message.can_id) is message
+        assert catalog.id_of("ECU_DISABLE") == message.can_id
+        assert "ECU_DISABLE" in catalog
+        assert message.can_id in catalog
+        with pytest.raises(KeyError):
+            catalog.by_name("GHOST")
+        with pytest.raises(KeyError):
+            catalog.by_id(0x7FE)
+
+    def test_duplicate_registration_rejected(self, catalog):
+        duplicate_id = VehicleMessage(catalog.id_of("ECU_DISABLE"), "OTHER", ("A",), ())
+        fresh = MessageCatalog(list(catalog))
+        with pytest.raises(ValueError):
+            fresh.add(duplicate_id)
+        duplicate_name = VehicleMessage(0x7F0, "ECU_DISABLE", ("A",), ())
+        with pytest.raises(ValueError):
+            fresh.add(duplicate_name)
+
+    def test_ecu_disable_is_failsafe_only_and_safety_relevant(self, catalog):
+        message = catalog.by_name("ECU_DISABLE")
+        assert message.safety_relevant
+        assert not message.allowed_in_mode(CarMode.NORMAL)
+        assert message.allowed_in_mode(CarMode.FAIL_SAFE)
+        assert NODE_EV_ECU in message.consumers
+        assert NODE_SAFETY in message.producers
+
+    def test_mode_scoped_views(self, catalog):
+        normal_reads = set(catalog.read_ids_for(NODE_EV_ECU, CarMode.NORMAL))
+        failsafe_reads = set(catalog.read_ids_for(NODE_EV_ECU, CarMode.FAIL_SAFE))
+        assert catalog.id_of("ECU_DISABLE") not in normal_reads
+        assert catalog.id_of("ECU_DISABLE") in failsafe_reads
+        assert catalog.id_of("SENSOR_ACCEL") in normal_reads
+
+    def test_sensor_writes_are_sensor_messages_only(self, catalog):
+        write_names = {catalog.by_id(i).name for i in catalog.write_ids_for(NODE_SENSORS)}
+        assert "SENSOR_ACCEL" in write_names
+        assert "ECU_DISABLE" not in write_names
+        assert "ALARM_DISABLE" not in write_names
+
+    def test_safety_relevant_subset(self, catalog):
+        safety_messages = catalog.safety_relevant()
+        assert any(m.name == "AIRBAG_DEPLOY" for m in safety_messages)
+        assert all(m.safety_relevant for m in safety_messages)
+
+    def test_arbitration_priorities_favour_safety_commands(self, catalog):
+        assert catalog.id_of("ECU_DISABLE") < catalog.id_of("DIAG_REQUEST")
+        assert catalog.id_of("SENSOR_BRAKE") < catalog.id_of("CAR_STATUS_DISPLAY")
