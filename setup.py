@@ -1,3 +1,18 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-hagan-policy-security",
+    version="0.2.0",
+    description=(
+        "Reproduction of Hagan, Siddiqui & Sezer (SOCC 2018): policy-based "
+        "security modelling and enforcement for connected cars, with a "
+        "fleet-scale parallel simulation engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=["networkx"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark"],
+    },
+)

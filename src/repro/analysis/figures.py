@@ -20,6 +20,7 @@ import networkx as nx
 
 from repro.can.node import CANNode
 from repro.core.lifecycle import STAGE_ORDER, LifecycleStage
+from repro.fleet.results import FleetResult
 from repro.hpe.engine import HardwarePolicyEngine
 from repro.vehicle.car import ConnectedCar
 
@@ -190,3 +191,40 @@ def render_fig4_hpe_node(engine: HardwarePolicyEngine | None = None) -> str:
             f"                          attempts rejected so far: {structure['tamper_rejections']}",
         ]
     )
+
+
+# ---------------------------------------------------------------------------
+# Fleet scale -- per-scenario throughput and enforcement effectiveness
+# ---------------------------------------------------------------------------
+
+
+def render_fleet_scale(results: dict[str, FleetResult], bar_width: int = 40) -> str:
+    """ASCII rendering of a multi-scenario fleet run.
+
+    One bar per scenario, scaled to the fastest scenario's throughput,
+    annotated with the enforcement numbers the fleet layer aggregates
+    (frame block rate, attack mitigation rate, and the p99 across
+    vehicles of per-vehicle mean decision latency).
+    """
+    lines = ["Fleet scale - throughput and enforcement by scenario", ""]
+    if not results:
+        lines.append("(no scenarios run)")
+        return "\n".join(lines)
+    peak = max(result.frames_per_second for result in results.values()) or 1.0
+    name_width = max(len(name) for name in results)
+    for name in sorted(results):
+        result = results[name]
+        filled = round(bar_width * result.frames_per_second / peak)
+        bar = "#" * filled + "." * (bar_width - filled)
+        lines.append(
+            f"{name:<{name_width}} |{bar}| "
+            f"{result.frames_per_second:>9.1f} frames/s "
+            f"({result.vehicles} vehicles)"
+        )
+        lines.append(
+            f"{'':<{name_width}}  block-rate={result.frame_block_rate:.3f} "
+            f"mitigation={result.attack_mitigation_rate:.3f} "
+            f"p99-vehicle-latency={result.latency_p99_s * 1e9:.0f}ns "
+            f"unhealthy={result.unhealthy_vehicles}"
+        )
+    return "\n".join(lines)

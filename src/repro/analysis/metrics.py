@@ -1,10 +1,12 @@
-"""Campaign and overhead metrics.
+"""Campaign, overhead and fleet metrics.
 
 Turns raw campaign results and bus traces into the numbers the
 benchmarks report: attack success / mitigation rates per enforcement
 configuration, per-asset breakdowns, frames blocked, and the enforcement
 overhead (decision counts, accumulated decision latency, bus
-utilisation).
+utilisation).  Fleet-level results (one
+:class:`~repro.fleet.results.FleetResult` per scenario) fold into
+cross-scenario comparison rows and whole-fleet totals.
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from dataclasses import dataclass, field
 from repro.attacks.campaign import CampaignResult
 from repro.attacks.scenarios import AttackScenario
 from repro.core.enforcement import EnforcementCoordinator
+from repro.fleet.results import FleetResult
 from repro.vehicle.car import ConnectedCar
 
 
@@ -191,3 +194,72 @@ def measure_overhead(
         bus_utilisation=car.bus.statistics.utilisation(simulated_seconds),
         simulated_seconds=simulated_seconds,
     )
+
+
+# ---------------------------------------------------------------------------
+# Fleet-scale metrics
+# ---------------------------------------------------------------------------
+
+#: Column headers matching :func:`fleet_comparison_rows`.
+FLEET_COMPARISON_HEADER: tuple[str, ...] = (
+    "scenario",
+    "vehicles",
+    "frames/s",
+    "block-rate",
+    "mitigation",
+    "p99-vehicle-latency-ns",
+    "unhealthy",
+)
+
+
+def fleet_comparison_rows(
+    results: dict[str, FleetResult]
+) -> list[tuple[str, int, float, float, float, float, int]]:
+    """Per-scenario comparison rows for a multi-scenario fleet run.
+
+    One row per scenario in name order; columns follow
+    :data:`FLEET_COMPARISON_HEADER`.
+    """
+    rows = []
+    for name in sorted(results):
+        result = results[name]
+        rows.append(
+            (
+                name,
+                result.vehicles,
+                round(result.frames_per_second, 1),
+                round(result.frame_block_rate, 4),
+                round(result.attack_mitigation_rate, 4),
+                round(result.latency_p99_s * 1e9, 3),
+                result.unhealthy_vehicles,
+            )
+        )
+    return rows
+
+
+def fleet_totals(results: dict[str, FleetResult]) -> dict[str, float | int]:
+    """Whole-fleet totals across every scenario of a combined run.
+
+    Throughput is recomputed from summed frames and summed wall time --
+    scenario runs execute sequentially, so wall seconds add.
+    """
+    vehicles = sum(r.vehicles for r in results.values())
+    frames = sum(r.frames_transmitted for r in results.values())
+    blocked = sum(r.frames_blocked for r in results.values())
+    attempted = sum(r.attacks_attempted for r in results.values())
+    mitigated = sum(r.attacks_mitigated for r in results.values())
+    wall = sum(r.wall_seconds for r in results.values())
+    checked = frames + blocked
+    return {
+        "scenarios": len(results),
+        "vehicles": vehicles,
+        "frames_transmitted": frames,
+        "frames_blocked": blocked,
+        "frame_block_rate": round(blocked / checked, 4) if checked else 0.0,
+        "attacks_attempted": attempted,
+        "attack_mitigation_rate": round(mitigated / attempted, 4) if attempted else 0.0,
+        "unhealthy_vehicles": sum(r.unhealthy_vehicles for r in results.values()),
+        "wall_seconds": round(wall, 3),
+        "frames_per_second": round(frames / wall, 1) if wall > 0 else 0.0,
+        "vehicles_per_second": round(vehicles / wall, 2) if wall > 0 else 0.0,
+    }

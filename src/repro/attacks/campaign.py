@@ -11,10 +11,12 @@ for the enforcement ablation benchmark.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.attacks.scenarios import AttackScenario, ScenarioOutcome, all_scenarios
+from repro.core.seeding import derive_seed
 from repro.vehicle.car import ConnectedCar
 
 
@@ -103,6 +105,15 @@ class AttackCampaign:
         The scenarios to run (defaults to all sixteen Table I scenarios).
     configuration_name:
         Label for the configuration (used in reports and benchmarks).
+    seed:
+        Root seed for every randomised choice the campaign makes.  All
+        randomness flows through the explicit ``rng`` attribute (never
+        the shared ``random`` module), so concurrent campaigns are
+        reproducible and independent.
+    rng:
+        An externally owned generator overriding ``seed``, for callers
+        that already manage seeded streams (e.g. one campaign per
+        simulated vehicle).
     """
 
     def __init__(
@@ -110,15 +121,38 @@ class AttackCampaign:
         car_factory: Callable[[], ConnectedCar],
         scenarios: Iterable[AttackScenario] | None = None,
         configuration_name: str = "unnamed",
+        seed: int = 0,
+        rng: random.Random | None = None,
     ) -> None:
         self.car_factory = car_factory
         self.scenarios = list(scenarios) if scenarios is not None else all_scenarios()
         self.configuration_name = configuration_name
+        self.seed = seed
+        self.rng = rng if rng is not None else random.Random(seed)
 
-    def run(self) -> CampaignResult:
-        """Execute every scenario on its own fresh vehicle."""
+    def scenario_seed(self, threat_id: str) -> int:
+        """A stable per-scenario seed derived from the campaign seed.
+
+        Delegates to :func:`repro.core.seeding.derive_seed` (SHA-256
+        based, so identical across processes).  Callers that run
+        randomised helpers per scenario (e.g. a
+        :class:`~repro.attacks.fuzzing.FuzzingAttack` probe) should
+        seed them from this rather than from global state.
+        """
+        return derive_seed(self.seed, threat_id)
+
+    def run(self, shuffle: bool = False) -> CampaignResult:
+        """Execute every scenario on its own fresh vehicle.
+
+        ``shuffle`` randomises execution order through the campaign's
+        own seeded generator -- useful for checking order independence
+        while staying reproducible.
+        """
         result = CampaignResult(configuration=self.configuration_name)
-        for scenario in self.scenarios:
+        scenarios = list(self.scenarios)
+        if shuffle:
+            self.rng.shuffle(scenarios)
+        for scenario in scenarios:
             car = self.car_factory()
             outcome = scenario.execute(car)
             result.records.append(ScenarioRecord(scenario=scenario, outcome=outcome))

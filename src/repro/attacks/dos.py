@@ -37,16 +37,19 @@ class TargetedDisableAttack:
         "Telematics": ("MODEM_CONTROL", "emergency_call_possible"),
     }
 
-    def __init__(self, car: ConnectedCar, target: str = "EV-ECU") -> None:
+    def __init__(
+        self, car: ConnectedCar, target: str = "EV-ECU", attacker_name: str = "MaliciousNode"
+    ) -> None:
         if target not in self.TARGETS:
             raise ValueError(f"unknown disable target {target!r}; known: {sorted(self.TARGETS)}")
         self.car = car
         self.target = target
+        self.attacker_name = attacker_name
         self.message_name, self.health_key = self.TARGETS[target]
 
     def execute(self, repetitions: int = 3) -> DosResult:
         """Inject the disable command and report whether the target went down."""
-        attacker = MaliciousNode(self.car)
+        attacker = MaliciousNode(self.car, name=self.attacker_name)
         payload = b"\x00" if self.message_name == "MODEM_CONTROL" else b"\x01"
         on_bus = attacker.flood(self.car.catalog.id_of(self.message_name), repetitions, payload)
         self.car.run(0.05)
@@ -67,13 +70,16 @@ class BusFloodAttack:
     flood window as a congestion measure.
     """
 
-    def __init__(self, car: ConnectedCar, flood_id: int = 0x000) -> None:
+    def __init__(
+        self, car: ConnectedCar, flood_id: int = 0x000, attacker_name: str = "MaliciousNode"
+    ) -> None:
         self.car = car
         self.flood_id = flood_id
+        self.attacker_name = attacker_name
 
     def execute(self, frames: int = 500, window_s: float = 0.5) -> DosResult:
         """Flood for *window_s* seconds and measure legitimate deliveries."""
-        attacker = MaliciousNode(self.car)
+        attacker = MaliciousNode(self.car, name=self.attacker_name)
         trace = self.car.bus.trace
         deliveries_before = trace.count(TraceEventKind.DELIVERED)
         transmitted_before = trace.count(TraceEventKind.TRANSMITTED)

@@ -36,11 +36,22 @@ class FuzzingResult:
 
 
 class FuzzingAttack:
-    """Seeded random-frame fuzzing from a rogue node."""
+    """Seeded random-frame fuzzing from a rogue node.
 
-    def __init__(self, car: ConnectedCar, seed: int = 1234) -> None:
+    Randomness is always drawn from an explicit generator: pass ``rng``
+    to share a stream owned by a campaign or fleet kernel, or ``seed``
+    to create a private one.  Module-level ``random`` state is never
+    consulted, so concurrent fleet vehicles cannot perturb each other.
+    """
+
+    def __init__(
+        self,
+        car: ConnectedCar,
+        seed: int = 1234,
+        rng: random.Random | None = None,
+    ) -> None:
         self.car = car
-        self._random = random.Random(seed)
+        self._random = rng if rng is not None else random.Random(seed)
         self.attacker = MaliciousNode(car, name="Fuzzer")
 
     def execute(self, frames: int = 200, max_id: int = MAX_STANDARD_ID) -> FuzzingResult:

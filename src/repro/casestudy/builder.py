@@ -16,6 +16,7 @@ from repro.casestudy.connected_car import (
 )
 from repro.core.derivation import DerivationResult, PolicyDerivation
 from repro.core.enforcement import EnforcementConfig, EnforcementCoordinator
+from repro.core.policy_engine import PolicyEvaluator
 from repro.core.security_model import PolicyBasedSecurityModel
 from repro.vehicle.car import ConnectedCar
 from repro.vehicle.messages import MessageCatalog, standard_catalog
@@ -46,12 +47,16 @@ class CaseStudyBuilder:
 
     The builder derives the security policy once and reuses it for every
     car it builds, which keeps attack campaigns (one fresh car per
-    scenario) fast and deterministic.
+    scenario) fast and deterministic.  It also shares one
+    :class:`~repro.core.policy_engine.PolicyEvaluator` across every car,
+    so the evaluator's (node, situation) decision cache is warm for the
+    whole fleet instead of recomputed per vehicle.
     """
 
     def __init__(self, dread_threshold: float = 0.0) -> None:
         self.catalog = standard_catalog()
         self.model = build_case_study_model(self.catalog, dread_threshold=dread_threshold)
+        self.evaluator = PolicyEvaluator(self.catalog)
 
     @property
     def derivation(self) -> DerivationResult:
@@ -78,6 +83,7 @@ class CaseStudyBuilder:
             catalog=self.catalog,
             config=config,
             selinux_module=self.model.derivation.selinux_module,
+            evaluator=self.evaluator,
         )
         coordinator.fit(car)
         return car

@@ -84,13 +84,19 @@ class EnforcementCoordinator:
         catalog=None,
         config: EnforcementConfig | None = None,
         selinux_module: PolicyModule | None = None,
+        evaluator: PolicyEvaluator | None = None,
     ) -> None:
         self.policy = policy
         self.config = config if config is not None else EnforcementConfig.full()
         self.selinux_module = selinux_module
         self._catalog = catalog
+        # A caller-supplied evaluator may be shared across many
+        # coordinators (one per fleet vehicle) so its decision cache
+        # serves every car built from the same derived policy.
         self._evaluator: PolicyEvaluator | None = (
-            PolicyEvaluator(catalog) if catalog is not None else None
+            evaluator
+            if evaluator is not None
+            else PolicyEvaluator(catalog) if catalog is not None else None
         )
         self.engines: dict[str, HardwarePolicyEngine] = {}
         self.enforcement_point: SoftwareEnforcementPoint | None = None
@@ -231,6 +237,10 @@ class EnforcementCoordinator:
                 f"policy version {policy.version} does not supersede active "
                 f"version {self.policy.version}"
             )
+        # The evaluator's decision cache keys entries by policy identity,
+        # so the superseding policy starts cold and the old policy's
+        # entries age out of the LRU -- no explicit flush needed (which
+        # matters when the evaluator is shared across a fleet).
         self.policy = policy
         self.sync(car)
 

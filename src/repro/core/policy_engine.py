@@ -24,6 +24,7 @@ Evaluation order (most specific wins):
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.core.policy import AccessRule, CarSituation, RuleEffect, SecurityPolicy
@@ -48,10 +49,89 @@ class EffectiveNodePolicy:
 
 
 class PolicyEvaluator:
-    """Compute effective per-node approved lists from a security policy."""
+    """Compute effective per-node approved lists from a security policy.
 
-    def __init__(self, catalog: MessageCatalog) -> None:
+    Evaluation results are cached in an LRU keyed by ``(node,
+    situation)`` within each evaluated policy, mirroring the SELinux
+    access-vector cache (:class:`repro.selinux.avc.AccessVectorCache`):
+    the fleet hot path -- fitting and synchronising thousands of
+    vehicles that share one derived policy -- would otherwise recompute
+    identical effective policies for every car.  Several policies may
+    be cached at once (bounded by ``max_cached_policies``), so a
+    staggered OTA rollout that interleaves the base policy with
+    per-vehicle successors keeps the shared base entries warm instead
+    of flushing them on every switch.
+
+    Invalidation: a policy's entries can never be returned for another
+    policy (object identity, version and rule count are part of the
+    key), and in-place ``add_rule``/``remove_rule`` edits change the
+    rule count and therefore the key.  Callers that mutate a policy
+    without changing its rule count must call :meth:`invalidate`.
+    """
+
+    def __init__(
+        self,
+        catalog: MessageCatalog,
+        cache_capacity: int = 256,
+        max_cached_policies: int = 8,
+    ) -> None:
+        if cache_capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        if max_cached_policies <= 0:
+            raise ValueError("max cached policies must be positive")
         self.catalog = catalog
+        self._cache_capacity = cache_capacity
+        self._max_cached_policies = max_cached_policies
+        #: key: (policy id, policy version, rule count, node, situation)
+        self._cache: OrderedDict[tuple, EffectiveNodePolicy] = OrderedDict()
+        #: Policies with live cache entries, pinned strongly (LRU) so a
+        #: cached policy's id() cannot be reused by a new object.
+        self._policy_pins: OrderedDict[int, SecurityPolicy] = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_flushes = 0
+
+    # -- decision cache ----------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every cached effective policy (all policies)."""
+        self._cache.clear()
+        self._policy_pins.clear()
+        self.cache_flushes += 1
+
+    @property
+    def cache_size(self) -> int:
+        """Number of cached (policy, node, situation) decisions."""
+        return len(self._cache)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hit rate over the evaluator's lifetime (0.0 when unused)."""
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 0.0
+        return self.cache_hits / total
+
+    def _drop_policy_entries(self, policy_id: int) -> None:
+        for key in [k for k in self._cache if k[0] == policy_id]:
+            del self._cache[key]
+
+    def _policy_key(self, policy: SecurityPolicy) -> tuple[int, int, int]:
+        """Pin *policy* and return its cache-key prefix.
+
+        The pin set is LRU-bounded: evicting a policy drops its entries,
+        keeping memory bounded when many short-lived policies (e.g. one
+        OTA successor per fleet vehicle) pass through.
+        """
+        policy_id = id(policy)
+        if policy_id in self._policy_pins:
+            self._policy_pins.move_to_end(policy_id)
+        else:
+            self._policy_pins[policy_id] = policy
+            if len(self._policy_pins) > self._max_cached_policies:
+                evicted_id, _ = self._policy_pins.popitem(last=False)
+                self._drop_policy_entries(evicted_id)
+        return (policy_id, policy.version, len(policy))
 
     # -- single node -------------------------------------------------------------------
 
@@ -59,6 +139,22 @@ class PolicyEvaluator:
         self, node: str, policy: SecurityPolicy, situation: CarSituation
     ) -> EffectiveNodePolicy:
         """The effective read/write identifier sets for *node* in *situation*."""
+        key = self._policy_key(policy) + (node, situation)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self.cache_misses += 1
+        effective = self._compute_for_node(node, policy, situation)
+        self._cache[key] = effective
+        if len(self._cache) > self._cache_capacity:
+            self._cache.popitem(last=False)
+        return effective
+
+    def _compute_for_node(
+        self, node: str, policy: SecurityPolicy, situation: CarSituation
+    ) -> EffectiveNodePolicy:
         read_names = {
             m.name
             for m in self.catalog.consumed_by(node)

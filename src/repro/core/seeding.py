@@ -1,0 +1,17 @@
+"""Stable seed derivation shared by fleet kernels and attack campaigns.
+
+Uses SHA-256 rather than ``hash()`` so derived seeds are identical
+across processes and interpreter invocations (string hashing is salted
+per process); per-entity RNG streams seeded this way are therefore
+stable at any worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def derive_seed(seed: int, name: str) -> int:
+    """A stable 64-bit seed derived from *seed* and *name*."""
+    digest = hashlib.sha256(f"{seed}/{name}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")

@@ -1,0 +1,49 @@
+"""Fleet-scale simulation of policy-enforced connected cars.
+
+The single-vehicle layers (``vehicle/``, ``core/``, ``attacks/``)
+simulate one car at a time; this package scales the same machinery to
+thousands of vehicles in one call:
+
+* :mod:`repro.fleet.kernel` -- a deterministic discrete-event kernel
+  with seeded, named RNG streams, so a vehicle's timeline is a pure
+  function of its seed.
+* :mod:`repro.fleet.scenarios` -- a registry of named, parameterised
+  fleet workloads (``fleet_replay_storm``, ``staggered_ota_rollout``,
+  ``mixed_ev_dos``, ...) composing the existing attack primitives, car
+  modes and policy-update events into per-vehicle action scripts.
+* :mod:`repro.fleet.runner` -- a :class:`~repro.fleet.runner.FleetRunner`
+  that materialises vehicle specs from a scenario and executes them
+  across a chunked ``multiprocessing`` worker pool; aggregates are
+  bit-identical for any worker count at the same seed.
+* :mod:`repro.fleet.results` -- streaming aggregation of per-vehicle
+  outcomes into fleet metrics (block rates, enforcement latency
+  percentiles, frames/sec) with a determinism fingerprint.
+"""
+
+from repro.fleet.kernel import FleetKernel
+from repro.fleet.results import FleetAggregator, FleetResult, VehicleOutcome
+from repro.fleet.runner import FleetRunner, VehicleSpec, simulate_vehicle
+from repro.fleet.scenarios import (
+    FleetScenario,
+    VehicleAction,
+    get_scenario,
+    register_scenario,
+    registered_scenarios,
+    unregister_scenario,
+)
+
+__all__ = [
+    "FleetAggregator",
+    "FleetKernel",
+    "FleetResult",
+    "FleetRunner",
+    "FleetScenario",
+    "VehicleAction",
+    "VehicleOutcome",
+    "VehicleSpec",
+    "get_scenario",
+    "register_scenario",
+    "registered_scenarios",
+    "simulate_vehicle",
+    "unregister_scenario",
+]

@@ -1,0 +1,134 @@
+"""Deterministic discrete-event kernel for fleet simulation.
+
+Per-vehicle timelines used to be ad-hoc ``car.run(dt)`` loops scattered
+through scenario code; the fleet layer replaces them with a seeded event
+queue.  :class:`FleetKernel` orders actions by ``(time, sequence)``
+exactly like the per-vehicle :class:`~repro.can.scheduler.EventScheduler`
+does for frames, and adds the one thing fleet scale needs on top:
+*named, seeded RNG streams*.  ``kernel.stream("vehicle-17")`` returns a
+``random.Random`` whose state depends only on the kernel seed and the
+name -- never on process identity, hash randomisation or draw order of
+other streams -- so a 4-worker run replays the exact timeline of a
+1-worker run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.seeding import derive_seed
+
+__all__ = ["FleetKernel", "KernelEvent", "derive_seed"]
+
+#: Kernel actions receive the kernel (for time, RNG and re-scheduling)
+#: and the caller-supplied context object.
+KernelAction = Callable[["FleetKernel", Any], None]
+
+
+@dataclass(frozen=True, order=True)
+class KernelEvent:
+    """One scheduled fleet-level event, ordered by ``(time, sequence)``."""
+
+    time: float
+    sequence: int
+    action: KernelAction = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class FleetKernel:
+    """A seeded deterministic event queue driving one simulation timeline.
+
+    Parameters
+    ----------
+    seed:
+        Root seed; every RNG stream and therefore every randomised
+        decision taken through the kernel derives from it.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self._queue: list[KernelEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+        self._streams: dict[str, random.Random] = {}
+
+    # -- time and state -------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current kernel time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    # -- seeded streams -------------------------------------------------------
+
+    def stream(self, name: str) -> random.Random:
+        """The named RNG stream (created on first use, then reused).
+
+        Streams are independent: draws from one never perturb another,
+        which keeps per-vehicle randomness stable when vehicles are
+        simulated in a different order or in different processes.
+        """
+        existing = self._streams.get(name)
+        if existing is None:
+            existing = random.Random(derive_seed(self.seed, name))
+            self._streams[name] = existing
+        return existing
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self, time: float, action: KernelAction, label: str = "") -> KernelEvent:
+        """Schedule *action* at absolute kernel time *time*."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} which is before current time {self._now}"
+            )
+        event = KernelEvent(time, next(self._sequence), action, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(
+        self, delay: float, action: KernelAction, label: str = ""
+    ) -> KernelEvent:
+        """Schedule *action* to run *delay* seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule(self._now + delay, action, label)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, context: Any = None, until: float | None = None) -> int:
+        """Execute queued events in ``(time, sequence)`` order.
+
+        Actions may schedule further events at or after the current
+        time.  ``until`` bounds the kernel clock (events at exactly
+        ``until`` still run); ``None`` drains the queue.  Returns the
+        number of events executed by this call.
+        """
+        executed = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                break
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            event.action(self, context)
+            executed += 1
+            self._processed += 1
+        if until is not None:
+            self._now = max(self._now, until)
+        return executed

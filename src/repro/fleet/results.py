@@ -1,0 +1,212 @@
+"""Fleet results: per-vehicle outcomes and streaming aggregation.
+
+The runner streams one :class:`VehicleOutcome` per simulated vehicle
+into a :class:`FleetAggregator`; the aggregator never holds vehicle
+objects, only numbers, so aggregating a 10,000-car fleet costs the same
+per vehicle as a 10-car one.  The finished :class:`FleetResult` is what
+benchmarks and :mod:`repro.analysis` consume.
+
+Determinism contract: every field of :class:`VehicleOutcome` except
+``wall_seconds`` is a pure function of the vehicle spec (seed, script,
+enforcement), and aggregation sorts by vehicle id before summing, so
+:meth:`FleetResult.fingerprint` is bit-identical for any worker count.
+Wall-clock throughput (``frames_per_second``) is reported alongside but
+deliberately excluded from the fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class VehicleOutcome:
+    """The deterministic outcome of one vehicle's simulated timeline."""
+
+    vehicle_id: int
+    scenario: str
+    enforcement: str
+    simulated_seconds: float
+    frames_transmitted: int
+    frames_delivered: int
+    frames_blocked: int
+    hpe_decisions: int
+    policy_pushes: int
+    attacks_attempted: int
+    attacks_mitigated: int
+    mean_decision_latency_s: float
+    healthy: bool
+    wall_seconds: float = 0.0
+
+    def deterministic_tuple(self) -> tuple:
+        """Every field that must be identical across worker counts."""
+        return (
+            self.vehicle_id,
+            self.scenario,
+            self.enforcement,
+            repr(self.simulated_seconds),
+            self.frames_transmitted,
+            self.frames_delivered,
+            self.frames_blocked,
+            self.hpe_decisions,
+            self.policy_pushes,
+            self.attacks_attempted,
+            self.attacks_mitigated,
+            repr(self.mean_decision_latency_s),
+            self.healthy,
+        )
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already sorted sample (0.0 if empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass
+class FleetResult:
+    """Aggregate metrics for one fleet run."""
+
+    scenario: str
+    vehicles: int = 0
+    frames_transmitted: int = 0
+    frames_delivered: int = 0
+    frames_blocked: int = 0
+    hpe_decisions: int = 0
+    policy_pushes: int = 0
+    attacks_attempted: int = 0
+    attacks_mitigated: int = 0
+    unhealthy_vehicles: int = 0
+    simulated_vehicle_seconds: float = 0.0
+    #: Percentiles *across vehicles* of each vehicle's mean enforcement
+    #: decision latency -- they locate slow vehicles in the fleet, not
+    #: the per-decision tail (individual decision samples are not
+    #: retained at fleet scale).
+    latency_p50_s: float = 0.0
+    latency_p95_s: float = 0.0
+    latency_p99_s: float = 0.0
+    enforcement_mix: dict[str, int] = field(default_factory=dict)
+    #: Wall-clock seconds for the whole run (set by the runner; not part
+    #: of the determinism fingerprint).
+    wall_seconds: float = 0.0
+    _fingerprint: str = ""
+
+    # -- derived metrics ------------------------------------------------------
+
+    @property
+    def frame_block_rate(self) -> float:
+        """Fraction of policy-checked frames the enforcement layer blocked."""
+        seen = self.frames_transmitted + self.frames_blocked
+        return self.frames_blocked / seen if seen else 0.0
+
+    @property
+    def attack_mitigation_rate(self) -> float:
+        """Fraction of launched attacks whose objective was prevented."""
+        if self.attacks_attempted == 0:
+            return 0.0
+        return self.attacks_mitigated / self.attacks_attempted
+
+    @property
+    def frames_per_second(self) -> float:
+        """Fleet throughput: transmitted frames per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.frames_transmitted / self.wall_seconds
+
+    @property
+    def vehicles_per_second(self) -> float:
+        """Fleet throughput: simulated vehicles per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.vehicles / self.wall_seconds
+
+    def fingerprint(self) -> str:
+        """SHA-256 over every deterministic per-vehicle outcome.
+
+        Two runs of the same scenario, seed and fleet size produce the
+        same fingerprint regardless of worker count or chunking.
+        """
+        return self._fingerprint
+
+    def summary(self) -> dict[str, float | int | str]:
+        """Headline numbers for reports and benchmarks."""
+        return {
+            "scenario": self.scenario,
+            "vehicles": self.vehicles,
+            "frames_transmitted": self.frames_transmitted,
+            "frames_blocked": self.frames_blocked,
+            "frame_block_rate": round(self.frame_block_rate, 4),
+            "attacks_attempted": self.attacks_attempted,
+            "attack_mitigation_rate": round(self.attack_mitigation_rate, 4),
+            "vehicle_mean_latency_p50_ns": round(self.latency_p50_s * 1e9, 3),
+            "vehicle_mean_latency_p95_ns": round(self.latency_p95_s * 1e9, 3),
+            "vehicle_mean_latency_p99_ns": round(self.latency_p99_s * 1e9, 3),
+            "unhealthy_vehicles": self.unhealthy_vehicles,
+            "frames_per_second": round(self.frames_per_second, 1),
+            "vehicles_per_second": round(self.vehicles_per_second, 2),
+            "fingerprint": self._fingerprint[:16],
+        }
+
+
+class FleetAggregator:
+    """Stream per-vehicle outcomes into a :class:`FleetResult`.
+
+    Outcomes may arrive in any order (workers finish when they finish);
+    :meth:`result` sorts by vehicle id before folding, which makes every
+    aggregate -- including float sums and the fingerprint -- independent
+    of arrival order.
+    """
+
+    def __init__(self, scenario: str) -> None:
+        self.scenario = scenario
+        self._outcomes: list[VehicleOutcome] = []
+
+    def add(self, outcome: VehicleOutcome) -> None:
+        """Record one vehicle's outcome."""
+        self._outcomes.append(outcome)
+
+    def extend(self, outcomes: list[VehicleOutcome]) -> None:
+        """Record a batch of outcomes (one worker chunk)."""
+        self._outcomes.extend(outcomes)
+
+    @property
+    def count(self) -> int:
+        """Outcomes recorded so far."""
+        return len(self._outcomes)
+
+    def outcomes(self) -> list[VehicleOutcome]:
+        """All recorded outcomes, sorted by vehicle id."""
+        return sorted(self._outcomes, key=lambda o: o.vehicle_id)
+
+    def result(self, wall_seconds: float = 0.0) -> FleetResult:
+        """Fold every recorded outcome into the aggregate result."""
+        ordered = self.outcomes()
+        result = FleetResult(scenario=self.scenario, wall_seconds=wall_seconds)
+        digest = hashlib.sha256()
+        latencies: list[float] = []
+        for outcome in ordered:
+            result.vehicles += 1
+            result.frames_transmitted += outcome.frames_transmitted
+            result.frames_delivered += outcome.frames_delivered
+            result.frames_blocked += outcome.frames_blocked
+            result.hpe_decisions += outcome.hpe_decisions
+            result.policy_pushes += outcome.policy_pushes
+            result.attacks_attempted += outcome.attacks_attempted
+            result.attacks_mitigated += outcome.attacks_mitigated
+            result.simulated_vehicle_seconds += outcome.simulated_seconds
+            if not outcome.healthy:
+                result.unhealthy_vehicles += 1
+            result.enforcement_mix[outcome.enforcement] = (
+                result.enforcement_mix.get(outcome.enforcement, 0) + 1
+            )
+            latencies.append(outcome.mean_decision_latency_s)
+            digest.update(repr(outcome.deterministic_tuple()).encode())
+        latencies.sort()
+        result.latency_p50_s = _percentile(latencies, 0.50)
+        result.latency_p95_s = _percentile(latencies, 0.95)
+        result.latency_p99_s = _percentile(latencies, 0.99)
+        result._fingerprint = digest.hexdigest()
+        return result

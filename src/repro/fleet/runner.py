@@ -1,0 +1,376 @@
+"""Execute fleet scenarios across a worker pool.
+
+:class:`FleetRunner` turns a registered scenario into N fully explicit
+:class:`~repro.fleet.scenarios.VehicleSpec` objects, simulates each one
+on its own :class:`~repro.vehicle.car.ConnectedCar` (built through the
+shared :class:`~repro.casestudy.builder.CaseStudyBuilder`, so the policy
+is derived once per process) and streams the outcomes into a
+:class:`~repro.fleet.results.FleetResult`.
+
+Worker-count invariance: each vehicle's timeline is a pure function of
+its spec (the kernel replays scripted actions at scripted times with
+seeded RNG streams), and aggregation sorts outcomes by vehicle id before
+folding -- so a 4-worker run is bit-identical to a 1-worker run with the
+same seed, which the fleet benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.attacks.dos import BusFloodAttack, TargetedDisableAttack
+from repro.attacks.fuzzing import FuzzingAttack
+from repro.attacks.replay import ReplayAttack
+from repro.attacks.scenarios import scenario_by_threat_id
+from repro.can.trace import TraceEventKind
+from repro.casestudy.builder import CaseStudyBuilder
+from repro.core.enforcement import EnforcementConfig
+from repro.core.updates import PolicyUpdateBundle, PolicyUpdateClient
+from repro.fleet.kernel import FleetKernel
+from repro.fleet.results import FleetAggregator, FleetResult, VehicleOutcome
+from repro.fleet.scenarios import FleetScenario, VehicleAction, VehicleSpec, get_scenario
+from repro.vehicle.car import ConnectedCar
+
+#: Enforcement label -> configuration (``None`` = unprotected baseline).
+CONFIG_BY_LABEL: dict[str, EnforcementConfig | None] = {
+    "unprotected": None,
+    "selinux-only": EnforcementConfig.software_only(),
+    "hpe-only": EnforcementConfig.hardware_only(),
+    "hpe+selinux": EnforcementConfig.full(),
+}
+
+#: Signing key for simulated staggered OTA policy rollouts.
+_OTA_SIGNING_KEY = b"fleet-ota-rollout-key"
+
+
+def config_for_label(label: str) -> EnforcementConfig | None:
+    """Resolve an enforcement label from a vehicle spec."""
+    try:
+        return CONFIG_BY_LABEL[label]
+    except KeyError:
+        raise KeyError(
+            f"unknown enforcement label {label!r}; known: {sorted(CONFIG_BY_LABEL)}"
+        ) from None
+
+
+class _AttackTally:
+    """Running attack bookkeeping for one vehicle's timeline."""
+
+    def __init__(self) -> None:
+        self.attempted = 0
+        self.mitigated = 0
+
+    def record(self, mitigated: bool) -> None:
+        self.attempted += 1
+        if mitigated:
+            self.mitigated += 1
+
+
+def _advance_to(kernel: FleetKernel, car: ConnectedCar) -> None:
+    """Bring the car's bus clock up to the kernel clock.
+
+    Attack primitives advance the car internally (``car.run(0.05)``
+    inside scenario bodies), so the bus may already be ahead; only the
+    forward direction is meaningful.
+    """
+    delta = kernel.now - car.scheduler.now
+    if delta > 0:
+        car.run(delta)
+
+
+def _do_drive(kernel: FleetKernel, car: ConnectedCar, action: VehicleAction) -> None:
+    car.sensors.set_pedals(accel=int(action.param("accel", 60)), brake=0)
+    car.sensors.set_gear(1)
+    car.door_locks.set_motion(True)
+    car.sync_enforcement()
+
+
+def _do_park_and_arm(kernel: FleetKernel, car: ConnectedCar, action: VehicleAction) -> None:
+    car.park_and_arm()
+
+
+def _do_attack(
+    kernel: FleetKernel, car: ConnectedCar, action: VehicleAction, tally: _AttackTally
+) -> None:
+    scenario = scenario_by_threat_id(str(action.param("threat_id")))
+    outcome = scenario.execute(car)
+    tally.record(outcome.mitigated)
+
+
+def _do_targeted_dos(
+    kernel: FleetKernel, car: ConnectedCar, action: VehicleAction, tally: _AttackTally
+) -> None:
+    attack = TargetedDisableAttack(
+        car,
+        target=str(action.param("target", "EV-ECU")),
+        attacker_name="FleetDosNode",
+    )
+    result = attack.execute(repetitions=int(action.param("repetitions", 3)))
+    tally.record(not result.target_disabled)
+
+
+def _do_flood(
+    kernel: FleetKernel, car: ConnectedCar, action: VehicleAction, tally: _AttackTally
+) -> None:
+    attack = BusFloodAttack(
+        car, flood_id=int(action.param("flood_id", 0)), attacker_name="FleetFloodNode"
+    )
+    result = attack.execute(
+        frames=int(action.param("frames", 50)),
+        window_s=float(action.param("window_s", 0.1)),
+    )
+    # A rogue node always reaches the bus; the storm counts as weathered
+    # when legitimate traffic kept the majority of bus slots.
+    tally.record(result.legitimate_delivery_ratio >= 0.5)
+
+
+def _do_replay(
+    kernel: FleetKernel, car: ConnectedCar, action: VehicleAction, tally: _AttackTally
+) -> None:
+    messages = action.param("messages", ())
+    capture_ids = {car.catalog.id_of(str(name)) for name in messages} or None
+    attack = ReplayAttack(car, capture_ids=capture_ids)
+    # Generate one legitimate command while stationary for the rogue
+    # node to sniff (remote unlock from the telematics unit), capture,
+    # then replay the recording once the vehicle is in motion.
+    if messages:
+        car.telematics.send_raw(car.catalog.id_of(str(messages[0])), b"\x01")
+    attack.capture(float(action.param("capture_duration_s", 0.1)))
+    hazards_before = len(car.door_locks.hazard_events)
+    healthy_before = all(car.health().values())
+    car.sensors.set_pedals(accel=50, brake=0)
+    car.door_locks.set_motion(True)
+    car.sync_enforcement()
+    attack.replay()
+    hazardous = len(car.door_locks.hazard_events) > hazards_before
+    degraded = healthy_before and not all(car.health().values())
+    tally.record(not (hazardous or degraded))
+
+
+def _do_fuzz(
+    kernel: FleetKernel, car: ConnectedCar, action: VehicleAction, tally: _AttackTally
+) -> None:
+    attack = FuzzingAttack(car, rng=kernel.stream("fuzz"))
+    result = attack.execute(frames=int(action.param("frames", 100)))
+    tally.record(not result.components_disabled)
+
+
+def _do_policy_update(
+    kernel: FleetKernel, car: ConnectedCar, action: VehicleAction
+) -> bool:
+    """Apply a version-bumped policy through the signed OTA update path.
+
+    Unprotected vehicles have no coordinator and skip the update (they
+    are exactly the population an OTA rollout cannot reach).  Returns
+    whether an update was applied.
+    """
+    coordinator = getattr(car, "enforcement_coordinator", None)
+    if coordinator is None:
+        return False
+    successor = coordinator.policy.next_version(
+        str(action.param("description", "fleet policy rollout"))
+    )
+    bundle = PolicyUpdateBundle.create(successor, _OTA_SIGNING_KEY)
+    client = PolicyUpdateClient(coordinator, _OTA_SIGNING_KEY)
+    client.apply(bundle, car)
+    return True
+
+
+def _execute_action(
+    kernel: FleetKernel, car: ConnectedCar, action: VehicleAction, tally: _AttackTally
+) -> None:
+    """Dispatch one scripted action against the live vehicle."""
+    _advance_to(kernel, car)
+    if action.kind == "drive":
+        _do_drive(kernel, car, action)
+    elif action.kind == "park_and_arm":
+        _do_park_and_arm(kernel, car, action)
+    elif action.kind == "attack":
+        _do_attack(kernel, car, action, tally)
+    elif action.kind == "targeted_dos":
+        _do_targeted_dos(kernel, car, action, tally)
+    elif action.kind == "flood":
+        _do_flood(kernel, car, action, tally)
+    elif action.kind == "replay":
+        _do_replay(kernel, car, action, tally)
+    elif action.kind == "fuzz":
+        _do_fuzz(kernel, car, action, tally)
+    elif action.kind == "policy_update":
+        _do_policy_update(kernel, car, action)
+    else:
+        raise ValueError(f"unknown fleet action kind {action.kind!r}")
+
+
+def simulate_vehicle(
+    spec: VehicleSpec, builder: CaseStudyBuilder | None = None
+) -> VehicleOutcome:
+    """Simulate one vehicle's full timeline and report its outcome.
+
+    The outcome's deterministic fields depend only on *spec*: the car is
+    built fresh, the kernel replays the scripted actions at their
+    scripted times, and all randomness comes from streams seeded by
+    ``spec.seed``.
+    """
+    wall_start = time.perf_counter()
+    if builder is None:
+        builder = _process_builder()
+    car = builder.build_car(config_for_label(spec.enforcement), start_periodic_traffic=True)
+    kernel = FleetKernel(spec.seed)
+    tally = _AttackTally()
+    for action in spec.actions:
+        kernel.schedule(
+            action.time,
+            lambda k, c, a=action: _execute_action(k, c, a, tally),
+            label=action.kind,
+        )
+    kernel.run(context=car, until=spec.duration_s)
+    remaining = spec.duration_s - car.scheduler.now
+    if remaining > 0:
+        car.run(remaining)
+
+    coordinator = getattr(car, "enforcement_coordinator", None)
+    hpe_decisions = coordinator.total_hpe_decisions() if coordinator else 0
+    policy_pushes = coordinator.policy_pushes if coordinator else 0
+    hpe_latency = (
+        sum(engine.total_latency_s for engine in coordinator.engines.values())
+        if coordinator
+        else 0.0
+    )
+    # Count *policy* blocks only: firmware acceptance filters discard
+    # non-subscribed broadcasts on every car, so including them would
+    # mask what enforcement itself contributed.
+    trace = car.bus.trace
+    policy_blocks = len(trace.of_kind(TraceEventKind.BLOCKED_READ_POLICY)) + len(
+        trace.of_kind(TraceEventKind.BLOCKED_WRITE_POLICY)
+    )
+    return VehicleOutcome(
+        vehicle_id=spec.vehicle_id,
+        scenario=spec.scenario,
+        enforcement=spec.enforcement,
+        simulated_seconds=car.scheduler.now,
+        frames_transmitted=car.bus.statistics.frames_transmitted,
+        frames_delivered=car.bus.statistics.frames_delivered,
+        frames_blocked=policy_blocks,
+        hpe_decisions=hpe_decisions,
+        policy_pushes=policy_pushes,
+        attacks_attempted=tally.attempted,
+        attacks_mitigated=tally.mitigated,
+        mean_decision_latency_s=(hpe_latency / hpe_decisions if hpe_decisions else 0.0),
+        healthy=all(car.health().values()),
+        wall_seconds=time.perf_counter() - wall_start,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker pool plumbing
+# ---------------------------------------------------------------------------
+
+#: Per-process builder cache: the policy derivation runs once per worker,
+#: not once per vehicle (the fleet hot path the decision cache also serves).
+_PROCESS_BUILDER: CaseStudyBuilder | None = None
+
+
+def _process_builder() -> CaseStudyBuilder:
+    global _PROCESS_BUILDER
+    if _PROCESS_BUILDER is None:
+        _PROCESS_BUILDER = CaseStudyBuilder()
+    return _PROCESS_BUILDER
+
+
+def _init_worker(extra_paths: list[str]) -> None:
+    """Pool initializer: make ``src`` importable under spawn and pre-derive."""
+    for path in extra_paths:
+        if path not in sys.path:
+            sys.path.insert(0, path)
+    _process_builder()
+
+
+def _simulate_chunk(specs: Sequence[VehicleSpec]) -> list[VehicleOutcome]:
+    builder = _process_builder()
+    return [simulate_vehicle(spec, builder) for spec in specs]
+
+
+def _chunked(specs: Sequence[VehicleSpec], chunk_size: int) -> list[list[VehicleSpec]]:
+    return [list(specs[i : i + chunk_size]) for i in range(0, len(specs), chunk_size)]
+
+
+class FleetRunner:
+    """Run fleet scenarios over N vehicles with an optional worker pool.
+
+    Parameters
+    ----------
+    workers:
+        Worker processes.  ``1`` simulates inline (no pool), which is
+        also the reference for the bit-identical aggregate guarantee.
+    chunk_size:
+        Vehicles per work item handed to the pool (default: fleet size
+        divided over ``4 * workers`` chunks, at least 8 per chunk).
+    """
+
+    def __init__(self, workers: int = 1, chunk_size: int | None = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.chunk_size = chunk_size
+
+    # -- execution ------------------------------------------------------------
+
+    def run(
+        self,
+        scenario: FleetScenario | str,
+        vehicles: int,
+        seed: int = 0,
+        first_vehicle_id: int = 0,
+    ) -> FleetResult:
+        """Run *vehicles* instances of *scenario* and aggregate the fleet."""
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
+        specs = scenario.vehicle_specs(vehicles, seed, first_vehicle_id=first_vehicle_id)
+        return self.run_specs(specs, scenario.name)
+
+    def run_specs(self, specs: Sequence[VehicleSpec], scenario_name: str) -> FleetResult:
+        """Simulate explicit specs (the path custom workloads use too)."""
+        wall_start = time.perf_counter()
+        aggregator = FleetAggregator(scenario_name)
+        if self.workers == 1 or len(specs) <= 1:
+            for spec in specs:
+                aggregator.add(simulate_vehicle(spec, _process_builder()))
+        else:
+            chunk_size = self.chunk_size
+            if chunk_size is None:
+                chunk_size = max(8, len(specs) // (self.workers * 4) or 1)
+            chunks = _chunked(specs, chunk_size)
+            src_root = str(Path(__file__).resolve().parents[2])
+            with multiprocessing.get_context().Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=([src_root],),
+            ) as pool:
+                for outcomes in pool.imap_unordered(_simulate_chunk, chunks):
+                    aggregator.extend(outcomes)
+        return aggregator.result(wall_seconds=time.perf_counter() - wall_start)
+
+    def run_many(
+        self,
+        scenarios: Iterable[FleetScenario | str],
+        vehicles_each: int,
+        seed: int = 0,
+    ) -> dict[str, FleetResult]:
+        """Run several scenarios back to back (one heterogeneous fleet call).
+
+        Vehicle ids are globally unique across the combined fleet so
+        per-scenario results can be merged or compared without clashes.
+        """
+        results: dict[str, FleetResult] = {}
+        next_id = 0
+        for entry in scenarios:
+            scenario = get_scenario(entry) if isinstance(entry, str) else entry
+            results[scenario.name] = self.run(
+                scenario, vehicles_each, seed=seed, first_vehicle_id=next_id
+            )
+            next_id += vehicles_each
+        return results

@@ -1,0 +1,376 @@
+"""Named, parameterised fleet workloads.
+
+A *fleet scenario* composes the existing single-vehicle machinery --
+Table I attack scenarios, replay/DoS/fuzzing primitives, car modes and
+post-deployment policy updates -- into a workload definition that the
+:class:`~repro.fleet.runner.FleetRunner` can stamp out over thousands of
+vehicles.  Scenario materialisation is split from execution:
+
+* :meth:`FleetScenario.vehicle_specs` runs in the parent process and
+  turns (scenario, fleet size, seed) into fully explicit, picklable
+  :class:`VehicleSpec` objects -- every randomised choice (enforcement
+  mix, attack times, flood sizes) is drawn here from seeded streams.
+* Workers only ever see specs, so what a vehicle does is a pure
+  function of its spec and worker count cannot leak into results.
+
+Scenarios register under a name in the module registry; benchmarks and
+examples look them up with :func:`get_scenario`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterator
+
+from repro.fleet.kernel import derive_seed
+
+#: Enforcement labels a scenario mix may use (resolved to configurations
+#: by the runner; mirrors ``EnforcementConfig.label``).
+ENFORCEMENT_LABELS = ("unprotected", "selinux-only", "hpe-only", "hpe+selinux")
+
+
+def _freeze(value: object) -> object:
+    """Canonicalise a parameter value: sequences become tuples, recursively.
+
+    JSON round-trips turn tuples into lists; freezing on construction
+    means an action rebuilt from JSON compares equal to (and hashes the
+    same as) the original.
+    """
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return value
+
+
+@dataclass(frozen=True)
+class VehicleAction:
+    """One timed, declarative action in a vehicle's script.
+
+    ``params`` is stored as a sorted tuple of ``(key, value)`` pairs
+    with sequence values frozen to tuples, so actions are hashable,
+    picklable and serialise canonically (including through JSON).
+    """
+
+    time: float
+    kind: str
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        items = self.params.items() if isinstance(self.params, dict) else self.params
+        pairs = tuple(sorted((str(key), _freeze(value)) for key, value in items))
+        object.__setattr__(self, "params", pairs)
+
+    def param(self, key: str, default: object = None) -> object:
+        """The named parameter, or *default* when absent."""
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (round-trips via :meth:`from_dict`)."""
+        return {"time": self.time, "kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VehicleAction":
+        """Rebuild an action serialised by :meth:`to_dict`."""
+        return cls(
+            time=float(data["time"]),
+            kind=str(data["kind"]),
+            params=dict(data.get("params", {})),
+        )
+
+
+@dataclass(frozen=True)
+class VehicleSpec:
+    """A fully materialised, picklable description of one fleet vehicle."""
+
+    vehicle_id: int
+    scenario: str
+    enforcement: str
+    seed: int
+    duration_s: float
+    actions: tuple[VehicleAction, ...] = ()
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "vehicle_id": self.vehicle_id,
+            "scenario": self.scenario,
+            "enforcement": self.enforcement,
+            "seed": self.seed,
+            "duration_s": self.duration_s,
+            "actions": [action.to_dict() for action in self.actions],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VehicleSpec":
+        """Rebuild a spec serialised by :meth:`to_dict`."""
+        return cls(
+            vehicle_id=int(data["vehicle_id"]),
+            scenario=str(data["scenario"]),
+            enforcement=str(data["enforcement"]),
+            seed=int(data["seed"]),
+            duration_s=float(data["duration_s"]),
+            actions=tuple(
+                VehicleAction.from_dict(action) for action in data.get("actions", [])
+            ),
+        )
+
+
+#: Builds one vehicle's action script from (vehicle index, seeded rng).
+ScriptFactory = Callable[[int, random.Random], tuple[VehicleAction, ...]]
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """A named, parameterised fleet workload.
+
+    Parameters
+    ----------
+    name:
+        Registry key.
+    description:
+        One-line description shown by reports.
+    duration_s:
+        Simulated seconds each vehicle runs for.
+    mix:
+        ``(enforcement_label, weight)`` pairs; each vehicle draws its
+        enforcement configuration from this distribution.
+    script:
+        Factory producing a vehicle's action script from its index and
+        a per-vehicle seeded RNG.
+    parameters:
+        The scenario's tunable knobs, recorded for reporting (the
+        factory closes over their values).
+    """
+
+    name: str
+    description: str
+    duration_s: float
+    mix: tuple[tuple[str, float], ...]
+    script: ScriptFactory = field(repr=False)
+    parameters: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name.strip():
+            raise ValueError("scenario name must be non-empty")
+        if self.duration_s <= 0:
+            raise ValueError("scenario duration must be positive")
+        for label, weight in self.mix:
+            if label not in ENFORCEMENT_LABELS:
+                raise ValueError(
+                    f"unknown enforcement label {label!r}; known: {ENFORCEMENT_LABELS}"
+                )
+            if weight <= 0:
+                raise ValueError(f"mix weight for {label!r} must be positive")
+
+    def with_parameters(self, **overrides) -> "FleetScenario":
+        """A copy with updated tunables (for registering variants)."""
+        merged = dict(self.parameters)
+        merged.update(overrides)
+        return replace(self, parameters=tuple(sorted(merged.items())))
+
+    def vehicle_specs(
+        self, vehicles: int, seed: int, first_vehicle_id: int = 0
+    ) -> list[VehicleSpec]:
+        """Materialise *vehicles* fully explicit specs for this scenario.
+
+        Every randomised decision is drawn here from streams derived via
+        :func:`~repro.fleet.kernel.derive_seed`, so the returned specs --
+        and therefore the whole fleet run -- are a pure function of
+        ``(scenario, vehicles, seed)``.
+        """
+        if vehicles <= 0:
+            raise ValueError("fleet size must be positive")
+        labels = [label for label, _ in self.mix]
+        weights = [weight for _, weight in self.mix]
+        specs: list[VehicleSpec] = []
+        for index in range(vehicles):
+            vehicle_id = first_vehicle_id + index
+            # Every per-vehicle draw (mix, script, sim seed) keys on the
+            # vehicle id, never on batch position, so specs materialised
+            # in batches compose identically to one combined call.
+            mix_rng = random.Random(derive_seed(seed, f"{self.name}/mix-{vehicle_id}"))
+            enforcement = mix_rng.choices(labels, weights=weights, k=1)[0]
+            script_rng = random.Random(
+                derive_seed(seed, f"{self.name}/script-{vehicle_id}")
+            )
+            specs.append(
+                VehicleSpec(
+                    vehicle_id=vehicle_id,
+                    scenario=self.name,
+                    enforcement=enforcement,
+                    seed=derive_seed(seed, f"{self.name}/sim-{vehicle_id}"),
+                    duration_s=self.duration_s,
+                    actions=tuple(
+                        sorted(self.script(index, script_rng), key=lambda a: a.time)
+                    ),
+                )
+            )
+        return specs
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, FleetScenario] = {}
+
+
+def register_scenario(scenario: FleetScenario, replace_existing: bool = False) -> FleetScenario:
+    """Register *scenario* under its name; returns it for chaining."""
+    if scenario.name in _REGISTRY and not replace_existing:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def unregister_scenario(name: str) -> FleetScenario:
+    """Remove and return the named scenario."""
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise KeyError(f"no registered scenario {name!r}") from None
+
+
+def get_scenario(name: str) -> FleetScenario:
+    """The registered scenario with the given name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no registered scenario {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_scenarios() -> Iterator[FleetScenario]:
+    """All registered scenarios in name order."""
+    return iter(sorted(_REGISTRY.values(), key=lambda s: s.name))
+
+
+# ---------------------------------------------------------------------------
+# Built-in workloads
+# ---------------------------------------------------------------------------
+
+
+def _baseline_cruise_script(index: int, rng: random.Random) -> tuple[VehicleAction, ...]:
+    """Heterogeneous steady driving: pure frame-throughput workload."""
+    return (
+        VehicleAction(0.0, "drive", {"accel": rng.randint(30, 90)}),
+    )
+
+
+def _replay_storm_script(index: int, rng: random.Random) -> tuple[VehicleAction, ...]:
+    """Capture door-unlock traffic while parked, replay it in motion."""
+    capture_at = round(rng.uniform(0.01, 0.05), 4)
+    replay_at = round(rng.uniform(0.15, 0.25), 4)
+    return (
+        VehicleAction(
+            capture_at,
+            "replay",
+            {
+                "capture_duration_s": 0.1,
+                "messages": ("DOOR_UNLOCK_CMD", "DOOR_LOCK_CMD"),
+            },
+        ),
+        VehicleAction(replay_at, "attack", {"threat_id": "T13"}),
+    )
+
+
+def _ota_rollout_script(index: int, rng: random.Random) -> tuple[VehicleAction, ...]:
+    """Staggered post-deployment policy update under an active attacker."""
+    update_at = round(rng.uniform(0.08, 0.3), 4)
+    return (
+        VehicleAction(0.0, "drive", {"accel": rng.randint(40, 80)}),
+        VehicleAction(0.05, "attack", {"threat_id": "T01"}),
+        VehicleAction(update_at, "policy_update", {"description": "staggered OTA wave"}),
+        VehicleAction(update_at + 0.05, "attack", {"threat_id": "T05"}),
+    )
+
+
+def _mixed_ev_dos_script(index: int, rng: random.Random) -> tuple[VehicleAction, ...]:
+    """Targeted disablement plus arbitration flooding against the EV fleet."""
+    target = rng.choice(("EV-ECU", "Engine", "EPS"))
+    return (
+        VehicleAction(0.0, "drive", {"accel": rng.randint(50, 90)}),
+        VehicleAction(
+            round(rng.uniform(0.02, 0.08), 4),
+            "targeted_dos",
+            {"target": target, "repetitions": rng.randint(2, 5)},
+        ),
+        VehicleAction(
+            round(rng.uniform(0.1, 0.2), 4),
+            "flood",
+            {"frames": rng.randint(30, 80), "window_s": 0.1, "flood_id": 0},
+        ),
+    )
+
+
+def _fuzz_probe_script(index: int, rng: random.Random) -> tuple[VehicleAction, ...]:
+    """Seeded random-frame fuzzing as a fleet-wide coverage probe."""
+    return (
+        VehicleAction(0.0, "drive", {"accel": rng.randint(30, 70)}),
+        VehicleAction(0.05, "fuzz", {"frames": rng.randint(40, 120)}),
+    )
+
+
+register_scenario(
+    FleetScenario(
+        name="baseline_cruise",
+        description="Steady heterogeneous driving; pure throughput baseline",
+        duration_s=0.3,
+        mix=(("hpe+selinux", 1.0),),
+        script=_baseline_cruise_script,
+        parameters=(("accel_range", (30, 90)),),
+    )
+)
+
+register_scenario(
+    FleetScenario(
+        name="fleet_replay_storm",
+        description="Fleet-wide replay of captured door-lock traffic in motion",
+        duration_s=0.35,
+        mix=(("hpe+selinux", 0.7), ("unprotected", 0.3)),
+        script=_replay_storm_script,
+        parameters=(("replay_messages", ("DOOR_UNLOCK_CMD", "DOOR_LOCK_CMD")),),
+    )
+)
+
+register_scenario(
+    FleetScenario(
+        name="staggered_ota_rollout",
+        description="Staggered post-deployment policy update under active attack",
+        duration_s=0.45,
+        mix=(("hpe+selinux", 1.0),),
+        script=_ota_rollout_script,
+        parameters=(("update_window_s", (0.08, 0.3)),),
+    )
+)
+
+register_scenario(
+    FleetScenario(
+        name="mixed_ev_dos",
+        description="Targeted EV disablement and bus flooding across a mixed fleet",
+        duration_s=0.35,
+        mix=(
+            ("hpe+selinux", 0.4),
+            ("hpe-only", 0.2),
+            ("selinux-only", 0.2),
+            ("unprotected", 0.2),
+        ),
+        script=_mixed_ev_dos_script,
+        parameters=(("dos_targets", ("EV-ECU", "Engine", "EPS")),),
+    )
+)
+
+register_scenario(
+    FleetScenario(
+        name="fuzz_probe",
+        description="Seeded random-frame fuzzing as a fleet coverage probe",
+        duration_s=0.3,
+        mix=(("hpe+selinux", 0.5), ("hpe-only", 0.5)),
+        script=_fuzz_probe_script,
+        parameters=(("frames_range", (40, 120)),),
+    )
+)

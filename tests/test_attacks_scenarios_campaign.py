@@ -125,3 +125,46 @@ class TestCampaign:
         assert single.mitigated
         with pytest.raises(KeyError):
             campaign.run_single("T16")
+
+
+class TestCampaignSeededRandomness:
+    """The campaign's explicit RNG threading (no module-level randomness)."""
+
+    def test_scenario_seed_is_stable_and_distinct(self, builder):
+        campaign = AttackCampaign(builder.factory(), seed=5)
+        assert campaign.scenario_seed("T01") == campaign.scenario_seed("T01")
+        assert campaign.scenario_seed("T01") != campaign.scenario_seed("T02")
+        other = AttackCampaign(builder.factory(), seed=6)
+        assert campaign.scenario_seed("T01") != other.scenario_seed("T01")
+
+    def test_shuffled_run_is_reproducible_and_order_independent(self, builder):
+        scenarios = all_scenarios()[:4]
+        plain = AttackCampaign(
+            builder.factory(EnforcementConfig.full()), scenarios, seed=9
+        ).run()
+        shuffled = AttackCampaign(
+            builder.factory(EnforcementConfig.full()), scenarios, seed=9
+        ).run(shuffle=True)
+        shuffled_again = AttackCampaign(
+            builder.factory(EnforcementConfig.full()), scenarios, seed=9
+        ).run(shuffle=True)
+        # Same per-threat outcomes regardless of execution order...
+        assert {r.threat_id: r.mitigated for r in plain.records} == {
+            r.threat_id: r.mitigated for r in shuffled.records
+        }
+        # ...and the shuffled order itself is seed-reproducible.
+        assert [r.threat_id for r in shuffled.records] == [
+            r.threat_id for r in shuffled_again.records
+        ]
+
+    def test_injected_rng_is_used_for_shuffling(self, builder):
+        import random
+
+        scenarios = all_scenarios()[:4]
+        campaign = AttackCampaign(
+            builder.factory(), scenarios, rng=random.Random(1234)
+        )
+        expected = list(scenarios)
+        random.Random(1234).shuffle(expected)
+        result = campaign.run(shuffle=True)
+        assert [r.threat_id for r in result.records] == [s.threat_id for s in expected]

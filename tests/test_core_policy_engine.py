@@ -153,3 +153,105 @@ class TestSystemViews:
         assert NODE_DOOR_LOCKS in changed
         assert NODE_SENSORS not in changed
         assert evaluator.changed_nodes(policy, CarSituation(), CarSituation()) == []
+
+
+class TestDecisionCache:
+    """The (node, situation) LRU decision cache on the evaluator."""
+
+    def test_repeat_evaluation_hits_the_cache(self, catalog):
+        cached = PolicyEvaluator(catalog)
+        policy = empty_policy()
+        situation = CarSituation()
+        first = cached.effective_for_node(NODE_SENSORS, policy, situation)
+        second = cached.effective_for_node(NODE_SENSORS, policy, situation)
+        assert first is second
+        assert cached.cache_hits == 1
+        assert cached.cache_misses == 1
+        assert cached.cache_hit_rate == 0.5
+
+    def test_cached_result_equals_uncached_result(self, catalog):
+        cached = PolicyEvaluator(catalog)
+        policy = empty_policy()
+        situation = CarSituation(mode=CarMode.FAIL_SAFE, in_motion=True)
+        cached.effective_for_node(NODE_EV_ECU, policy, situation)
+        warm = cached.effective_for_node(NODE_EV_ECU, policy, situation)
+        cold = PolicyEvaluator(catalog).effective_for_node(NODE_EV_ECU, policy, situation)
+        assert warm == cold
+
+    def test_situation_participates_in_the_key(self, catalog):
+        cached = PolicyEvaluator(catalog)
+        policy = SecurityPolicy("p")
+        policy.add_rule(
+            AccessRule(
+                "P-1", RuleEffect.DENY, NODE_DOOR_LOCKS, Direction.READ,
+                ("DOOR_UNLOCK_CMD",),
+                condition=PolicyCondition(in_motion=True),
+            )
+        )
+        moving = cached.effective_for_node(
+            NODE_DOOR_LOCKS, policy, CarSituation(in_motion=True)
+        )
+        parked = cached.effective_for_node(
+            NODE_DOOR_LOCKS, policy, CarSituation(in_motion=False)
+        )
+        assert cached.cache_misses == 2
+        assert moving != parked
+
+    def test_policies_have_independent_entries(self, catalog):
+        cached = PolicyEvaluator(catalog)
+        situation = CarSituation()
+        base = empty_policy()
+        successor = base.next_version()
+        cached.effective_for_node(NODE_SENSORS, base, situation)
+        cached.effective_for_node(NODE_SENSORS, successor, situation)
+        assert cached.cache_misses == 2
+        # Returning to the base policy -- the staggered-OTA fleet
+        # pattern -- still hits; the switch did not flush its entries.
+        cached.effective_for_node(NODE_SENSORS, base, situation)
+        assert cached.cache_hits == 1
+        assert cached.cache_size == 2
+
+    def test_evicted_policies_drop_their_entries(self, catalog):
+        cached = PolicyEvaluator(catalog, max_cached_policies=2)
+        situation = CarSituation()
+        policies = [empty_policy() for _ in range(3)]
+        for policy in policies:
+            cached.effective_for_node(NODE_SENSORS, policy, situation)
+        # The first policy was evicted from the pin set with its entries.
+        assert cached.cache_size == 2
+        cached.effective_for_node(NODE_SENSORS, policies[0], situation)
+        assert cached.cache_misses == 4
+
+    def test_in_place_rule_edit_invalidates(self, catalog):
+        cached = PolicyEvaluator(catalog)
+        policy = SecurityPolicy("p")
+        situation = CarSituation()
+        before = cached.effective_for_node(NODE_SENSORS, policy, situation)
+        policy.add_rule(
+            AccessRule("P-1", RuleEffect.DENY, NODE_SENSORS, Direction.WRITE, ("*",))
+        )
+        after = cached.effective_for_node(NODE_SENSORS, policy, situation)
+        assert before.write_ids
+        assert not after.write_ids
+
+    def test_explicit_invalidate_clears_entries_and_stats_keep_counting(self, catalog):
+        cached = PolicyEvaluator(catalog)
+        policy = empty_policy()
+        cached.effective_for_node(NODE_SENSORS, policy, CarSituation())
+        cached.invalidate()
+        assert cached.cache_size == 0
+        cached.effective_for_node(NODE_SENSORS, policy, CarSituation())
+        assert cached.cache_misses == 2
+
+    def test_capacity_is_bounded_lru(self, catalog):
+        cached = PolicyEvaluator(catalog, cache_capacity=2)
+        policy = empty_policy()
+        for node in catalog.nodes()[:3]:
+            cached.effective_for_node(node, policy, CarSituation())
+        assert cached.cache_size == 2
+
+    def test_capacity_must_be_positive(self, catalog):
+        with pytest.raises(ValueError):
+            PolicyEvaluator(catalog, cache_capacity=0)
+        with pytest.raises(ValueError):
+            PolicyEvaluator(catalog, max_cached_policies=0)

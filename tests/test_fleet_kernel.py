@@ -1,0 +1,92 @@
+"""Tests for the fleet simulation kernel (ordering, determinism, streams)."""
+
+import random
+
+import pytest
+
+from repro.fleet.kernel import FleetKernel, derive_seed
+
+
+class TestEventOrdering:
+    def test_events_run_in_time_order(self):
+        kernel = FleetKernel(seed=1)
+        order = []
+        kernel.schedule(0.3, lambda k, c: order.append("c"))
+        kernel.schedule(0.1, lambda k, c: order.append("a"))
+        kernel.schedule(0.2, lambda k, c: order.append("b"))
+        kernel.run()
+        assert order == ["a", "b", "c"]
+
+    def test_equal_times_run_in_scheduling_order(self):
+        kernel = FleetKernel(seed=1)
+        order = []
+        for tag in ("first", "second", "third"):
+            kernel.schedule(0.5, lambda k, c, t=tag: order.append(t))
+        kernel.run()
+        assert order == ["first", "second", "third"]
+
+    def test_actions_may_schedule_followups(self):
+        kernel = FleetKernel(seed=1)
+        seen = []
+
+        def chain(k, c):
+            seen.append(k.now)
+            if k.now < 0.3:
+                k.schedule_after(0.1, chain)
+
+        kernel.schedule(0.1, chain)
+        kernel.run()
+        assert seen == [pytest.approx(0.1), pytest.approx(0.2), pytest.approx(0.3)]
+
+    def test_cannot_schedule_into_the_past(self):
+        kernel = FleetKernel(seed=1)
+        kernel.schedule(0.2, lambda k, c: None)
+        kernel.run()
+        assert kernel.now == pytest.approx(0.2)
+        with pytest.raises(ValueError):
+            kernel.schedule(0.1, lambda k, c: None)
+        with pytest.raises(ValueError):
+            kernel.schedule_after(-0.1, lambda k, c: None)
+
+    def test_until_bounds_the_clock_and_keeps_the_rest_queued(self):
+        kernel = FleetKernel(seed=1)
+        ran = []
+        kernel.schedule(0.1, lambda k, c: ran.append(0.1))
+        kernel.schedule(0.5, lambda k, c: ran.append(0.5))
+        executed = kernel.run(until=0.2)
+        assert executed == 1
+        assert ran == [0.1]
+        assert kernel.now == pytest.approx(0.2)
+        assert kernel.pending_events == 1
+
+    def test_context_is_passed_to_actions(self):
+        kernel = FleetKernel(seed=1)
+        seen = []
+        kernel.schedule(0.0, lambda k, c: seen.append(c))
+        kernel.run(context="the-car")
+        assert seen == ["the-car"]
+        assert kernel.processed_events == 1
+
+
+class TestSeededStreams:
+    def test_derive_seed_is_stable_and_name_sensitive(self):
+        assert derive_seed(42, "vehicle-1") == derive_seed(42, "vehicle-1")
+        assert derive_seed(42, "vehicle-1") != derive_seed(42, "vehicle-2")
+        assert derive_seed(42, "vehicle-1") != derive_seed(43, "vehicle-1")
+
+    def test_streams_reproduce_across_kernel_instances(self):
+        draws_a = [FleetKernel(seed=7).stream("fuzz").random() for _ in range(3)]
+        draws_b = [FleetKernel(seed=7).stream("fuzz").random() for _ in range(3)]
+        assert draws_a == draws_b
+
+    def test_streams_are_independent_of_draw_order(self):
+        kernel_a = FleetKernel(seed=7)
+        kernel_a.stream("noise").random()  # disturb another stream first
+        value_a = kernel_a.stream("fuzz").random()
+        value_b = FleetKernel(seed=7).stream("fuzz").random()
+        assert value_a == value_b
+
+    def test_stream_is_cached_per_name(self):
+        kernel = FleetKernel(seed=7)
+        assert kernel.stream("fuzz") is kernel.stream("fuzz")
+        assert isinstance(kernel.stream("fuzz"), random.Random)

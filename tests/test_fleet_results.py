@@ -1,0 +1,90 @@
+"""Tests for fleet outcome aggregation and the determinism fingerprint."""
+
+import pytest
+
+from repro.fleet.results import FleetAggregator, VehicleOutcome
+
+
+def make_outcome(vehicle_id: int, **overrides) -> VehicleOutcome:
+    values = dict(
+        vehicle_id=vehicle_id,
+        scenario="test",
+        enforcement="hpe+selinux",
+        simulated_seconds=0.3,
+        frames_transmitted=100,
+        frames_delivered=80,
+        frames_blocked=25,
+        hpe_decisions=500,
+        policy_pushes=9,
+        attacks_attempted=2,
+        attacks_mitigated=2,
+        mean_decision_latency_s=4e-8,
+        healthy=True,
+        wall_seconds=0.01,
+    )
+    values.update(overrides)
+    return VehicleOutcome(**values)
+
+
+class TestAggregation:
+    def test_sums_and_rates(self):
+        aggregator = FleetAggregator("test")
+        aggregator.add(make_outcome(0))
+        aggregator.add(make_outcome(1, frames_blocked=75, attacks_mitigated=1, healthy=False))
+        result = aggregator.result(wall_seconds=2.0)
+        assert result.vehicles == 2
+        assert result.frames_transmitted == 200
+        assert result.frames_blocked == 100
+        assert result.frame_block_rate == pytest.approx(100 / 300)
+        assert result.attacks_attempted == 4
+        assert result.attack_mitigation_rate == pytest.approx(3 / 4)
+        assert result.unhealthy_vehicles == 1
+        assert result.frames_per_second == pytest.approx(100.0)
+        assert result.vehicles_per_second == pytest.approx(1.0)
+        assert result.enforcement_mix == {"hpe+selinux": 2}
+
+    def test_empty_result_has_zero_rates(self):
+        result = FleetAggregator("test").result()
+        assert result.vehicles == 0
+        assert result.frame_block_rate == 0.0
+        assert result.attack_mitigation_rate == 0.0
+        assert result.frames_per_second == 0.0
+        assert result.latency_p99_s == 0.0
+
+    def test_latency_percentiles_over_vehicles(self):
+        aggregator = FleetAggregator("test")
+        for i in range(100):
+            aggregator.add(make_outcome(i, mean_decision_latency_s=float(i)))
+        result = aggregator.result()
+        assert result.latency_p50_s == pytest.approx(50.0)
+        assert result.latency_p95_s == pytest.approx(94.0)
+        assert result.latency_p99_s == pytest.approx(98.0)
+
+
+class TestFingerprint:
+    def test_arrival_order_does_not_matter(self):
+        outcomes = [make_outcome(i, frames_transmitted=100 + i) for i in range(10)]
+        forward, backward = FleetAggregator("test"), FleetAggregator("test")
+        forward.extend(outcomes)
+        backward.extend(list(reversed(outcomes)))
+        assert forward.result().fingerprint() == backward.result().fingerprint()
+        assert forward.result().frames_transmitted == backward.result().frames_transmitted
+
+    def test_any_deterministic_field_changes_the_fingerprint(self):
+        base = FleetAggregator("test")
+        base.add(make_outcome(0))
+        changed = FleetAggregator("test")
+        changed.add(make_outcome(0, frames_blocked=26))
+        assert base.result().fingerprint() != changed.result().fingerprint()
+
+    def test_wall_seconds_is_excluded(self):
+        fast, slow = FleetAggregator("test"), FleetAggregator("test")
+        fast.add(make_outcome(0, wall_seconds=0.001))
+        slow.add(make_outcome(0, wall_seconds=9.9))
+        assert fast.result(1.0).fingerprint() == slow.result(2.0).fingerprint()
+
+    def test_summary_carries_truncated_fingerprint(self):
+        aggregator = FleetAggregator("test")
+        aggregator.add(make_outcome(0))
+        result = aggregator.result()
+        assert result.summary()["fingerprint"] == result.fingerprint()[:16]

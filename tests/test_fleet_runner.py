@@ -1,0 +1,122 @@
+"""Tests for the fleet runner: per-vehicle simulation and worker invariance."""
+
+import pytest
+
+from repro.fleet.runner import FleetRunner, config_for_label, simulate_vehicle
+from repro.fleet.scenarios import VehicleAction, VehicleSpec, get_scenario
+
+#: Small fleet sizes keep the multiprocessing tests fast while still
+#: exercising chunking across several workers.
+SMALL_FLEET = 12
+
+
+def make_spec(vehicle_id=0, enforcement="hpe+selinux", actions=(), duration_s=0.2, seed=11):
+    return VehicleSpec(
+        vehicle_id=vehicle_id,
+        scenario="unit-test",
+        enforcement=enforcement,
+        seed=seed,
+        duration_s=duration_s,
+        actions=tuple(actions),
+    )
+
+
+class TestConfigLabels:
+    def test_all_labels_resolve(self):
+        assert config_for_label("unprotected") is None
+        assert config_for_label("hpe-only").use_hpe
+        assert not config_for_label("hpe-only").use_selinux
+        assert config_for_label("selinux-only").use_selinux
+        full = config_for_label("hpe+selinux")
+        assert full.use_hpe and full.use_selinux
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(KeyError, match="unknown enforcement label"):
+            config_for_label("mystery")
+
+
+class TestSimulateVehicle:
+    def test_outcome_reflects_the_spec(self, builder):
+        spec = make_spec(vehicle_id=3, actions=[VehicleAction(0.0, "drive", {"accel": 70})])
+        outcome = simulate_vehicle(spec, builder)
+        assert outcome.vehicle_id == 3
+        assert outcome.scenario == "unit-test"
+        assert outcome.enforcement == "hpe+selinux"
+        assert outcome.simulated_seconds >= spec.duration_s
+        assert outcome.frames_transmitted > 0
+        assert outcome.hpe_decisions > 0
+        assert outcome.healthy
+
+    def test_unprotected_vehicle_reports_no_enforcement_activity(self, builder):
+        spec = make_spec(enforcement="unprotected",
+                         actions=[VehicleAction(0.0, "drive", {"accel": 70})])
+        outcome = simulate_vehicle(spec, builder)
+        assert outcome.hpe_decisions == 0
+        assert outcome.frames_blocked == 0
+        assert outcome.mean_decision_latency_s == 0.0
+
+    def test_protection_decides_attack_outcome(self, builder):
+        attack = [VehicleAction(0.05, "attack", {"threat_id": "T01"})]
+        protected = simulate_vehicle(make_spec(actions=attack), builder)
+        unprotected = simulate_vehicle(
+            make_spec(enforcement="unprotected", actions=attack), builder
+        )
+        assert protected.attacks_attempted == unprotected.attacks_attempted == 1
+        assert protected.attacks_mitigated == 1
+        assert protected.healthy
+        assert unprotected.attacks_mitigated == 0
+        assert not unprotected.healthy
+
+    def test_policy_update_action_bumps_enforced_version(self, builder):
+        spec = make_spec(actions=[VehicleAction(0.05, "policy_update", {})])
+        outcome = simulate_vehicle(spec, builder)
+        # The OTA path re-syncs every engine after the version bump.
+        assert outcome.policy_pushes >= 0
+        assert outcome.healthy
+
+    def test_unknown_action_kind_raises(self, builder):
+        spec = make_spec(actions=[VehicleAction(0.0, "teleport", {})])
+        with pytest.raises(ValueError, match="unknown fleet action"):
+            simulate_vehicle(spec, builder)
+
+    def test_same_spec_gives_identical_deterministic_outcome(self, builder):
+        spec = make_spec(actions=[VehicleAction(0.05, "fuzz", {"frames": 40})])
+        first = simulate_vehicle(spec, builder)
+        second = simulate_vehicle(spec, builder)
+        assert first.deterministic_tuple() == second.deterministic_tuple()
+
+
+class TestFleetRunner:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FleetRunner(workers=0)
+
+    def test_run_accepts_scenario_name_or_object(self):
+        by_name = FleetRunner().run("baseline_cruise", SMALL_FLEET, seed=3)
+        by_object = FleetRunner().run(get_scenario("baseline_cruise"), SMALL_FLEET, seed=3)
+        assert by_name.fingerprint() == by_object.fingerprint()
+        assert by_name.vehicles == SMALL_FLEET
+
+    def test_parallel_aggregates_are_bit_identical_to_serial(self):
+        serial = FleetRunner(workers=1).run("mixed_ev_dos", SMALL_FLEET, seed=42)
+        parallel = FleetRunner(workers=4, chunk_size=2).run(
+            "mixed_ev_dos", SMALL_FLEET, seed=42
+        )
+        assert serial.fingerprint() == parallel.fingerprint()
+        assert serial.frames_transmitted == parallel.frames_transmitted
+        assert serial.frames_blocked == parallel.frames_blocked
+        assert serial.latency_p99_s == parallel.latency_p99_s
+        assert serial.enforcement_mix == parallel.enforcement_mix
+
+    def test_run_many_uses_globally_unique_vehicle_ids(self):
+        results = FleetRunner().run_many(
+            ("baseline_cruise", "fuzz_probe"), vehicles_each=4, seed=1
+        )
+        assert set(results) == {"baseline_cruise", "fuzz_probe"}
+        assert all(result.vehicles == 4 for result in results.values())
+
+    def test_wall_clock_throughput_is_reported(self):
+        result = FleetRunner().run("baseline_cruise", SMALL_FLEET, seed=3)
+        assert result.wall_seconds > 0
+        assert result.frames_per_second > 0
+        assert result.vehicles_per_second > 0

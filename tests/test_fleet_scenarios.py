@@ -1,0 +1,163 @@
+"""Tests for the fleet scenario registry and spec materialisation."""
+
+import random
+
+import pytest
+
+from repro.fleet.scenarios import (
+    FleetScenario,
+    VehicleAction,
+    VehicleSpec,
+    get_scenario,
+    register_scenario,
+    registered_scenarios,
+    unregister_scenario,
+)
+
+BUILTIN_NAMES = {
+    "baseline_cruise",
+    "fleet_replay_storm",
+    "staggered_ota_rollout",
+    "mixed_ev_dos",
+    "fuzz_probe",
+}
+
+
+def _noop_script(index: int, rng: random.Random):
+    return (VehicleAction(0.0, "drive", {"accel": rng.randint(30, 90)}),)
+
+
+def make_scenario(name: str = "custom_test_scenario") -> FleetScenario:
+    return FleetScenario(
+        name=name,
+        description="test scenario",
+        duration_s=0.1,
+        mix=(("hpe+selinux", 0.5), ("unprotected", 0.5)),
+        script=_noop_script,
+    )
+
+
+class TestRegistry:
+    def test_builtin_workloads_are_registered(self):
+        names = {scenario.name for scenario in registered_scenarios()}
+        assert BUILTIN_NAMES <= names
+
+    def test_register_get_unregister_round_trip(self):
+        scenario = make_scenario()
+        register_scenario(scenario)
+        try:
+            assert get_scenario(scenario.name) is scenario
+            assert scenario.name in {s.name for s in registered_scenarios()}
+        finally:
+            removed = unregister_scenario(scenario.name)
+        assert removed is scenario
+        with pytest.raises(KeyError):
+            get_scenario(scenario.name)
+
+    def test_duplicate_registration_rejected_unless_replacing(self):
+        scenario = make_scenario()
+        register_scenario(scenario)
+        try:
+            with pytest.raises(ValueError):
+                register_scenario(make_scenario())
+            replacement = make_scenario()
+            register_scenario(replacement, replace_existing=True)
+            assert get_scenario(scenario.name) is replacement
+        finally:
+            unregister_scenario(scenario.name)
+
+    def test_unknown_scenario_error_names_known_ones(self):
+        with pytest.raises(KeyError, match="baseline_cruise"):
+            get_scenario("no_such_workload")
+
+
+class TestScenarioValidation:
+    def test_rejects_unknown_enforcement_label(self):
+        with pytest.raises(ValueError, match="enforcement label"):
+            FleetScenario(
+                name="bad",
+                description="",
+                duration_s=0.1,
+                mix=(("tinfoil", 1.0),),
+                script=_noop_script,
+            )
+
+    def test_rejects_nonpositive_duration_and_weights(self):
+        with pytest.raises(ValueError):
+            FleetScenario(
+                name="bad", description="", duration_s=0.0,
+                mix=(("unprotected", 1.0),), script=_noop_script,
+            )
+        with pytest.raises(ValueError):
+            FleetScenario(
+                name="bad", description="", duration_s=0.1,
+                mix=(("unprotected", 0.0),), script=_noop_script,
+            )
+
+    def test_with_parameters_records_overrides(self):
+        scenario = make_scenario().with_parameters(frames=99)
+        assert dict(scenario.parameters)["frames"] == 99
+
+
+class TestSpecMaterialisation:
+    def test_same_seed_materialises_identical_specs(self):
+        scenario = get_scenario("mixed_ev_dos")
+        assert scenario.vehicle_specs(20, seed=5) == scenario.vehicle_specs(20, seed=5)
+
+    def test_different_seeds_differ(self):
+        scenario = get_scenario("mixed_ev_dos")
+        assert scenario.vehicle_specs(20, seed=5) != scenario.vehicle_specs(20, seed=6)
+
+    def test_specs_cover_the_declared_mix(self):
+        scenario = get_scenario("mixed_ev_dos")
+        specs = scenario.vehicle_specs(200, seed=1)
+        labels = {spec.enforcement for spec in specs}
+        assert labels == {label for label, _ in scenario.mix}
+
+    def test_batched_materialisation_composes_with_combined(self):
+        scenario = get_scenario("mixed_ev_dos")
+        combined = scenario.vehicle_specs(8, seed=4)
+        batched = scenario.vehicle_specs(4, seed=4) + scenario.vehicle_specs(
+            4, seed=4, first_vehicle_id=4
+        )
+        assert batched == combined
+
+    def test_vehicle_ids_are_sequential_from_first_id(self):
+        specs = get_scenario("baseline_cruise").vehicle_specs(5, seed=1, first_vehicle_id=100)
+        assert [spec.vehicle_id for spec in specs] == [100, 101, 102, 103, 104]
+
+    def test_actions_are_time_sorted(self):
+        for spec in get_scenario("staggered_ota_rollout").vehicle_specs(10, seed=3):
+            times = [action.time for action in spec.actions]
+            assert times == sorted(times)
+
+    def test_fleet_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            get_scenario("baseline_cruise").vehicle_specs(0, seed=1)
+
+
+class TestSerialisationRoundTrip:
+    def test_action_round_trips_through_dict(self):
+        action = VehicleAction(0.25, "flood", {"frames": 50, "window_s": 0.1})
+        rebuilt = VehicleAction.from_dict(action.to_dict())
+        assert rebuilt == action
+        assert rebuilt.param("frames") == 50
+        assert rebuilt.param("missing", "fallback") == "fallback"
+
+    def test_spec_round_trips_through_dict(self):
+        for spec in get_scenario("fleet_replay_storm").vehicle_specs(5, seed=9):
+            assert VehicleSpec.from_dict(spec.to_dict()) == spec
+
+    def test_spec_round_trips_through_actual_json(self):
+        import json
+
+        for spec in get_scenario("fleet_replay_storm").vehicle_specs(5, seed=9):
+            rebuilt = VehicleSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+            assert rebuilt == spec
+            assert all(hash(action) is not None for action in rebuilt.actions)
+
+    def test_action_params_are_canonically_sorted(self):
+        a = VehicleAction(0.1, "drive", {"b": 2, "a": 1})
+        b = VehicleAction(0.1, "drive", {"a": 1, "b": 2})
+        assert a == b
+        assert a.params == (("a", 1), ("b", 2))
