@@ -15,9 +15,25 @@ from dataclasses import dataclass, field
 
 from repro.attacks.campaign import CampaignResult
 from repro.attacks.scenarios import AttackScenario
+from repro.can.trace import BusTrace
 from repro.core.enforcement import EnforcementCoordinator
 from repro.fleet.results import FleetResult
 from repro.vehicle.car import ConnectedCar
+
+
+def policy_block_count(trace: BusTrace) -> int:
+    """Frames blocked by a *policy engine* (either direction) on *trace*.
+
+    Served from the trace's always-on O(1) counters, so it works -- and
+    agrees exactly -- at every trace retention level, including
+    ``COUNTERS`` where no record objects exist.
+    """
+    return trace.policy_block_count()
+
+
+def filter_block_count(trace: BusTrace) -> int:
+    """Frames blocked by a *software filter* (either direction) on *trace*."""
+    return trace.filter_block_count()
 
 
 @dataclass(frozen=True)

@@ -88,10 +88,10 @@ class BusFloodAttack:
         deliveries_after = trace.count(TraceEventKind.DELIVERED)
         transmitted_after = trace.count(TraceEventKind.TRANSMITTED)
         transmitted_during = transmitted_after - transmitted_before
-        legitimate_during = sum(
-            1
-            for record in trace.of_kind(TraceEventKind.TRANSMITTED)
-            if record.frame.can_id != self.flood_id
+        # O(1) from the trace counters (works at any retention level):
+        # every transmission whose identifier is not the flood id.
+        legitimate_during = transmitted_after - trace.count_for_frame_id(
+            self.flood_id, TraceEventKind.TRANSMITTED
         )
         ratio = (
             legitimate_during / transmitted_during if transmitted_during else 1.0

@@ -55,7 +55,15 @@ class FuzzingAttack:
         self.attacker = MaliciousNode(car, name="Fuzzer")
 
     def execute(self, frames: int = 200, max_id: int = MAX_STANDARD_ID) -> FuzzingResult:
-        """Send *frames* random frames and report what got through."""
+        """Send *frames* random frames and report what got through.
+
+        Delivery introspection (which fuzzed frames reached an
+        application) reads the bus trace's retained records, so it needs
+        ``FULL`` or a sufficiently large ``RING`` trace retention; at
+        ``COUNTERS`` level the delivery fields report zero.  The
+        health-based ``components_disabled`` outcome -- the field fleet
+        tallies consume -- is retention-independent.
+        """
         trace = self.car.bus.trace
         deliveries_before = {
             (r.node, r.frame.can_id, r.time) for r in trace.of_kind(TraceEventKind.DELIVERED)

@@ -48,10 +48,17 @@ class ReplayAttack:
         self._captured: list[CANFrame] = []
 
     def capture(self, duration_s: float = 0.5) -> int:
-        """Sniff the bus for *duration_s* seconds; returns frames captured."""
-        before = len(self.attacker.node.inbox)
+        """Sniff the bus for *duration_s* seconds; returns frames captured.
+
+        The capture window is delimited by the node's received counter
+        rather than inbox length, so it stays exact when the node runs
+        with a bounded inbox retention (fleet-scale configuration) --
+        provided the retention window covers the capture window itself.
+        """
+        node = self.attacker.node
+        before = node.counters.received
         self.car.run(duration_s)
-        new_frames = self.attacker.node.inbox[before:]
+        new_frames = node.recent_frames(node.counters.received - before)
         for frame in new_frames:
             if self.capture_ids is None or frame.can_id in self.capture_ids:
                 self._captured.append(frame)

@@ -86,9 +86,9 @@ class AttackScenario:
 
     def execute(self, car: ConnectedCar) -> ScenarioOutcome:
         """Run the scenario against *car* and report the outcome."""
-        blocked_before = len(car.bus.trace.blocked())
+        blocked_before = car.bus.trace.blocked_count()
         reached, achieved, detail = self.run(car)
-        blocked_after = len(car.bus.trace.blocked())
+        blocked_after = car.bus.trace.blocked_count()
         return ScenarioOutcome(
             threat_id=self.threat_id,
             name=self.name,

@@ -36,7 +36,7 @@ from repro.can.filters import AcceptanceFilter, FilterBank
 from repro.can.frame import CANFrame, FrameKind
 from repro.can.node import ApplicationHooks, CANNode, PolicyHook
 from repro.can.scheduler import Event, EventScheduler
-from repro.can.trace import BusTrace, TraceEventKind, TraceRecord
+from repro.can.trace import BusTrace, TraceEventKind, TraceLevel, TraceRecord
 from repro.can.transceiver import CANTransceiver
 
 __all__ = [
@@ -62,5 +62,6 @@ __all__ = [
     "NodeDetachedError",
     "PolicyHook",
     "TraceEventKind",
+    "TraceLevel",
     "TraceRecord",
 ]

@@ -7,16 +7,24 @@ Section V).  This model reproduces those semantics on top of the
 discrete-event scheduler: submitted frames queue for arbitration, the
 bus is occupied for the frame's transmission time, and completed frames
 are broadcast to every attached node except the sender.
+
+Arbitration is a binary heap keyed on ``(priority, submission
+sequence)``: winning the bus costs O(log n) in the number of pending
+frames, so a flood storm of n frames costs O(n log n) total instead of
+the O(n^2 log n) a re-sort per transmission would pay.  The pop order is
+bit-identical to sorting the pending list, because the key is unique
+(the submission sequence breaks every tie).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import heapq
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
 from repro.can.frame import CANFrame
 from repro.can.scheduler import EventScheduler
-from repro.can.trace import BusTrace, TraceEventKind
+from repro.can.trace import DEFAULT_RING_SIZE, BusTrace, TraceEventKind, TraceLevel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.can.node import CANNode
@@ -42,16 +50,6 @@ class BusStatistics:
         return min(1.0, self.busy_time / elapsed)
 
 
-@dataclass(order=True)
-class _PendingFrame:
-    """A frame waiting for arbitration (ordered by priority then submission)."""
-
-    priority: int
-    sequence: int
-    frame: CANFrame = field(compare=False)
-    sender: str = field(compare=False)
-
-
 class CANBus:
     """A shared broadcast CAN bus with priority arbitration.
 
@@ -64,6 +62,11 @@ class CANBus:
         time.
     name:
         Diagnostic name of the bus (a vehicle may have several).
+    trace_level:
+        Trace retention level (see :class:`repro.can.trace.TraceLevel`);
+        fleet-scale runs use ``RING`` or ``COUNTERS`` for O(1) memory.
+    trace_ring_size:
+        Window size when ``trace_level`` is ``RING``.
     """
 
     def __init__(
@@ -71,18 +74,22 @@ class CANBus:
         scheduler: EventScheduler | None = None,
         bitrate_bps: int = DEFAULT_BITRATE_BPS,
         name: str = "can0",
+        trace_level: TraceLevel | str = TraceLevel.FULL,
+        trace_ring_size: int = DEFAULT_RING_SIZE,
     ) -> None:
         if bitrate_bps <= 0:
             raise ValueError("bitrate must be positive")
         self.scheduler = scheduler if scheduler is not None else EventScheduler()
         self.bitrate_bps = bitrate_bps
         self.name = name
-        self.trace = BusTrace()
+        self.trace = BusTrace(level=trace_level, ring_size=trace_ring_size)
         self.statistics = BusStatistics()
         self._nodes: dict[str, "CANNode"] = {}
-        self._pending: list[_PendingFrame] = []
+        #: Arbitration heap of ``(priority, sequence, frame, sender)``.
+        self._pending: list[tuple[int, int, CANFrame, str]] = []
         self._submission_sequence = 0
         self._busy = False
+        self._in_flight: tuple[int, int, CANFrame, str] | None = None
 
     # -- topology ------------------------------------------------------------------
 
@@ -95,11 +102,17 @@ class CANBus:
         node.on_attached(self)
 
     def detach(self, node_name: str) -> None:
-        """Detach the named node from the bus."""
+        """Detach the named node from the bus.
+
+        Clears the node's back-reference too, so a detached node's
+        ``send()`` raises ``NodeDetachedError`` instead of silently
+        tracing to (and transmitting on) its former bus.
+        """
         node = self._nodes.pop(node_name, None)
         if node is None:
             raise KeyError(f"no node named {node_name!r} attached to {self.name}")
         node.transceiver.detach()
+        node.on_detached()
 
     @property
     def nodes(self) -> list["CANNode"]:
@@ -123,13 +136,9 @@ class CANBus:
         """Queue *frame* from *sender* for arbitration and transmission."""
         self.statistics.frames_submitted += 1
         self._submission_sequence += 1
-        pending = _PendingFrame(
-            priority=frame.priority,
-            sequence=self._submission_sequence,
-            frame=frame,
-            sender=sender,
+        heapq.heappush(
+            self._pending, (frame.priority, self._submission_sequence, frame, sender)
         )
-        self._pending.append(pending)
         if len(self._pending) > 1:
             self.statistics.arbitration_conflicts += 1
         if not self._busy:
@@ -140,18 +149,21 @@ class CANBus:
             self._busy = False
             return
         self._busy = True
-        self._pending.sort()
-        winner = self._pending.pop(0)
-        duration = winner.frame.transmission_time(self.bitrate_bps)
+        winner = heapq.heappop(self._pending)
+        self._in_flight = winner
+        duration = winner[2].transmission_time(self.bitrate_bps)
         self.statistics.busy_time += duration
-        self.scheduler.schedule(
-            duration,
-            lambda: self._complete_transmission(winner),
-            label=f"{self.name}:tx:0x{winner.frame.can_id:X}",
-        )
+        # Only one frame occupies the wire at a time, so the winner rides
+        # on the bus itself rather than in a per-transmission closure.
+        self.scheduler.schedule_fast(duration, self._complete_transmission)
 
-    def _complete_transmission(self, pending: _PendingFrame) -> None:
-        frame, sender = pending.frame, pending.sender
+    def _complete_transmission(self) -> None:
+        pending = self._in_flight
+        self._in_flight = None
+        if pending is None:  # pragma: no cover - scheduler cleared mid-flight
+            self._busy = False
+            return
+        frame, sender = pending[2], pending[3]
         self.statistics.frames_transmitted += 1
         self.trace.record(
             self.scheduler.now, TraceEventKind.TRANSMITTED, frame, node=sender
@@ -170,13 +182,14 @@ class CANBus:
     def record_delivery(self, frame: CANFrame, node: str) -> None:
         """Record that *frame* reached the application on *node*."""
         self.statistics.frames_delivered += 1
-        self.trace.record(self.scheduler.now, TraceEventKind.DELIVERED, frame, node=node)
+        # _now: bypass the property on the per-delivery fast path.
+        self.trace.record(self.scheduler._now, TraceEventKind.DELIVERED, frame, node=node)
 
     def record_block(
         self, frame: CANFrame, node: str, kind: TraceEventKind, detail: str = ""
     ) -> None:
         """Record that *frame* was blocked at *node* for the given reason."""
-        self.trace.record(self.scheduler.now, kind, frame, node=node, detail=detail)
+        self.trace.record(self.scheduler._now, kind, frame, node=node, detail=detail)
 
     # -- convenience -------------------------------------------------------------------
 

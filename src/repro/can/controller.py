@@ -125,16 +125,17 @@ class CANController:
 
         Raises :class:`BusOffError` when the controller is bus-off.
         """
-        if self.is_bus_off:
+        if self._tx_error_counter >= BUS_OFF_THRESHOLD:
             raise BusOffError(f"controller of {self._owner_name!r} is bus-off")
-        return self.tx_filters.accepts(frame)
+        return self.tx_filters.accepts_id(frame.can_id)
 
     def check_receive(self, frame: CANFrame) -> bool:
         """Whether the software acceptance filters accept *frame*."""
-        accepted = self.rx_filters.accepts(frame)
+        accepted = self.rx_filters.accepts_id(frame.can_id)
         if accepted:
             self.frames_accepted += 1
-            self.record_rx_success()
+            if self._rx_error_counter > 0:  # inline record_rx_success
+                self._rx_error_counter -= 1
         else:
             self.frames_rejected += 1
         return accepted

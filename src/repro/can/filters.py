@@ -72,9 +72,16 @@ class FilterBank:
     def __init__(
         self, filters: Iterable[AcceptanceFilter] = (), default_accept: bool = True
     ) -> None:
-        self._filters: list[AcceptanceFilter] = list(filters)
+        self._filters: list[AcceptanceFilter] = []
+        #: Match buckets: mask -> set of masked values.  A frame matches
+        #: the bank iff ``(can_id & mask) in bucket[mask]`` for some
+        #: mask, which turns the per-frame scan over N filters into one
+        #: set probe per distinct mask (typically exactly one).
+        self._by_mask: dict[int, set[int]] = {}
         self._default_accept = default_accept
         self._compromised = False
+        for acceptance_filter in filters:
+            self.add(acceptance_filter)
 
     def __len__(self) -> int:
         return len(self._filters)
@@ -87,6 +94,8 @@ class FilterBank:
     def add(self, acceptance_filter: AcceptanceFilter) -> None:
         """Add a filter to the bank."""
         self._filters.append(acceptance_filter)
+        mask = acceptance_filter.mask
+        self._by_mask.setdefault(mask, set()).add(acceptance_filter.value & mask)
 
     def add_exact(self, can_id: int, extended: bool = False) -> None:
         """Add an exact-match filter for one identifier."""
@@ -95,6 +104,7 @@ class FilterBank:
     def clear(self) -> None:
         """Remove all filters."""
         self._filters.clear()
+        self._by_mask.clear()
 
     def set_default_reject(self) -> None:
         """Reject frames when no filter matches (instead of accepting)."""
@@ -132,11 +142,7 @@ class FilterBank:
         With filters configured the bank accepts only matching frames;
         with no filters configured it falls back to the default policy.
         """
-        if self._compromised:
-            return True
-        if not self._filters:
-            return self._default_accept
-        return any(f.matches(frame) for f in self._filters)
+        return self.accepts_id(frame.can_id)
 
     def accepts_id(self, can_id: int) -> bool:
         """Whether the bank accepts a bare identifier."""
@@ -144,4 +150,7 @@ class FilterBank:
             return True
         if not self._filters:
             return self._default_accept
-        return any(f.matches_id(can_id) for f in self._filters)
+        for mask, values in self._by_mask.items():
+            if can_id & mask in values:
+                return True
+        return False

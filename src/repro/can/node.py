@@ -11,6 +11,8 @@ it the software filter banks) is compromised.
 
 from __future__ import annotations
 
+from array import array
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
@@ -86,6 +88,12 @@ class CANNode:
         Optional :class:`PolicyHook` (e.g. a hardware policy engine).
     hooks:
         Optional application callbacks.
+    inbox_limit:
+        Optional retention bound for the application inbox.  ``None``
+        (the default) keeps every received frame, today's behaviour;
+        a positive bound keeps only the most recent frames (fleet-scale
+        memory diet).  :meth:`received_ids` always covers the whole run
+        regardless, via a compact parallel identifier log.
     """
 
     def __init__(
@@ -94,6 +102,7 @@ class CANNode:
         controller: CANController | None = None,
         policy_engine: PolicyHook | None = None,
         hooks: ApplicationHooks | None = None,
+        inbox_limit: int | None = None,
     ) -> None:
         if not name.strip():
             raise ValueError("node name must be non-empty")
@@ -103,9 +112,16 @@ class CANNode:
         self.policy_engine = policy_engine
         self.hooks = hooks if hooks is not None else ApplicationHooks()
         self.counters = NodeCounters()
-        self.inbox: list[CANFrame] = []
+        self.inbox: "list[CANFrame] | deque[CANFrame]" = []
+        self._inbox_limit: int | None = None
+        #: Identifiers of every frame that reached the application, in
+        #: order -- an unsigned-int array, so bounding the inbox never
+        #: changes :meth:`received_ids` semantics.
+        self._received_id_log = array("L")
         self._bus: "CANBus | None" = None
         self._firmware_compromised = False
+        if inbox_limit is not None:
+            self.set_inbox_limit(inbox_limit)
 
     # -- wiring ---------------------------------------------------------------------
 
@@ -117,6 +133,32 @@ class CANNode:
     def on_attached(self, bus: "CANBus") -> None:
         """Called by :meth:`repro.can.bus.CANBus.attach`."""
         self._bus = bus
+
+    def on_detached(self) -> None:
+        """Called by :meth:`repro.can.bus.CANBus.detach`.
+
+        Clearing the back-reference makes a post-detach ``send()`` raise
+        :class:`~repro.can.errors.NodeDetachedError` instead of tracing
+        to (and transmitting on) the old bus.
+        """
+        self._bus = None
+
+    # -- inbox retention ----------------------------------------------------------------
+
+    @property
+    def inbox_limit(self) -> int | None:
+        """Maximum retained inbox frames (``None`` = unbounded)."""
+        return self._inbox_limit
+
+    def set_inbox_limit(self, limit: int | None) -> None:
+        """Bound (or unbound) inbox retention, keeping the newest frames."""
+        if limit is not None and limit <= 0:
+            raise ValueError("inbox limit must be positive (or None for unbounded)")
+        self._inbox_limit = limit
+        if limit is None:
+            self.inbox = list(self.inbox)
+        else:
+            self.inbox = deque(self.inbox, maxlen=limit)
 
     # -- firmware compromise model -----------------------------------------------------
 
@@ -150,7 +192,8 @@ class CANNode:
         """
         if self._bus is None:
             raise NodeDetachedError(f"node {self.name!r} is not attached to a bus")
-        frame = frame.with_source(self.name)
+        if frame.source != self.name:
+            frame = frame.with_source(self.name)
         self._bus.trace.record(
             self._bus.scheduler.now, TraceEventKind.SUBMITTED, frame, node=self.name
         )
@@ -233,6 +276,7 @@ class CANNode:
         # 3. Up to the application.
         self.counters.received += 1
         self.inbox.append(frame)
+        self._received_id_log.append(frame.can_id)
         self._bus.record_delivery(frame, self.name)
         if self.hooks.on_receive is not None:
             self.hooks.on_receive(frame)
@@ -241,12 +285,28 @@ class CANNode:
     # -- convenience -----------------------------------------------------------------------
 
     def received_ids(self) -> list[int]:
-        """Identifiers of all frames that reached the application, in order."""
-        return [frame.can_id for frame in self.inbox]
+        """Identifiers of all frames that reached the application, in order.
+
+        Served from the parallel id log, so it covers the whole run even
+        when :attr:`inbox_limit` bounds how many frames are retained.
+        """
+        return list(self._received_id_log)
+
+    def recent_frames(self, count: int) -> list[CANFrame]:
+        """The most recent *count* retained inbox frames, oldest first."""
+        if count <= 0:
+            return []
+        if isinstance(self.inbox, deque):
+            inbox = self.inbox
+            if count >= len(inbox):
+                return list(inbox)
+            return [inbox[i] for i in range(len(inbox) - count, len(inbox))]
+        return list(self.inbox[-count:])
 
     def clear_inbox(self) -> None:
-        """Drop all received frames."""
+        """Drop all received frames (and the received-id log)."""
         self.inbox.clear()
+        del self._received_id_log[:]
 
     def __str__(self) -> str:
         policy = type(self.policy_engine).__name__ if self.policy_engine else "none"

@@ -16,6 +16,7 @@ from repro.casestudy.connected_car import (
 )
 from repro.core.derivation import DerivationResult, PolicyDerivation
 from repro.core.enforcement import EnforcementConfig, EnforcementCoordinator
+from repro.can.trace import TraceLevel
 from repro.core.policy_engine import PolicyEvaluator
 from repro.core.security_model import PolicyBasedSecurityModel
 from repro.vehicle.car import ConnectedCar
@@ -67,14 +68,22 @@ class CaseStudyBuilder:
         self,
         config: EnforcementConfig | None = None,
         start_periodic_traffic: bool = False,
+        trace_level: "TraceLevel | str" = TraceLevel.FULL,
+        inbox_limit: int | None = None,
     ) -> ConnectedCar:
         """Build one car with the given enforcement configuration.
 
         ``config=None`` builds an unprotected car (no coordinator at all),
-        matching the paper's pre-policy baseline.
+        matching the paper's pre-policy baseline.  ``trace_level`` and
+        ``inbox_limit`` configure the frame-path retention (fleet runs
+        pass ``COUNTERS``/``RING`` and a bounded inbox for the O(1)
+        memory hot path; the default keeps full single-vehicle traces).
         """
         car = ConnectedCar(
-            catalog=self.catalog, start_periodic_traffic=start_periodic_traffic
+            catalog=self.catalog,
+            start_periodic_traffic=start_periodic_traffic,
+            trace_level=trace_level,
+            inbox_limit=inbox_limit,
         )
         if config is None:
             return car

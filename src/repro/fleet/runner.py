@@ -19,6 +19,7 @@ from __future__ import annotations
 import multiprocessing
 import sys
 import time
+from functools import partial
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -26,7 +27,7 @@ from repro.attacks.dos import BusFloodAttack, TargetedDisableAttack
 from repro.attacks.fuzzing import FuzzingAttack
 from repro.attacks.replay import ReplayAttack
 from repro.attacks.scenarios import scenario_by_threat_id
-from repro.can.trace import TraceEventKind
+from repro.can.trace import TraceLevel
 from repro.casestudy.builder import CaseStudyBuilder
 from repro.core.enforcement import EnforcementConfig
 from repro.core.updates import PolicyUpdateBundle, PolicyUpdateClient
@@ -45,6 +46,14 @@ CONFIG_BY_LABEL: dict[str, EnforcementConfig | None] = {
 
 #: Signing key for simulated staggered OTA policy rollouts.
 _OTA_SIGNING_KEY = b"fleet-ota-rollout-key"
+
+#: Per-node inbox retention used by the fleet hot path.  Generously
+#: larger than any attack-primitive observation window (replay captures
+#: ~0.1 s of traffic) while bounding retained frame *objects* per
+#: vehicle.  (The compact per-delivery id log that backs
+#: ``received_ids()`` still grows with the timeline -- 4-8 bytes per
+#: delivered frame versus hundreds per retained frame object.)
+DEFAULT_FLEET_INBOX_LIMIT = 512
 
 
 def config_for_label(label: str) -> EnforcementConfig | None:
@@ -206,19 +215,30 @@ def _execute_action(
 
 
 def simulate_vehicle(
-    spec: VehicleSpec, builder: CaseStudyBuilder | None = None
+    spec: VehicleSpec,
+    builder: CaseStudyBuilder | None = None,
+    trace_level: TraceLevel | str = TraceLevel.COUNTERS,
+    inbox_limit: int | None = DEFAULT_FLEET_INBOX_LIMIT,
 ) -> VehicleOutcome:
     """Simulate one vehicle's full timeline and report its outcome.
 
     The outcome's deterministic fields depend only on *spec*: the car is
     built fresh, the kernel replays the scripted actions at their
     scripted times, and all randomness comes from streams seeded by
-    ``spec.seed``.
+    ``spec.seed``.  ``trace_level`` selects the bus-trace retention --
+    every count that feeds the outcome comes from the trace's always-on
+    O(1) counters, so outcomes are bit-identical across ``FULL``,
+    ``RING`` and ``COUNTERS``.
     """
     wall_start = time.perf_counter()
     if builder is None:
         builder = _process_builder()
-    car = builder.build_car(config_for_label(spec.enforcement), start_periodic_traffic=True)
+    car = builder.build_car(
+        config_for_label(spec.enforcement),
+        start_periodic_traffic=True,
+        trace_level=trace_level,
+        inbox_limit=inbox_limit,
+    )
     kernel = FleetKernel(spec.seed)
     tally = _AttackTally()
     for action in spec.actions:
@@ -242,11 +262,9 @@ def simulate_vehicle(
     )
     # Count *policy* blocks only: firmware acceptance filters discard
     # non-subscribed broadcasts on every car, so including them would
-    # mask what enforcement itself contributed.
-    trace = car.bus.trace
-    policy_blocks = len(trace.of_kind(TraceEventKind.BLOCKED_READ_POLICY)) + len(
-        trace.of_kind(TraceEventKind.BLOCKED_WRITE_POLICY)
-    )
+    # mask what enforcement itself contributed.  Served by the trace's
+    # O(1) counters -- no record scan, valid at every retention level.
+    policy_blocks = car.bus.trace.policy_block_count()
     return VehicleOutcome(
         vehicle_id=spec.vehicle_id,
         scenario=spec.scenario,
@@ -289,9 +307,16 @@ def _init_worker(extra_paths: list[str]) -> None:
     _process_builder()
 
 
-def _simulate_chunk(specs: Sequence[VehicleSpec]) -> list[VehicleOutcome]:
+def _simulate_chunk(
+    specs: Sequence[VehicleSpec],
+    trace_level: str = TraceLevel.COUNTERS.value,
+    inbox_limit: int | None = DEFAULT_FLEET_INBOX_LIMIT,
+) -> list[VehicleOutcome]:
     builder = _process_builder()
-    return [simulate_vehicle(spec, builder) for spec in specs]
+    return [
+        simulate_vehicle(spec, builder, trace_level=trace_level, inbox_limit=inbox_limit)
+        for spec in specs
+    ]
 
 
 def _chunked(specs: Sequence[VehicleSpec], chunk_size: int) -> list[list[VehicleSpec]]:
@@ -309,13 +334,29 @@ class FleetRunner:
     chunk_size:
         Vehicles per work item handed to the pool (default: fleet size
         divided over ``4 * workers`` chunks, at least 8 per chunk).
+    trace_level:
+        Bus-trace retention for every simulated vehicle (default
+        ``COUNTERS``: O(1) trace memory, fastest).  Outcomes -- and
+        therefore fleet fingerprints -- are bit-identical across levels
+        because every outcome field reads the always-on counters.
+    inbox_limit:
+        Per-node inbox retention for every simulated vehicle (``None``
+        keeps every received frame, pre-fleet behaviour).
     """
 
-    def __init__(self, workers: int = 1, chunk_size: int | None = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        trace_level: TraceLevel | str = TraceLevel.COUNTERS,
+        inbox_limit: int | None = DEFAULT_FLEET_INBOX_LIMIT,
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
         self.chunk_size = chunk_size
+        self.trace_level = TraceLevel.coerce(trace_level)
+        self.inbox_limit = inbox_limit
 
     # -- execution ------------------------------------------------------------
 
@@ -338,19 +379,31 @@ class FleetRunner:
         aggregator = FleetAggregator(scenario_name)
         if self.workers == 1 or len(specs) <= 1:
             for spec in specs:
-                aggregator.add(simulate_vehicle(spec, _process_builder()))
+                aggregator.add(
+                    simulate_vehicle(
+                        spec,
+                        _process_builder(),
+                        trace_level=self.trace_level,
+                        inbox_limit=self.inbox_limit,
+                    )
+                )
         else:
             chunk_size = self.chunk_size
             if chunk_size is None:
                 chunk_size = max(8, len(specs) // (self.workers * 4) or 1)
             chunks = _chunked(specs, chunk_size)
             src_root = str(Path(__file__).resolve().parents[2])
+            simulate_chunk = partial(
+                _simulate_chunk,
+                trace_level=self.trace_level.value,
+                inbox_limit=self.inbox_limit,
+            )
             with multiprocessing.get_context().Pool(
                 processes=self.workers,
                 initializer=_init_worker,
                 initargs=([src_root],),
             ) as pool:
-                for outcomes in pool.imap_unordered(_simulate_chunk, chunks):
+                for outcomes in pool.imap_unordered(simulate_chunk, chunks):
                     aggregator.extend(outcomes)
         return aggregator.result(wall_seconds=time.perf_counter() - wall_start)
 

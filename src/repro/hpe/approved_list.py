@@ -140,7 +140,10 @@ class ApprovedIdList:
         """Whether *can_id* is on the approved list."""
         if can_id in self._ids:
             return True
-        return any(can_id in r for r in self._ranges)
+        for id_range in self._ranges:
+            if id_range.low <= can_id <= id_range.high:
+                return True
+        return False
 
     def explicit_ids(self) -> frozenset[int]:
         """The individually approved identifiers."""

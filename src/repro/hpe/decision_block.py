@@ -88,6 +88,23 @@ class DecisionBlock:
         """Evaluate *frame* and return the decision."""
         return self.evaluate_id(frame.can_id)
 
+    def permits_id(self, can_id: int) -> bool:
+        """Evaluate a bare identifier, returning only the verdict.
+
+        The frame hot path's variant of :meth:`evaluate_id`: counters
+        and accumulated latency update identically, but no
+        :class:`Decision` record (or reason string) is allocated.
+        """
+        self.decisions_made += 1
+        self.total_latency_s += self.latency_s
+        approved = self.approved.approves(can_id)
+        granted = (not approved) if self.default_grant else approved
+        if granted:
+            self.grants += 1
+        else:
+            self.blocks += 1
+        return granted
+
     def evaluate_id(self, can_id: int) -> Decision:
         """Evaluate a bare identifier and return the decision."""
         self.decisions_made += 1

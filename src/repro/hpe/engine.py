@@ -52,6 +52,9 @@ class HardwarePolicyEngine:
         self._write_list = ApprovedIdList(approved_writes, write_ranges)
         self.read_filter = ReadFilter(self._read_list, latency_s=decision_latency_s)
         self.write_filter = WriteFilter(self._write_list, latency_s=decision_latency_s)
+        # Direct decision-block references for the per-frame hot path.
+        self._read_block = self.read_filter.decision_block
+        self._write_block = self.write_filter.decision_block
         self.registers = RegisterFile(configuration_key=configuration_key)
         self.tamper_log = TamperLog()
         self._configuration_key = configuration_key
@@ -62,11 +65,11 @@ class HardwarePolicyEngine:
 
     def permit_read(self, frame: CANFrame) -> bool:
         """Whether the node may consume *frame* (inbound direction)."""
-        return self.read_filter.permits(frame)
+        return self._read_block.permits_id(frame.can_id)
 
     def permit_write(self, frame: CANFrame) -> bool:
         """Whether the node may emit *frame* (outbound direction)."""
-        return self.write_filter.permits(frame)
+        return self._write_block.permits_id(frame.can_id)
 
     # -- introspection ----------------------------------------------------------------
 

@@ -18,6 +18,7 @@ import networkx as nx
 from repro.can.bus import CANBus
 from repro.can.node import PolicyHook
 from repro.can.scheduler import EventScheduler
+from repro.can.trace import DEFAULT_RING_SIZE, TraceLevel
 from repro.vehicle.door_locks import DoorLockController
 from repro.vehicle.ecu import VehicleECU
 from repro.vehicle.engine_ecu import EngineController
@@ -59,6 +60,16 @@ class ConnectedCar:
         Optional externally owned event scheduler.
     start_periodic_traffic:
         Whether to schedule the catalogue's periodic broadcasts.
+    trace_level:
+        Bus-trace retention level (see
+        :class:`repro.can.trace.TraceLevel`); defaults to ``FULL`` for
+        single-vehicle debugging.  Fleet runs use ``RING``/``COUNTERS``
+        for O(1) trace memory per vehicle.
+    trace_ring_size:
+        Window size when ``trace_level`` is ``RING``.
+    inbox_limit:
+        Optional per-node inbox retention bound applied to every ECU
+        node (``None`` keeps every received frame).
     """
 
     def __init__(
@@ -67,10 +78,18 @@ class ConnectedCar:
         policy_engines: dict[str, PolicyHook] | None = None,
         scheduler: EventScheduler | None = None,
         start_periodic_traffic: bool = False,
+        trace_level: "TraceLevel | str" = TraceLevel.FULL,
+        trace_ring_size: int = DEFAULT_RING_SIZE,
+        inbox_limit: int | None = None,
     ) -> None:
         self.catalog = catalog if catalog is not None else standard_catalog()
         self.scheduler = scheduler if scheduler is not None else EventScheduler()
-        self.bus = CANBus(scheduler=self.scheduler, name="vehicle-can")
+        self.bus = CANBus(
+            scheduler=self.scheduler,
+            name="vehicle-can",
+            trace_level=trace_level,
+            trace_ring_size=trace_ring_size,
+        )
         self.modes = ModeManager(CarMode.NORMAL)
         engines = policy_engines or {}
 
@@ -86,6 +105,8 @@ class ConnectedCar:
 
         for ecu in self.ecus():
             self.bus.attach(ecu.node)
+            if inbox_limit is not None:
+                ecu.node.set_inbox_limit(inbox_limit)
 
         if start_periodic_traffic:
             self.start_periodic_traffic()

@@ -1,0 +1,300 @@
+"""Tests for the fast-path frame pipeline.
+
+Covers the trace retention levels (FULL / RING / COUNTERS counter
+equivalence), heap-vs-sort arbitration order equivalence, the slimmed
+scheduler, bounded inbox retention, the ``detach`` back-reference
+regression and the deterministic ``BusTrace.merge`` tie-break.
+"""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.can.bus import CANBus
+from repro.can.errors import NodeDetachedError
+from repro.can.frame import MAX_STANDARD_ID, CANFrame
+from repro.can.node import CANNode
+from repro.can.scheduler import Event, EventScheduler
+from repro.can.trace import BusTrace, TraceEventKind, TraceLevel
+
+
+def build_bus(trace_level=TraceLevel.FULL, *names, inbox_limit=None):
+    bus = CANBus(EventScheduler(), trace_level=trace_level)
+    nodes = {}
+    for name in names:
+        node = CANNode(name, inbox_limit=inbox_limit)
+        bus.attach(node)
+        nodes[name] = node
+    return bus, nodes
+
+
+def drive_traffic(bus, nodes, frames):
+    for sender, can_id in frames:
+        nodes[sender].send(CANFrame(can_id=can_id, data=b"\x01"))
+    bus.run_until_idle()
+
+
+TRAFFIC = [("a", 0x10), ("b", 0x20), ("a", 0x10), ("c", 0x7FF), ("b", 0x20), ("a", 0x30)]
+
+
+class TestTraceLevels:
+    @pytest.mark.parametrize("level", list(TraceLevel))
+    def test_counts_identical_across_levels(self, level):
+        reference_bus, reference_nodes = build_bus(TraceLevel.FULL, "a", "b", "c")
+        drive_traffic(reference_bus, reference_nodes, TRAFFIC)
+        bus, nodes = build_bus(level, "a", "b", "c")
+        drive_traffic(bus, nodes, TRAFFIC)
+        reference = reference_bus.trace
+        trace = bus.trace
+        assert len(trace) == len(reference)
+        assert trace.summary() == reference.summary()
+        assert trace.blocked_count() == reference.blocked_count()
+        for kind in TraceEventKind:
+            assert trace.count(kind) == reference.count(kind)
+        for node in ("a", "b", "c", ""):
+            assert trace.count_for_node(node) == reference.count_for_node(node)
+            assert trace.count_for_node(node, TraceEventKind.DELIVERED) == (
+                reference.count_for_node(node, TraceEventKind.DELIVERED)
+            )
+        for can_id in (0x10, 0x20, 0x30, 0x7FF, 0x555):
+            assert trace.count_for_frame_id(can_id) == reference.count_for_frame_id(can_id)
+            assert trace.count_for_frame_id(can_id, TraceEventKind.TRANSMITTED) == (
+                reference.count_for_frame_id(can_id, TraceEventKind.TRANSMITTED)
+            )
+
+    def test_counters_level_allocates_no_records(self):
+        trace = BusTrace(level=TraceLevel.COUNTERS)
+        assert trace.record(0.0, TraceEventKind.SUBMITTED, CANFrame(can_id=0x1)) is None
+        assert len(trace) == 1
+        assert trace.records_retained == 0
+        assert list(trace) == []
+        assert trace.of_kind(TraceEventKind.SUBMITTED) == []
+        assert trace.count(TraceEventKind.SUBMITTED) == 1
+        with pytest.raises(IndexError):
+            trace[0]
+
+    def test_ring_level_bounds_records_but_not_counts(self):
+        trace = BusTrace(level=TraceLevel.RING, ring_size=4)
+        for i in range(10):
+            trace.record(float(i), TraceEventKind.TRANSMITTED, CANFrame(can_id=i))
+        assert len(trace) == 10
+        assert trace.records_retained == 4
+        assert [r.frame.can_id for r in trace] == [6, 7, 8, 9]
+        assert trace.count(TraceEventKind.TRANSMITTED) == 10
+        assert trace.count_for_frame_id(0, TraceEventKind.TRANSMITTED) == 1
+
+    def test_level_coercion_and_validation(self):
+        assert BusTrace(level="counters").level is TraceLevel.COUNTERS
+        assert TraceLevel.coerce("RING") is TraceLevel.RING
+        with pytest.raises(ValueError):
+            TraceLevel.coerce("everything")
+        with pytest.raises(ValueError):
+            BusTrace(level=TraceLevel.RING, ring_size=0)
+
+    def test_clear_resets_counters(self):
+        trace = BusTrace(level=TraceLevel.COUNTERS)
+        trace.record(0.0, TraceEventKind.BLOCKED_READ_POLICY, CANFrame(can_id=0x1), node="n")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.blocked_count() == 0
+        assert trace.summary() == {}
+        assert trace.count_for_node("n") == 0
+
+    def test_summary_preserves_first_occurrence_order(self):
+        trace = BusTrace()
+        frame = CANFrame(can_id=0x1)
+        trace.record(0.0, TraceEventKind.TRANSMITTED, frame)
+        trace.record(0.1, TraceEventKind.SUBMITTED, frame)
+        trace.record(0.2, TraceEventKind.TRANSMITTED, frame)
+        assert list(trace.summary()) == ["transmitted", "submitted"]
+
+
+class TestMergeTieBreak:
+    def test_same_timestamp_records_merge_deterministically(self):
+        first, second = BusTrace(), BusTrace()
+        first.record(0.5, TraceEventKind.SUBMITTED, CANFrame(can_id=0x1), node="f1")
+        first.record(0.5, TraceEventKind.TRANSMITTED, CANFrame(can_id=0x2), node="f2")
+        second.record(0.5, TraceEventKind.DELIVERED, CANFrame(can_id=0x3), node="s1")
+        second.record(0.1, TraceEventKind.SUBMITTED, CANFrame(can_id=0x4), node="s2")
+        merged = first.merge(second)
+        # Time first; at equal times the left trace's records come first,
+        # each side keeping its own insertion order.
+        assert [r.node for r in merged] == ["s2", "f1", "f2", "s1"]
+        # Merging in either direction is deterministic (not necessarily equal).
+        again = first.merge(second)
+        assert [r.node for r in again] == [r.node for r in merged]
+
+    def test_merge_sums_counters(self):
+        first, second = BusTrace(), BusTrace(level=TraceLevel.COUNTERS)
+        frame = CANFrame(can_id=0x1)
+        first.record(0.0, TraceEventKind.BLOCKED_READ_POLICY, frame, node="n")
+        second.record(0.0, TraceEventKind.BLOCKED_READ_POLICY, frame, node="n")
+        merged = first.merge(second)
+        assert len(merged) == 2
+        assert merged.count(TraceEventKind.BLOCKED_READ_POLICY) == 2
+        assert merged.blocked_count() == 2
+        assert merged.count_for_node("n") == 2
+        # Only FULL/RING records are retained; the COUNTERS side had none.
+        assert merged.records_retained == 1
+
+
+class TestArbitrationEquivalence:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=MAX_STANDARD_ID), min_size=1, max_size=60
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_heap_order_matches_sort_order(self, priorities):
+        """heappop order over (priority, seq) == stable full sort order."""
+        entries = [(priority, seq) for seq, priority in enumerate(priorities)]
+        heap = list(entries)
+        heapq.heapify(heap)
+        popped = [heapq.heappop(heap) for _ in range(len(heap))]
+        assert popped == sorted(entries)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=MAX_STANDARD_ID), min_size=1, max_size=40
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bus_transmits_in_priority_then_submission_order(self, can_ids):
+        bus, nodes = build_bus(TraceLevel.FULL, "tx", "rx")
+        nodes["rx"].controller.rx_filters.set_default_accept()
+        for can_id in can_ids:
+            nodes["tx"].send(CANFrame(can_id=can_id, data=b"\x01"))
+        bus.run_until_idle()
+        transmitted = [r.frame.can_id for r in bus.trace.of_kind(TraceEventKind.TRANSMITTED)]
+        # First submission transmits immediately (the bus was idle); the
+        # rest arbitrate: lowest id wins, ties in submission order.
+        expected = can_ids[:1] + [can_ids[i] for i in sorted(
+            range(1, len(can_ids)), key=lambda i: (can_ids[i], i)
+        )]
+        assert transmitted == expected
+
+
+class TestDetachRegression:
+    def test_detached_node_send_raises(self):
+        bus, nodes = build_bus(TraceLevel.FULL, "a", "b")
+        bus.detach("a")
+        assert nodes["a"].bus is None
+        with pytest.raises(NodeDetachedError):
+            nodes["a"].send(CANFrame(can_id=0x10))
+        # Nothing leaked into the old bus's trace or arbitration queue.
+        assert len(bus.trace) == 0
+        assert bus.statistics.frames_submitted == 0
+
+    def test_detach_then_reattach_works(self):
+        bus, nodes = build_bus(TraceLevel.FULL, "a", "b")
+        bus.detach("a")
+        bus.attach(nodes["a"])
+        assert nodes["a"].send(CANFrame(can_id=0x10))
+        bus.run_until_idle()
+        assert nodes["b"].received_ids() == [0x10]
+
+
+class TestInboxRetention:
+    def test_bounded_inbox_keeps_newest_frames_and_full_id_log(self):
+        bus, nodes = build_bus(TraceLevel.FULL, "tx", "rx", inbox_limit=3)
+        nodes["rx"].controller.rx_filters.set_default_accept()
+        for can_id in (0x10, 0x11, 0x12, 0x13, 0x14):
+            nodes["tx"].send(CANFrame(can_id=can_id, data=b"\x01"))
+        bus.run_until_idle()
+        rx = nodes["rx"]
+        assert rx.counters.received == 5
+        assert [f.can_id for f in rx.inbox] == [0x12, 0x13, 0x14]
+        assert rx.received_ids() == [0x10, 0x11, 0x12, 0x13, 0x14]
+        assert [f.can_id for f in rx.recent_frames(2)] == [0x13, 0x14]
+        assert [f.can_id for f in rx.recent_frames(99)] == [0x12, 0x13, 0x14]
+        assert rx.recent_frames(0) == []
+
+    def test_set_inbox_limit_roundtrip(self):
+        node = CANNode("n")
+        assert node.inbox_limit is None
+        node.set_inbox_limit(2)
+        assert node.inbox_limit == 2
+        node.set_inbox_limit(None)
+        assert isinstance(node.inbox, list)
+        with pytest.raises(ValueError):
+            node.set_inbox_limit(0)
+
+    def test_clear_inbox_clears_id_log(self):
+        bus, nodes = build_bus(TraceLevel.FULL, "tx", "rx")
+        nodes["rx"].controller.rx_filters.set_default_accept()
+        nodes["tx"].send(CANFrame(can_id=0x10))
+        bus.run_until_idle()
+        nodes["rx"].clear_inbox()
+        assert nodes["rx"].received_ids() == []
+
+
+class TestSchedulerSlimming:
+    def test_event_has_no_cancelled_field(self):
+        assert "cancelled" not in Event.__dataclass_fields__
+
+    def test_schedule_fast_interleaves_deterministically_with_schedule(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(0.1, lambda: order.append("handle"))
+        scheduler.schedule_fast(0.1, lambda: order.append("fast"))
+        scheduler.schedule_at_fast(0.1, lambda: order.append("at-fast"))
+        scheduler.run()
+        assert order == ["handle", "fast", "at-fast"]
+
+    def test_handle_event_view(self):
+        scheduler = EventScheduler()
+        handle = scheduler.schedule(0.25, lambda: None, label="view")
+        event = handle.event
+        assert isinstance(event, Event)
+        assert event.time == pytest.approx(0.25)
+        assert event.label == "view"
+
+    def test_cancelled_fast_path_set_is_cleaned_up(self):
+        scheduler = EventScheduler()
+        fired = []
+        handle = scheduler.schedule(0.1, lambda: fired.append(1))
+        handle.cancel()
+        handle.cancel()  # idempotent
+        scheduler.schedule(0.2, lambda: fired.append(2))
+        scheduler.run()
+        assert fired == [2]
+        assert scheduler._cancelled == set()
+
+    def test_periodic_single_task_object_reschedules(self):
+        scheduler = EventScheduler()
+        ticks = []
+        scheduler.schedule_periodic(0.1, lambda: ticks.append(round(scheduler.now, 6)), count=4)
+        scheduler.run()
+        assert ticks == [0.1, 0.2, pytest.approx(0.3), pytest.approx(0.4)]
+
+    def test_periodic_negative_start_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule_periodic(0.1, lambda: None, start_delay=-1.0)
+
+    def test_cancel_after_fire_does_not_poison_cancellation_set(self):
+        scheduler = EventScheduler()
+        handles = [scheduler.schedule(0.1 * (i + 1), lambda: None) for i in range(5)]
+        scheduler.run(until=0.35)  # fires the first three
+        for handle in handles:
+            handle.cancel()  # defensive teardown: some already fired
+        assert scheduler._cancelled == {h._sequence for h in handles[3:]}
+        scheduler.run()
+        assert scheduler._cancelled == set()
+        assert scheduler.processed_events == 3
+
+    def test_stale_cancellations_cleared_when_queue_drains(self):
+        scheduler = EventScheduler()
+        fired = []
+        handle = None
+
+        def first():
+            fired.append("first")
+            handle.cancel()  # cancels itself mid-batch: already fired
+
+        handle = scheduler.schedule(0.1, first)
+        scheduler.schedule(0.1, lambda: fired.append("second"))
+        scheduler.run()
+        assert fired == ["first", "second"]
+        assert scheduler._cancelled == set()
