@@ -27,7 +27,7 @@ def _run_fleet(workers: int):
     return runner.run_many(FLEET_SCENARIOS, VEHICLES_PER_SCENARIO, seed=FLEET_SEED)
 
 
-def test_bench_fleet_scale(benchmark):
+def test_bench_fleet_scale(benchmark, bench_json):
     """>=500 vehicles through >=3 scenarios; reports frames/sec and block rate."""
     results = benchmark.pedantic(_run_fleet, args=(4,), rounds=1, iterations=1)
 
@@ -37,6 +37,18 @@ def test_bench_fleet_scale(benchmark):
     for row in fleet_comparison_rows(results):
         print(" | ".join(str(cell) for cell in row))
     print("\nfleet totals:", totals)
+
+    bench_json.record(
+        "fleet_scale",
+        {
+            "vehicles_per_scenario": VEHICLES_PER_SCENARIO,
+            "seed": FLEET_SEED,
+            "workers": 4,
+            "totals": totals,
+            "per_scenario": {name: result.summary() for name, result in results.items()},
+            "fingerprints": {name: result.fingerprint() for name, result in results.items()},
+        },
+    )
 
     assert len(results) >= 3
     assert totals["vehicles"] >= 500

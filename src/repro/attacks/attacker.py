@@ -37,6 +37,8 @@ class MaliciousNode:
         # The attacker's own node performs no filtering in either direction.
         self.node.controller.rx_filters.set_default_accept()
         self.node.controller.tx_filters.set_default_accept()
+        self.node.controller.rx_filters.compile_mask()
+        self.node.controller.tx_filters.compile_mask()
         car.bus.attach(self.node)
         self.frames_injected = 0
 

@@ -22,9 +22,16 @@ import heapq
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable
 
-from repro.can.frame import CANFrame
+from repro.can.frame import MAX_STANDARD_ID, CANFrame, FrameKind
 from repro.can.scheduler import EventScheduler
 from repro.can.trace import DEFAULT_RING_SIZE, BusTrace, TraceEventKind, TraceLevel
+
+#: Event-kind value strings for the fused delivery loop (string keys hash
+#: through cached C-level hashes; enum hashing is a Python-level call).
+_TRANSMITTED_V = TraceEventKind.TRANSMITTED.value
+_DELIVERED_V = TraceEventKind.DELIVERED.value
+_BLOCKED_READ_POLICY_V = TraceEventKind.BLOCKED_READ_POLICY.value
+_BLOCKED_READ_FILTER_V = TraceEventKind.BLOCKED_READ_FILTER.value
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.can.node import CANNode
@@ -90,6 +97,10 @@ class CANBus:
         self._submission_sequence = 0
         self._busy = False
         self._in_flight: tuple[int, int, CANFrame, str] | None = None
+        #: Transmission-time memo for standard DATA frames, keyed by
+        #: payload length (the only property their duration depends
+        #: on); other frame kinds compute their duration directly.
+        self._tx_time_cache: dict[int, float] = {}
 
     # -- topology ------------------------------------------------------------------
 
@@ -151,11 +162,27 @@ class CANBus:
         self._busy = True
         winner = heapq.heappop(self._pending)
         self._in_flight = winner
-        duration = winner[2].transmission_time(self.bitrate_bps)
+        frame = winner[2]
+        # Duration depends only on (kind, extended, dlc); the common
+        # standard data frame is memoised by payload length alone.
+        if frame.kind is FrameKind.DATA and not frame.extended:
+            time_key = len(frame.data)
+            duration = self._tx_time_cache.get(time_key)
+            if duration is None:
+                duration = self._tx_time_cache[time_key] = frame.transmission_time(
+                    self.bitrate_bps
+                )
+        else:
+            duration = frame.transmission_time(self.bitrate_bps)
         self.statistics.busy_time += duration
         # Only one frame occupies the wire at a time, so the winner rides
         # on the bus itself rather than in a per-transmission closure.
-        self.scheduler.schedule_fast(duration, self._complete_transmission)
+        # (Inline of EventScheduler.schedule_fast.)
+        scheduler = self.scheduler
+        heapq.heappush(
+            scheduler._queue,
+            (scheduler._now + duration, next(scheduler._sequence), self._complete_transmission),
+        )
 
     def _complete_transmission(self) -> None:
         pending = self._in_flight
@@ -164,20 +191,140 @@ class CANBus:
             self._busy = False
             return
         frame, sender = pending[2], pending[3]
-        self.statistics.frames_transmitted += 1
-        self.trace.record(
-            self.scheduler.now, TraceEventKind.TRANSMITTED, frame, node=sender
-        )
+        statistics = self.statistics
+        statistics.frames_transmitted += 1
+        trace = self.trace
+        counting = trace._records is None
+        can_id = frame.can_id
+        # Local aliases for the trace's counter structures: the
+        # TRANSMITTED event and the fused delivery loop below update
+        # them directly (same arithmetic as BusTrace.count_only) so no
+        # per-event call is made at all.
+        kind_counts = trace._kind_counts
+        node_counts = trace._node_counts
+        id_counts = trace._id_counts.get(can_id)
+        if id_counts is None:
+            id_counts = trace._id_counts[can_id] = {}
+        if counting:
+            trace._total += 1
+            kind_counts[_TRANSMITTED_V] = kind_counts.get(_TRANSMITTED_V, 0) + 1
+            per_node = node_counts.get(sender)
+            if per_node is None:
+                per_node = node_counts[sender] = {}
+            per_node[_TRANSMITTED_V] = per_node.get(_TRANSMITTED_V, 0) + 1
+            id_counts[_TRANSMITTED_V] = id_counts.get(_TRANSMITTED_V, 0) + 1
+        else:
+            trace.record(
+                self.scheduler.now, TraceEventKind.TRANSMITTED, frame, node=sender
+            )
         sender_node = self._nodes.get(sender)
         if sender_node is not None:
             sender_node.controller.record_tx_success()
+
+        # Broadcast to every other node.  When a receiver's policy
+        # engine holds a compiled decision table (see
+        # :mod:`repro.core.compiled`) and the trace is counters-only,
+        # the whole receive path -- transceiver, permit probe, software
+        # acceptance filter, per-node/per-id trace counters -- runs
+        # fused in this loop: the enforcement decision is one bitmask
+        # probe and no per-delivery call chain is built.  Counter
+        # effects are bit-identical to the object path
+        # (:meth:`repro.can.node.CANNode.wire_receive`), which remains
+        # the authoritative fallback for everything else.
+        fuse = counting and can_id <= MAX_STANDARD_ID
+        byte_index = can_id >> 3
+        bit = 1 << (can_id & 7)
         for name, node in self._nodes.items():
-            if name == sender:
+            if node is sender_node:
                 continue
-            node.transceiver.receive(frame)
+            transceiver = node.transceiver
+            if not transceiver._enabled:
+                continue
+            transceiver.frames_received += 1
+            if not fuse:
+                node.wire_receive(frame)
+                continue
+            engine = node.policy_engine
+            blocked_reason = None
+            if engine is None:
+                permitted = True
+            else:
+                try:
+                    mask = engine._compiled_read_mask
+                except AttributeError:  # non-HPE policy hook (test stand-ins)
+                    mask = None
+                if mask is None:
+                    node.wire_receive(frame)
+                    continue
+                block = engine._read_block
+                block.decisions_made += 1
+                block.total_latency_s += block.latency_s
+                permitted = bool(mask[byte_index] & bit)
+                if permitted:
+                    block.grants += 1
+            if permitted:
+                controller = node.controller
+                rx_filters = controller.rx_filters
+                accept_mask = rx_filters._accept_mask
+                if rx_filters._compromised or (
+                    accept_mask[byte_index] & bit
+                    if accept_mask is not None
+                    else rx_filters.accepts_id(can_id)
+                ):
+                    controller.frames_accepted += 1
+                    if controller._rx_error_counter > 0:
+                        controller._rx_error_counter -= 1
+                    node.counters.received += 1
+                    node.inbox.append(frame)
+                    node._received_id_log.append(can_id)
+                    statistics.frames_delivered += 1
+                    value = _DELIVERED_V
+                    hook = node.hooks.on_receive
+                else:
+                    controller.frames_rejected += 1
+                    node.counters.receive_blocked_by_filter += 1
+                    trace._blocked += 1
+                    value = _BLOCKED_READ_FILTER_V
+                    hook = node.hooks.on_receive_blocked
+                    blocked_reason = "software-filter"
+            else:
+                block.blocks += 1
+                node.counters.receive_blocked_by_policy += 1
+                trace._blocked += 1
+                value = _BLOCKED_READ_POLICY_V
+                hook = node.hooks.on_receive_blocked
+                blocked_reason = "policy-engine"
+            trace._total += 1
+            kind_counts[value] = kind_counts.get(value, 0) + 1
+            per_node = node_counts.get(name)
+            if per_node is None:
+                per_node = node_counts[name] = {}
+            per_node[value] = per_node.get(value, 0) + 1
+            id_counts[value] = id_counts.get(value, 0) + 1
+            if hook is not None:
+                if blocked_reason is None:
+                    hook(frame)
+                else:
+                    hook(frame, blocked_reason)
         self._busy = False
         if self._pending:
             self._start_next_transmission()
+
+    def reset(self) -> None:
+        """Restore the bus data path to its just-built state.
+
+        Attached nodes stay attached (the caller detaches any rogue
+        nodes first); statistics, the trace, the arbitration heap and
+        the submission sequence all restart from zero.  The scheduler is
+        deliberately not touched -- it may be externally owned; callers
+        reset it separately.
+        """
+        self.trace.clear()
+        self.statistics = BusStatistics()
+        self._pending.clear()
+        self._submission_sequence = 0
+        self._busy = False
+        self._in_flight = None
 
     def record_delivery(self, frame: CANFrame, node: str) -> None:
         """Record that *frame* reached the application on *node*."""

@@ -118,6 +118,20 @@ class CANController:
         self._tx_error_counter = 0
         self._rx_error_counter = 0
 
+    def reset_for_reuse(self) -> None:
+        """Restore the controller to its just-built observable state.
+
+        Error counters, frame counters and the compromise flag all
+        clear; the configured filter banks themselves are kept (they
+        are set up once from the message catalogue and never mutated at
+        run time -- a firmware compromise only *bypasses* them).
+        """
+        self.reset()
+        self.frames_accepted = 0
+        self.frames_rejected = 0
+        self.frames_transmitted = 0
+        self.restore()
+
     # -- data path -------------------------------------------------------------------
 
     def check_transmit(self, frame: CANFrame) -> bool:

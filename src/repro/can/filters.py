@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
-from repro.can.frame import MAX_EXTENDED_ID, CANFrame
+from repro.can.frame import MAX_EXTENDED_ID, MAX_STANDARD_ID, CANFrame
 
 
 @dataclass(frozen=True)
@@ -80,6 +80,10 @@ class FilterBank:
         self._by_mask: dict[int, set[int]] = {}
         self._default_accept = default_accept
         self._compromised = False
+        #: Compiled acceptance bitset over the standard id space (see
+        #: :meth:`compile_mask`); ``None`` until compiled, dropped again
+        #: on any configuration change.
+        self._accept_mask: bytes | None = None
         for acceptance_filter in filters:
             self.add(acceptance_filter)
 
@@ -96,6 +100,7 @@ class FilterBank:
         self._filters.append(acceptance_filter)
         mask = acceptance_filter.mask
         self._by_mask.setdefault(mask, set()).add(acceptance_filter.value & mask)
+        self._accept_mask = None
 
     def add_exact(self, can_id: int, extended: bool = False) -> None:
         """Add an exact-match filter for one identifier."""
@@ -105,14 +110,54 @@ class FilterBank:
         """Remove all filters."""
         self._filters.clear()
         self._by_mask.clear()
+        self._accept_mask = None
 
     def set_default_reject(self) -> None:
         """Reject frames when no filter matches (instead of accepting)."""
         self._default_accept = False
+        self._accept_mask = None
 
     def set_default_accept(self) -> None:
         """Accept frames when no filter matches."""
         self._default_accept = True
+        self._accept_mask = None
+
+    def compile_mask(self) -> bytes:
+        """Compile the bank's standard-id decisions into a 256-byte bitset.
+
+        The fused fleet delivery loop probes the compiled bitset instead
+        of scanning the match buckets.  Bit ``i`` is set iff
+        :meth:`accepts_id` would accept identifier ``i`` in the
+        *uncompromised* state -- a compromise bypasses the bank entirely
+        and is checked separately by callers.  The mask is cached until
+        the next configuration change; extended identifiers always take
+        the uncompiled path.
+        """
+        accept_mask = self._accept_mask
+        if accept_mask is None:
+            if not self._filters:
+                bits = bytearray(
+                    b"\xff" * ((MAX_STANDARD_ID + 1) // 8)
+                    if self._default_accept
+                    else (MAX_STANDARD_ID + 1) // 8
+                )
+            else:
+                bits = bytearray((MAX_STANDARD_ID + 1) // 8)
+                for mask, values in self._by_mask.items():
+                    standard_mask = mask & MAX_STANDARD_ID
+                    if standard_mask == MAX_STANDARD_ID:
+                        # Exact standard match: one bit per value.
+                        for value in values:
+                            if value <= MAX_STANDARD_ID:
+                                bits[value >> 3] |= 1 << (value & 7)
+                    else:
+                        # Partial mask: test each identifier against this
+                        # bucket (one-time cost, amortised by the cache).
+                        for can_id in range(MAX_STANDARD_ID + 1):
+                            if can_id & mask in values:
+                                bits[can_id >> 3] |= 1 << (can_id & 7)
+            accept_mask = self._accept_mask = bytes(bits)
+        return accept_mask
 
     # -- compromise model -------------------------------------------------------
 

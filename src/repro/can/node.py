@@ -16,11 +16,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Protocol, runtime_checkable
 
-from repro.can.controller import CANController
+from repro.can.controller import BUS_OFF_THRESHOLD, CANController
 from repro.can.errors import BusOffError, NodeDetachedError
-from repro.can.frame import CANFrame
+from repro.can.frame import MAX_STANDARD_ID, CANFrame
 from repro.can.trace import TraceEventKind
 from repro.can.transceiver import CANTransceiver
+
+#: Event-kind value string for the fused submit fast path.
+_SUBMITTED_V = TraceEventKind.SUBMITTED.value
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.can.bus import CANBus
@@ -160,6 +163,22 @@ class CANNode:
         else:
             self.inbox = deque(self.inbox, maxlen=limit)
 
+    # -- pool reuse ---------------------------------------------------------------------
+
+    def reset_for_reuse(self) -> None:
+        """Restore the node to its just-built observable state.
+
+        Counters, the inbox, the received-id log, the compromise flag
+        and the controller/transceiver run state all clear; wiring
+        (bus attachment, policy engine, hooks, inbox limit) is kept.
+        """
+        self.counters = NodeCounters()
+        self.inbox.clear()
+        del self._received_id_log[:]
+        self._firmware_compromised = False
+        self.controller.reset_for_reuse()
+        self.transceiver.reset_for_reuse()
+
     # -- firmware compromise model -----------------------------------------------------
 
     @property
@@ -190,26 +209,44 @@ class CANNode:
         the software transmit gate and the policy engine), ``False`` when
         it was blocked or dropped.  The full path is traced on the bus.
         """
-        if self._bus is None:
+        bus = self._bus
+        if bus is None:
             raise NodeDetachedError(f"node {self.name!r} is not attached to a bus")
         if frame.source != self.name:
             frame = frame.with_source(self.name)
-        self._bus.trace.record(
-            self._bus.scheduler.now, TraceEventKind.SUBMITTED, frame, node=self.name
-        )
+        trace = bus.trace
+        can_id = frame.can_id
+        name = self.name
+        if trace._records is None:
+            # Counters-only retention: no record object, no timestamp.
+            trace.count_only(_SUBMITTED_V, name, can_id)
+        else:
+            trace.record(bus.scheduler.now, TraceEventKind.SUBMITTED, frame, node=name)
 
-        # 1. Software transmit gate (firmware-level; bypassed when compromised).
-        try:
-            software_permits = self.controller.check_transmit(frame)
-        except BusOffError:
+        # 1. Software transmit gate (firmware-level; bypassed when
+        #    compromised).  The compiled acceptance bitset, when present,
+        #    answers standard-id checks with one probe; everything else
+        #    goes through the filter bank's bucket scan.
+        controller = self.controller
+        if controller._tx_error_counter >= BUS_OFF_THRESHOLD:
             self.counters.dropped_bus_off += 1
-            self._bus.record_block(
+            bus.record_block(
                 frame, self.name, TraceEventKind.DROPPED_BUS_OFF, "controller bus-off"
             )
             return False
+        tx_filters = controller.tx_filters
+        tx_mask = tx_filters._accept_mask
+        if tx_filters._compromised or (
+            tx_mask[can_id >> 3] >> (can_id & 7) & 1
+            if tx_mask is not None and can_id <= MAX_STANDARD_ID
+            else tx_filters.accepts_id(can_id)
+        ):
+            software_permits = True
+        else:
+            software_permits = False
         if not software_permits:
             self.counters.send_blocked_by_filter += 1
-            self._bus.record_block(
+            bus.record_block(
                 frame,
                 self.name,
                 TraceEventKind.BLOCKED_WRITE_FILTER,
@@ -222,7 +259,7 @@ class CANNode:
         # 2. Policy engine write filter (below firmware; survives compromise).
         if self.policy_engine is not None and not self.policy_engine.permit_write(frame):
             self.counters.send_blocked_by_policy += 1
-            self._bus.record_block(
+            bus.record_block(
                 frame,
                 self.name,
                 TraceEventKind.BLOCKED_WRITE_POLICY,
@@ -232,9 +269,13 @@ class CANNode:
                 self.hooks.on_send_blocked(frame, "policy-engine")
             return False
 
-        # 3. Onto the wire.
+        # 3. Onto the wire (transceiver inlined: one counter and the
+        #    bus submission; standby still drops the frame silently).
         self.counters.sent += 1
-        self.transceiver.transmit(frame)
+        transceiver = self.transceiver
+        if transceiver._enabled:
+            transceiver.frames_sent += 1
+            bus.submit(frame, self.name)
         return True
 
     # -- receive path ---------------------------------------------------------------------

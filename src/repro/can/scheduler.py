@@ -123,7 +123,12 @@ class _PeriodicTask:
             self.remaining -= 1
             if self.remaining <= 0:
                 return
-        self.scheduler.schedule_fast(self.period, self)
+        # Inline of EventScheduler.schedule_fast: one heappush per tick.
+        scheduler = self.scheduler
+        heapq.heappush(
+            scheduler._queue,
+            (scheduler._now + self.period, next(scheduler._sequence), self),
+        )
 
 
 class EventScheduler:
@@ -279,3 +284,18 @@ class EventScheduler:
         """Drop all pending events (the clock is not reset)."""
         self._queue.clear()
         self._cancelled.clear()
+
+    def reset(self) -> None:
+        """Restore a pristine scheduler: empty queue, zero clock.
+
+        The sequence counter restarts too, so events scheduled after a
+        reset carry the same ``(time, sequence)`` keys -- and therefore
+        the same tie-break ordering -- as on a freshly built scheduler.
+        This is what makes pooled-vehicle reuse bit-identical to a
+        fresh build.
+        """
+        self._queue.clear()
+        self._cancelled.clear()
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._processed = 0

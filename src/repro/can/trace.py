@@ -184,6 +184,33 @@ class BusTrace:
         self._records.append(entry)
         return entry
 
+    def count_only(self, value: str, node: str, can_id: int) -> None:
+        """Counter-only recording for the fused fleet data path.
+
+        Identical counter effects to :meth:`record` for the event-kind
+        *value* string, without the record-retention branch -- callers
+        must only use it at COUNTERS retention (``_records is None``),
+        where :meth:`record` would not retain a record either, so every
+        count-based query stays bit-identical.  The fused delivery loop
+        in :meth:`repro.can.bus.CANBus._complete_transmission` inlines
+        this same arithmetic (including the blocked tally for the kinds
+        in :data:`BLOCKED_KINDS`); any change here must be mirrored
+        there.
+        """
+        self._total += 1
+        kind_counts = self._kind_counts
+        kind_counts[value] = kind_counts.get(value, 0) + 1
+        node_counts = self._node_counts.get(node)
+        if node_counts is None:
+            node_counts = self._node_counts[node] = {}
+        node_counts[value] = node_counts.get(value, 0) + 1
+        id_counts = self._id_counts.get(can_id)
+        if id_counts is None:
+            id_counts = self._id_counts[can_id] = {}
+        id_counts[value] = id_counts.get(value, 0) + 1
+        if value in _BLOCKED_VALUES:
+            self._blocked += 1
+
     # -- collection protocol ---------------------------------------------------
 
     def __len__(self) -> int:

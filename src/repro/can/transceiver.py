@@ -56,6 +56,12 @@ class CANTransceiver:
         self._bus = None
         self._node = None
 
+    def reset_for_reuse(self) -> None:
+        """Restore just-built state: counters to zero, standby cleared."""
+        self._enabled = True
+        self.frames_sent = 0
+        self.frames_received = 0
+
     # -- power state ---------------------------------------------------------------
 
     @property

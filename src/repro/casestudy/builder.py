@@ -103,6 +103,71 @@ class CaseStudyBuilder:
         """A zero-argument car factory for :class:`repro.attacks.campaign.AttackCampaign`."""
         return lambda: self.build_car(config)
 
+    def pool(self) -> "CarPool":
+        """A vehicle pool bound to this builder (fleet-worker reuse)."""
+        return CarPool(self)
+
+
+class CarPool:
+    """Warm, reusable vehicles keyed by their build configuration.
+
+    The fleet hot path used to build a fresh nine-ECU object graph for
+    every simulated vehicle; the pool keeps one warm car per distinct
+    build configuration (enforcement config, trace level, inbox limit,
+    periodic traffic) and rewinds it with
+    :meth:`~repro.vehicle.car.ConnectedCar.reset` between vehicles.  A
+    reset car's timeline is bit-identical to a fresh build's, which the
+    pooled-determinism tests assert fleet-wide.
+
+    The pool is deliberately not thread-safe: fleet workers are
+    processes, and each worker owns one pool.
+    """
+
+    def __init__(self, builder: CaseStudyBuilder) -> None:
+        self.builder = builder
+        self._cars: dict[tuple, ConnectedCar] = {}
+        self.builds = 0
+        self.reuses = 0
+
+    def __len__(self) -> int:
+        return len(self._cars)
+
+    def acquire(
+        self,
+        config: EnforcementConfig | None = None,
+        start_periodic_traffic: bool = True,
+        trace_level: "TraceLevel | str" = TraceLevel.COUNTERS,
+        inbox_limit: int | None = None,
+    ) -> ConnectedCar:
+        """A pristine car for this configuration (built once, then reused).
+
+        The first acquisition per configuration builds the car; later
+        ones reset the warm instance.  The caller owns the car until
+        the next ``acquire`` with the same configuration -- the fleet
+        runner simulates one vehicle to completion per acquisition, so
+        no explicit release step exists.
+        """
+        trace_level = TraceLevel.coerce(trace_level)
+        key = (config, start_periodic_traffic, trace_level, inbox_limit)
+        car = self._cars.get(key)
+        if car is None:
+            car = self.builder.build_car(
+                config,
+                start_periodic_traffic=start_periodic_traffic,
+                trace_level=trace_level,
+                inbox_limit=inbox_limit,
+            )
+            self._cars[key] = car
+            self.builds += 1
+        else:
+            car.reset()
+            self.reuses += 1
+        return car
+
+    def clear(self) -> None:
+        """Drop every pooled car (e.g. between unrelated fleet runs)."""
+        self._cars.clear()
+
 
 def car_factory(
     config: EnforcementConfig | None = None, dread_threshold: float = 0.0

@@ -37,11 +37,21 @@ _CONFIGURATION_KEY = 0x5EC0DE
 
 @dataclass(frozen=True)
 class EnforcementConfig:
-    """Which enforcement mechanisms are fitted to the vehicle."""
+    """Which enforcement mechanisms are fitted to the vehicle.
+
+    ``compile_tables`` selects the HPE decision path: when ``True``
+    (the default) the coordinator lowers every pushed approved list
+    into a :class:`~repro.core.compiled.CompiledDecisionTable` so
+    permit checks are a single bitmask probe; when ``False`` engines
+    decide through the approved-list object path only.  Decisions are
+    bit-identical either way (the equivalence tests prove it); the flag
+    exists so benchmarks can measure the difference.
+    """
 
     use_hpe: bool = True
     use_selinux: bool = True
     selinux_mode: EnforcementMode = EnforcementMode.ENFORCING
+    compile_tables: bool = True
 
     @classmethod
     def none(cls) -> "EnforcementConfig":
@@ -103,6 +113,11 @@ class EnforcementCoordinator:
         self.policy_store: ModularPolicyStore | None = None
         self.sync_count = 0
         self.policy_pushes = 0
+        #: The policy the coordinator was fitted with; pool reuse
+        #: restores it after OTA updates replaced :attr:`policy`.
+        self._fitted_policy: SecurityPolicy | None = None
+        #: SELinux module versions as of ``fit`` (store-change detection).
+        self._fitted_modules: dict[str, int] = {}
 
     # -- fitting -----------------------------------------------------------------------
 
@@ -116,6 +131,7 @@ class EnforcementCoordinator:
         if self._evaluator is None:
             self._catalog = car.catalog
             self._evaluator = PolicyEvaluator(car.catalog)
+        self._fitted_policy = self.policy
         if self.config.use_hpe:
             self._fit_hardware_engines(car)
         if self.config.use_selinux:
@@ -162,6 +178,7 @@ class EnforcementCoordinator:
         infotainment.attach_enforcement_point(point)
         self.enforcement_point = point
         self.policy_store = store
+        self._fitted_modules = {m.name: m.version for m in store}
 
     def _default_module(self) -> PolicyModule:
         """A minimal application policy when the derivation produced none.
@@ -212,17 +229,64 @@ class EnforcementCoordinator:
             effective = self._evaluator.effective_for_all(
                 self.policy, situation, nodes=list(self.engines)
             )
+            compile_tables = self.config.compile_tables
             for node_name, engine in self.engines.items():
                 node_policy = effective[node_name]
                 updated = engine.update_policy(
-                    approved_reads=sorted(node_policy.read_ids),
-                    approved_writes=sorted(node_policy.write_ids),
+                    approved_reads=node_policy.sorted_read_ids,
+                    approved_writes=node_policy.sorted_write_ids,
                     key=_CONFIGURATION_KEY,
                     source=TamperSource.OEM_UPDATE_CHANNEL,
                 )
                 if updated:
                     self.policy_pushes += 1
+                    if compile_tables:
+                        # Lower the freshly pushed lists to the bitmask
+                        # fast path (shared via the evaluator's LRU).
+                        engine.install_compiled_table(
+                            self._evaluator.compile_for_node(
+                                node_name, self.policy, situation
+                            )
+                        )
         return situation
+
+    # -- pool reuse ------------------------------------------------------------------------
+
+    def reset_for_reuse(self, car: ConnectedCar) -> None:
+        """Restore the coordinator and its engines to the just-fitted state.
+
+        Called by :meth:`repro.vehicle.car.ConnectedCar.reset` after the
+        vehicle itself is pristine again.  The original fitted policy is
+        re-activated (undoing any OTA successors), counters and logs are
+        dropped, and one :meth:`sync` runs -- exactly what the tail of
+        :meth:`fit` did on first build, so a reused car's observable
+        enforcement state (push counters, tamper-log shape, approved
+        lists, compiled tables) matches a freshly built one bit for bit.
+        """
+        if self._fitted_policy is not None:
+            self.policy = self._fitted_policy
+        self.sync_count = 0
+        self.policy_pushes = 0
+        for engine in self.engines.values():
+            engine.reset_for_reuse()
+        if self.config.use_selinux and self.enforcement_point is not None:
+            store = self.policy_store
+            modules = {m.name: m.version for m in store} if store is not None else {}
+            if modules == getattr(self, "_fitted_modules", modules):
+                # Store untouched since fit: reuse it and just clear the
+                # point's run state (the AVC stays warm -- decisions are
+                # pure functions of the unchanged store).
+                point = self.enforcement_point
+                point.mode = self.config.selinux_mode
+                point.audit_log.clear()
+                point.checks_performed = 0
+                point.denials = 0
+                car.infotainment.attach_enforcement_point(point)
+            else:
+                # Run-time module installs happened: rebuild the store so
+                # the reused car matches a fresh fit.
+                self._fit_software_enforcement(car)
+        self.sync(car)
 
     # -- policy updates --------------------------------------------------------------------
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.core.compiled import CompiledDecisionTable
 from repro.core.policy import AccessRule, CarSituation, RuleEffect, SecurityPolicy
 from repro.vehicle.messages import MessageCatalog
 
@@ -46,6 +47,29 @@ class EffectiveNodePolicy:
     def may_write(self, can_id: int) -> bool:
         """Whether the node may emit frames with this identifier."""
         return can_id in self.write_ids
+
+    @property
+    def sorted_read_ids(self) -> tuple[int, ...]:
+        """The read identifiers in ascending order (memoised).
+
+        The enforcement coordinator pushes sorted lists on every sync;
+        effective policies are cached and shared fleet-wide, so the sort
+        runs once per cache entry instead of once per push.
+        """
+        cached = self.__dict__.get("_sorted_read_ids")
+        if cached is None:
+            cached = tuple(sorted(self.read_ids))
+            object.__setattr__(self, "_sorted_read_ids", cached)
+        return cached
+
+    @property
+    def sorted_write_ids(self) -> tuple[int, ...]:
+        """The write identifiers in ascending order (memoised)."""
+        cached = self.__dict__.get("_sorted_write_ids")
+        if cached is None:
+            cached = tuple(sorted(self.write_ids))
+            object.__setattr__(self, "_sorted_write_ids", cached)
+        return cached
 
 
 class PolicyEvaluator:
@@ -84,18 +108,24 @@ class PolicyEvaluator:
         self._max_cached_policies = max_cached_policies
         #: key: (policy id, policy version, rule count, node, situation)
         self._cache: OrderedDict[tuple, EffectiveNodePolicy] = OrderedDict()
+        #: Compiled decision tables, cached alongside the effective
+        #: policies under the same keys (and the same invalidation).
+        self._compiled: OrderedDict[tuple, CompiledDecisionTable] = OrderedDict()
         #: Policies with live cache entries, pinned strongly (LRU) so a
         #: cached policy's id() cannot be reused by a new object.
         self._policy_pins: OrderedDict[int, SecurityPolicy] = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_flushes = 0
+        self.compile_hits = 0
+        self.compile_misses = 0
 
     # -- decision cache ----------------------------------------------------------------
 
     def invalidate(self) -> None:
-        """Drop every cached effective policy (all policies)."""
+        """Drop every cached effective policy and compiled table (all policies)."""
         self._cache.clear()
+        self._compiled.clear()
         self._policy_pins.clear()
         self.cache_flushes += 1
 
@@ -115,6 +145,8 @@ class PolicyEvaluator:
     def _drop_policy_entries(self, policy_id: int) -> None:
         for key in [k for k in self._cache if k[0] == policy_id]:
             del self._cache[key]
+        for key in [k for k in self._compiled if k[0] == policy_id]:
+            del self._compiled[key]
 
     def _policy_key(self, policy: SecurityPolicy) -> tuple[int, int, int]:
         """Pin *policy* and return its cache-key prefix.
@@ -151,6 +183,41 @@ class PolicyEvaluator:
         if len(self._cache) > self._cache_capacity:
             self._cache.popitem(last=False)
         return effective
+
+    def compile_for_node(
+        self, node: str, policy: SecurityPolicy, situation: CarSituation
+    ) -> CompiledDecisionTable:
+        """Lower the evaluated ``(policy, node, situation)`` decision to a table.
+
+        The table is the flat-bitmask form of
+        :meth:`effective_for_node`'s result (see
+        :mod:`repro.core.compiled`), cached in its own LRU under the
+        same key and invalidation rules as the effective-policy cache,
+        so every car in a worker shares one table per decision.
+        """
+        key = self._policy_key(policy) + (node, situation)
+        cached = self._compiled.get(key)
+        if cached is not None:
+            self.compile_hits += 1
+            self._compiled.move_to_end(key)
+            return cached
+        self.compile_misses += 1
+        table = CompiledDecisionTable.from_effective(
+            self.effective_for_node(node, policy, situation)
+        )
+        self._compiled[key] = table
+        if len(self._compiled) > self._cache_capacity:
+            self._compiled.popitem(last=False)
+        return table
+
+    def compile_for_all(
+        self, policy: SecurityPolicy, situation: CarSituation, nodes: list[str] | None = None
+    ) -> dict[str, CompiledDecisionTable]:
+        """Compiled decision tables for every node in the catalogue (or *nodes*)."""
+        node_names = nodes if nodes is not None else self.catalog.nodes()
+        return {
+            node: self.compile_for_node(node, policy, situation) for node in node_names
+        }
 
     def _compute_for_node(
         self, node: str, policy: SecurityPolicy, situation: CarSituation

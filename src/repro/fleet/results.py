@@ -37,7 +37,12 @@ class VehicleOutcome:
     attacks_mitigated: int
     mean_decision_latency_s: float
     healthy: bool
+    #: Wall-clock spent *simulating* this vehicle's timeline only --
+    #: building (or pool-acquiring) the car is accounted separately in
+    #: :attr:`build_seconds`, so throughput metrics report pure
+    #: simulation time.  Neither field is part of the fingerprint.
     wall_seconds: float = 0.0
+    build_seconds: float = 0.0
 
     def deterministic_tuple(self) -> tuple:
         """Every field that must be identical across worker counts."""
@@ -81,6 +86,11 @@ class FleetResult:
     attacks_mitigated: int = 0
     unhealthy_vehicles: int = 0
     simulated_vehicle_seconds: float = 0.0
+    #: Summed per-vehicle wall-clock split: pure simulation time versus
+    #: car construction/pool-acquisition time (see
+    #: :attr:`VehicleOutcome.build_seconds`).
+    simulation_wall_seconds: float = 0.0
+    build_wall_seconds: float = 0.0
     #: Percentiles *across vehicles* of each vehicle's mean enforcement
     #: decision latency -- they locate slow vehicles in the fleet, not
     #: the per-decision tail (individual decision samples are not
@@ -123,6 +133,24 @@ class FleetResult:
             return 0.0
         return self.vehicles / self.wall_seconds
 
+    @property
+    def sim_vehicles_per_second(self) -> float:
+        """Vehicles per second of *pure simulation* wall-clock.
+
+        Excludes car construction / pool acquisition (the
+        ``build_wall_seconds`` share), so it isolates the data-path cost
+        from the vehicle-lifecycle cost.
+        """
+        if self.simulation_wall_seconds <= 0.0:
+            return 0.0
+        return self.vehicles / self.simulation_wall_seconds
+
+    @property
+    def build_fraction(self) -> float:
+        """Share of per-vehicle wall-clock spent building cars (0.0 when unknown)."""
+        total = self.simulation_wall_seconds + self.build_wall_seconds
+        return self.build_wall_seconds / total if total > 0 else 0.0
+
     def fingerprint(self) -> str:
         """SHA-256 over every deterministic per-vehicle outcome.
 
@@ -147,6 +175,8 @@ class FleetResult:
             "unhealthy_vehicles": self.unhealthy_vehicles,
             "frames_per_second": round(self.frames_per_second, 1),
             "vehicles_per_second": round(self.vehicles_per_second, 2),
+            "sim_vehicles_per_second": round(self.sim_vehicles_per_second, 2),
+            "build_fraction": round(self.build_fraction, 4),
             "fingerprint": self._fingerprint[:16],
         }
 
@@ -197,6 +227,8 @@ class FleetAggregator:
             result.attacks_attempted += outcome.attacks_attempted
             result.attacks_mitigated += outcome.attacks_mitigated
             result.simulated_vehicle_seconds += outcome.simulated_seconds
+            result.simulation_wall_seconds += outcome.wall_seconds
+            result.build_wall_seconds += outcome.build_seconds
             if not outcome.healthy:
                 result.unhealthy_vehicles += 1
             result.enforcement_mix[outcome.enforcement] = (

@@ -19,6 +19,7 @@ from __future__ import annotations
 import multiprocessing
 import sys
 import time
+from dataclasses import replace
 from functools import partial
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -28,7 +29,7 @@ from repro.attacks.fuzzing import FuzzingAttack
 from repro.attacks.replay import ReplayAttack
 from repro.attacks.scenarios import scenario_by_threat_id
 from repro.can.trace import TraceLevel
-from repro.casestudy.builder import CaseStudyBuilder
+from repro.casestudy.builder import CarPool, CaseStudyBuilder
 from repro.core.enforcement import EnforcementConfig
 from repro.core.updates import PolicyUpdateBundle, PolicyUpdateClient
 from repro.fleet.kernel import FleetKernel
@@ -56,14 +57,22 @@ _OTA_SIGNING_KEY = b"fleet-ota-rollout-key"
 DEFAULT_FLEET_INBOX_LIMIT = 512
 
 
-def config_for_label(label: str) -> EnforcementConfig | None:
-    """Resolve an enforcement label from a vehicle spec."""
+def config_for_label(label: str, compile_tables: bool = True) -> EnforcementConfig | None:
+    """Resolve an enforcement label from a vehicle spec.
+
+    ``compile_tables=False`` selects the approved-list object decision
+    path instead of the compiled bitmask fast path (benchmark use;
+    decisions are bit-identical either way).
+    """
     try:
-        return CONFIG_BY_LABEL[label]
+        config = CONFIG_BY_LABEL[label]
     except KeyError:
         raise KeyError(
             f"unknown enforcement label {label!r}; known: {sorted(CONFIG_BY_LABEL)}"
         ) from None
+    if config is not None and config.compile_tables != compile_tables:
+        config = replace(config, compile_tables=compile_tables)
+    return config
 
 
 class _AttackTally:
@@ -219,26 +228,46 @@ def simulate_vehicle(
     builder: CaseStudyBuilder | None = None,
     trace_level: TraceLevel | str = TraceLevel.COUNTERS,
     inbox_limit: int | None = DEFAULT_FLEET_INBOX_LIMIT,
+    pool: CarPool | None = None,
+    compile_tables: bool = True,
 ) -> VehicleOutcome:
     """Simulate one vehicle's full timeline and report its outcome.
 
     The outcome's deterministic fields depend only on *spec*: the car is
-    built fresh, the kernel replays the scripted actions at their
-    scripted times, and all randomness comes from streams seeded by
-    ``spec.seed``.  ``trace_level`` selects the bus-trace retention --
-    every count that feeds the outcome comes from the trace's always-on
-    O(1) counters, so outcomes are bit-identical across ``FULL``,
-    ``RING`` and ``COUNTERS``.
+    built fresh (or acquired pristine from *pool* -- a reset car's
+    timeline is bit-identical to a fresh build's), the kernel replays
+    the scripted actions at their scripted times, and all randomness
+    comes from streams seeded by ``spec.seed``.  ``trace_level``
+    selects the bus-trace retention -- every count that feeds the
+    outcome comes from the trace's always-on O(1) counters, so outcomes
+    are bit-identical across ``FULL``, ``RING`` and ``COUNTERS``.
+    ``compile_tables`` selects the HPE decision path (bitmask fast path
+    versus approved-list objects); decisions are identical either way.
+
+    The outcome splits wall-clock into ``build_seconds`` (car
+    construction or pool acquisition) and ``wall_seconds`` (pure
+    simulation), so throughput metrics are not polluted by setup cost.
     """
+    build_start = time.perf_counter()
+    config = config_for_label(spec.enforcement, compile_tables=compile_tables)
+    if pool is not None:
+        car = pool.acquire(
+            config,
+            start_periodic_traffic=True,
+            trace_level=trace_level,
+            inbox_limit=inbox_limit,
+        )
+    else:
+        if builder is None:
+            builder = _process_builder()
+        car = builder.build_car(
+            config,
+            start_periodic_traffic=True,
+            trace_level=trace_level,
+            inbox_limit=inbox_limit,
+        )
     wall_start = time.perf_counter()
-    if builder is None:
-        builder = _process_builder()
-    car = builder.build_car(
-        config_for_label(spec.enforcement),
-        start_periodic_traffic=True,
-        trace_level=trace_level,
-        inbox_limit=inbox_limit,
-    )
+    build_seconds = wall_start - build_start
     kernel = FleetKernel(spec.seed)
     tally = _AttackTally()
     for action in spec.actions:
@@ -280,6 +309,7 @@ def simulate_vehicle(
         mean_decision_latency_s=(hpe_latency / hpe_decisions if hpe_decisions else 0.0),
         healthy=all(car.health().values()),
         wall_seconds=time.perf_counter() - wall_start,
+        build_seconds=build_seconds,
     )
 
 
@@ -291,12 +321,24 @@ def simulate_vehicle(
 #: not once per vehicle (the fleet hot path the decision cache also serves).
 _PROCESS_BUILDER: CaseStudyBuilder | None = None
 
+#: Per-process vehicle pool: one warm car per enforcement configuration,
+#: reset between vehicles instead of rebuilt (see
+#: :class:`repro.casestudy.builder.CarPool`).
+_PROCESS_POOL: CarPool | None = None
+
 
 def _process_builder() -> CaseStudyBuilder:
     global _PROCESS_BUILDER
     if _PROCESS_BUILDER is None:
         _PROCESS_BUILDER = CaseStudyBuilder()
     return _PROCESS_BUILDER
+
+
+def _process_pool() -> CarPool:
+    global _PROCESS_POOL
+    if _PROCESS_POOL is None:
+        _PROCESS_POOL = _process_builder().pool()
+    return _PROCESS_POOL
 
 
 def _init_worker(extra_paths: list[str]) -> None:
@@ -311,10 +353,20 @@ def _simulate_chunk(
     specs: Sequence[VehicleSpec],
     trace_level: str = TraceLevel.COUNTERS.value,
     inbox_limit: int | None = DEFAULT_FLEET_INBOX_LIMIT,
+    reuse_cars: bool = True,
+    compile_tables: bool = True,
 ) -> list[VehicleOutcome]:
     builder = _process_builder()
+    pool = _process_pool() if reuse_cars else None
     return [
-        simulate_vehicle(spec, builder, trace_level=trace_level, inbox_limit=inbox_limit)
+        simulate_vehicle(
+            spec,
+            builder,
+            trace_level=trace_level,
+            inbox_limit=inbox_limit,
+            pool=pool,
+            compile_tables=compile_tables,
+        )
         for spec in specs
     ]
 
@@ -342,6 +394,17 @@ class FleetRunner:
     inbox_limit:
         Per-node inbox retention for every simulated vehicle (``None``
         keeps every received frame, pre-fleet behaviour).
+    reuse_cars:
+        When ``True`` (the default) each worker keeps one warm car per
+        enforcement configuration in a :class:`~repro.casestudy.builder.CarPool`
+        and resets it between vehicles instead of rebuilding the
+        nine-ECU object graph.  Fingerprints are bit-identical either
+        way; ``False`` restores the rebuild-per-vehicle path (benchmark
+        baseline).
+    compile_tables:
+        When ``True`` (the default) HPE permit checks use compiled
+        bitmask tables; ``False`` keeps the approved-list object path.
+        Decisions -- and therefore fingerprints -- are identical.
     """
 
     def __init__(
@@ -350,6 +413,8 @@ class FleetRunner:
         chunk_size: int | None = None,
         trace_level: TraceLevel | str = TraceLevel.COUNTERS,
         inbox_limit: int | None = DEFAULT_FLEET_INBOX_LIMIT,
+        reuse_cars: bool = True,
+        compile_tables: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -357,6 +422,8 @@ class FleetRunner:
         self.chunk_size = chunk_size
         self.trace_level = TraceLevel.coerce(trace_level)
         self.inbox_limit = inbox_limit
+        self.reuse_cars = reuse_cars
+        self.compile_tables = compile_tables
 
     # -- execution ------------------------------------------------------------
 
@@ -378,6 +445,7 @@ class FleetRunner:
         wall_start = time.perf_counter()
         aggregator = FleetAggregator(scenario_name)
         if self.workers == 1 or len(specs) <= 1:
+            pool = _process_pool() if self.reuse_cars else None
             for spec in specs:
                 aggregator.add(
                     simulate_vehicle(
@@ -385,6 +453,8 @@ class FleetRunner:
                         _process_builder(),
                         trace_level=self.trace_level,
                         inbox_limit=self.inbox_limit,
+                        pool=pool,
+                        compile_tables=self.compile_tables,
                     )
                 )
         else:
@@ -397,6 +467,8 @@ class FleetRunner:
                 _simulate_chunk,
                 trace_level=self.trace_level.value,
                 inbox_limit=self.inbox_limit,
+                reuse_cars=self.reuse_cars,
+                compile_tables=self.compile_tables,
             )
             with multiprocessing.get_context().Pool(
                 processes=self.workers,

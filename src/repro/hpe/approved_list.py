@@ -9,6 +9,7 @@ requires going through the privileged configuration port.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
@@ -56,10 +57,37 @@ class ApprovedIdList:
         self._ids: set[int] = set()
         self._ranges: list[IdRange] = []
         self._locked = False
+        #: Merged, sorted, non-overlapping (low, high) intervals plus the
+        #: parallel array of their starts for bisection; rebuilt lazily
+        #: after any mutation (see :meth:`_merged_ranges`).
+        self._merged: list[tuple[int, int]] | None = None
+        self._merged_starts: list[int] | None = None
+        #: Memoised frozen view of the explicit identifiers.
+        self._frozen_ids: frozenset[int] | None = None
         for can_id in ids:
             self.add(can_id)
         for id_range in ranges:
             self.add_range(id_range)
+
+    def _invalidate_views(self) -> None:
+        self._merged = None
+        self._merged_starts = None
+        self._frozen_ids = None
+
+    def _merged_ranges(self) -> tuple[list[tuple[int, int]], list[int]]:
+        """The approved ranges merged into sorted disjoint intervals."""
+        merged = self._merged
+        if merged is None:
+            merged = []
+            for id_range in sorted(self._ranges, key=lambda r: r.low):
+                if merged and id_range.low <= merged[-1][1] + 1:
+                    if id_range.high > merged[-1][1]:
+                        merged[-1] = (merged[-1][0], id_range.high)
+                else:
+                    merged.append((id_range.low, id_range.high))
+            self._merged = merged
+            self._merged_starts = [low for low, _ in merged]
+        return merged, self._merged_starts
 
     # -- state -------------------------------------------------------------------
 
@@ -90,6 +118,7 @@ class ApprovedIdList:
         if not 0 <= can_id <= MAX_EXTENDED_ID:
             raise ValueError(f"identifier 0x{can_id:X} out of range")
         self._ids.add(can_id)
+        self._frozen_ids = None
 
     def add_many(self, can_ids: Iterable[int]) -> None:
         """Approve several identifiers."""
@@ -100,6 +129,8 @@ class ApprovedIdList:
         """Approve a contiguous range of identifiers."""
         self._check_mutable()
         self._ranges.append(id_range)
+        self._merged = None
+        self._merged_starts = None
 
     def remove(self, can_id: int) -> None:
         """Revoke approval for a single identifier.
@@ -110,6 +141,7 @@ class ApprovedIdList:
         self._check_mutable()
         if can_id in self._ids:
             self._ids.discard(can_id)
+            self._frozen_ids = None
             return
         if any(can_id in r for r in self._ranges):
             raise ValueError(
@@ -127,27 +159,38 @@ class ApprovedIdList:
             new_ids.add(can_id)
         self._ids = new_ids
         self._ranges = list(ranges)
+        self._invalidate_views()
 
     def clear(self) -> None:
         """Remove all approvals (deny everything)."""
         self._check_mutable()
         self._ids.clear()
         self._ranges.clear()
+        self._invalidate_views()
 
     # -- queries ---------------------------------------------------------------------
 
     def approves(self, can_id: int) -> bool:
-        """Whether *can_id* is on the approved list."""
+        """Whether *can_id* is on the approved list.
+
+        Range membership bisects over the merged intervals' start
+        points: O(log r) in the number of disjoint ranges instead of a
+        linear scan, with identical answers (the merge is a pure union).
+        """
         if can_id in self._ids:
             return True
-        for id_range in self._ranges:
-            if id_range.low <= can_id <= id_range.high:
-                return True
-        return False
+        if not self._ranges:
+            return False
+        merged, starts = self._merged_ranges()
+        index = bisect_right(starts, can_id) - 1
+        return index >= 0 and can_id <= merged[index][1]
 
     def explicit_ids(self) -> frozenset[int]:
-        """The individually approved identifiers."""
-        return frozenset(self._ids)
+        """The individually approved identifiers (memoised frozen view)."""
+        frozen = self._frozen_ids
+        if frozen is None:
+            frozen = self._frozen_ids = frozenset(self._ids)
+        return frozen
 
     def ranges(self) -> tuple[IdRange, ...]:
         """The approved ranges."""

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
-from repro.can.frame import CANFrame
+from repro.can.frame import MAX_STANDARD_ID, CANFrame
+from repro.core.compiled import CompiledDecisionTable
 from repro.hpe.approved_list import ApprovedIdList, IdRange
 from repro.hpe.decision_block import DEFAULT_DECISION_LATENCY_S
 from repro.hpe.filters import ReadFilter, WriteFilter
@@ -58,18 +59,97 @@ class HardwarePolicyEngine:
         self.registers = RegisterFile(configuration_key=configuration_key)
         self.tamper_log = TamperLog()
         self._configuration_key = configuration_key
+        #: Compiled fast path (see :mod:`repro.core.compiled`): when a
+        #: table is installed, permit checks become one bitmask probe.
+        #: ``None`` means "no table": the object path is authoritative.
+        self._compiled: CompiledDecisionTable | None = None
+        self._compiled_read_mask: bytes | None = None
+        self._compiled_write_mask: bytes | None = None
+        self._compiled_read_over: frozenset[int] = frozenset()
+        self._compiled_write_over: frozenset[int] = frozenset()
         self._read_list.lock()
         self._write_list.lock()
 
     # -- PolicyHook interface ------------------------------------------------------
 
     def permit_read(self, frame: CANFrame) -> bool:
-        """Whether the node may consume *frame* (inbound direction)."""
-        return self._read_block.permits_id(frame.can_id)
+        """Whether the node may consume *frame* (inbound direction).
+
+        With a compiled table installed the decision is a single
+        integer bit-probe; counters and accumulated latency update
+        exactly as the object path would.  Without one, the approved
+        list remains the authoritative (and only) decision path.
+        """
+        mask = self._compiled_read_mask
+        if mask is None:
+            return self._read_block.permits_id(frame.can_id)
+        block = self._read_block
+        block.decisions_made += 1
+        block.total_latency_s += block.latency_s
+        can_id = frame.can_id
+        if (
+            mask[can_id >> 3] >> (can_id & 7) & 1
+            if can_id <= MAX_STANDARD_ID
+            else can_id in self._compiled_read_over
+        ):
+            block.grants += 1
+            return True
+        block.blocks += 1
+        return False
 
     def permit_write(self, frame: CANFrame) -> bool:
-        """Whether the node may emit *frame* (outbound direction)."""
-        return self._write_block.permits_id(frame.can_id)
+        """Whether the node may emit *frame* (outbound direction).
+
+        Compiled-table fast path as in :meth:`permit_read`.
+        """
+        mask = self._compiled_write_mask
+        if mask is None:
+            return self._write_block.permits_id(frame.can_id)
+        block = self._write_block
+        block.decisions_made += 1
+        block.total_latency_s += block.latency_s
+        can_id = frame.can_id
+        if (
+            mask[can_id >> 3] >> (can_id & 7) & 1
+            if can_id <= MAX_STANDARD_ID
+            else can_id in self._compiled_write_over
+        ):
+            block.grants += 1
+            return True
+        block.blocks += 1
+        return False
+
+    # -- compiled fast path --------------------------------------------------------
+
+    @property
+    def compiled_table(self) -> CompiledDecisionTable | None:
+        """The installed compiled decision table, if any."""
+        return self._compiled
+
+    def install_compiled_table(self, table: CompiledDecisionTable) -> None:
+        """Install the compiled form of the currently approved lists.
+
+        Only the enforcement coordinator (the OEM configuration channel)
+        calls this, immediately after a successful :meth:`update_policy`
+        with the table compiled from the same effective policy -- the
+        table is a lowered *cache* of the authoritative lists, never an
+        independent source of decisions.  Any later list change through
+        :meth:`update_policy` drops the table again, so a stale table
+        can never outlive the lists it was compiled from.
+        """
+        self._compiled = table
+        self._compiled_read_mask = table.read_mask
+        self._compiled_write_mask = table.write_mask
+        self._compiled_read_over = table.read_overflow
+        self._compiled_write_over = table.write_overflow
+
+    def clear_compiled_table(self) -> None:
+        """Drop the compiled table; decisions fall back to the object path."""
+        self._compiled = None
+        self._compiled_read_mask = None
+        self._compiled_write_mask = None
+        self._compiled_read_over = frozenset()
+        self._compiled_write_over = frozenset()
 
     # -- introspection ----------------------------------------------------------------
 
@@ -131,6 +211,9 @@ class HardwarePolicyEngine:
         finally:
             self._read_list.lock()
             self._write_list.lock()
+        # The lists changed: any installed compiled table is now stale.
+        # The installer (the coordinator) re-installs a fresh one.
+        self.clear_compiled_table()
         self.tamper_log.record(source, description, succeeded=True)
         return True
 
@@ -172,6 +255,21 @@ class HardwarePolicyEngine:
         """Reset both filters' decision counters."""
         self.read_filter.decision_block.reset_counters()
         self.write_filter.decision_block.reset_counters()
+
+    def reset_for_reuse(self) -> None:
+        """Restore the engine to its just-built observable state.
+
+        Pool reuse support: counters, the tamper log, the register
+        access log and any compiled table are dropped.  The approved
+        lists are left as-is -- the coordinator's post-reset ``sync``
+        replaces them through the configuration port exactly as the
+        first ``fit`` did, reproducing the same tamper-log entry and
+        push counters as a freshly built engine.
+        """
+        self.reset_counters()
+        self.tamper_log.clear()
+        self.registers.clear_access_log()
+        self.clear_compiled_table()
 
     def __str__(self) -> str:
         return (

@@ -121,6 +121,10 @@ class RegisterFile:
         """All recorded accesses, in order."""
         return list(self._accesses)
 
+    def clear_access_log(self) -> None:
+        """Drop every recorded access (vehicle-pool reuse)."""
+        self._accesses.clear()
+
     def denied_accesses(self) -> list[RegisterAccess]:
         """All rejected accesses (tamper attempts and honest mistakes)."""
         return [a for a in self._accesses if not a.granted]

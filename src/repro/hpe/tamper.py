@@ -62,6 +62,10 @@ class TamperLog:
         """All attempts, in order."""
         return list(self._attempts)
 
+    def clear(self) -> None:
+        """Drop every recorded attempt (vehicle-pool reuse)."""
+        self._attempts.clear()
+
     def rejected(self) -> list[TamperAttempt]:
         """Attempts that were rejected."""
         return [a for a in self._attempts if not a.succeeded]

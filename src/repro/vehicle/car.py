@@ -108,6 +108,7 @@ class ConnectedCar:
             if inbox_limit is not None:
                 ecu.node.set_inbox_limit(inbox_limit)
 
+        self._periodic_traffic = start_periodic_traffic
         if start_periodic_traffic:
             self.start_periodic_traffic()
 
@@ -153,6 +154,36 @@ class ConnectedCar:
     def run(self, duration: float) -> None:
         """Advance the simulation by *duration* seconds."""
         self.bus.run(duration)
+
+    def reset(self) -> None:
+        """Restore the car to its just-built state for pooled reuse.
+
+        Everything observable is rewound: the scheduler (clock, queue
+        and sequence numbering), the bus (trace, statistics,
+        arbitration), every ECU (counters, inboxes, application state,
+        firmware compromise), the mode manager, and -- through
+        :meth:`~repro.core.enforcement.EnforcementCoordinator.reset_for_reuse`
+        -- any fitted enforcement (engine counters, tamper logs,
+        approved lists, compiled tables, the active policy).  Rogue
+        nodes an attack attached are detached.  Periodic broadcasts are
+        re-scheduled when the car was built with them, in the same
+        order and with the same sequence numbers as at construction, so
+        a reset car's timeline is bit-identical to a fresh build's.
+        """
+        self.scheduler.reset()
+        core_nodes = {ecu.name for ecu in self.ecus()}
+        for name in list(self.bus.node_names()):
+            if name not in core_nodes:
+                self.bus.detach(name)
+        self.bus.reset()
+        self.modes.reset()
+        for ecu in self.ecus():
+            ecu.reset()
+        if self._periodic_traffic:
+            self.start_periodic_traffic()
+        coordinator = getattr(self, "enforcement_coordinator", None)
+        if coordinator is not None:
+            coordinator.reset_for_reuse(self)
 
     def sync_enforcement(self) -> None:
         """Ask any fitted enforcement coordinator to resynchronise.

@@ -32,6 +32,12 @@ class DoorLockController(VehicleECU):
         self.on_message("FAILSAFE_TRIGGER", self._handle_failsafe)
         self.on_message("ECU_STATUS", self._handle_ecu_status)
 
+    def reset_state(self) -> None:
+        self.locked = False
+        self.vehicle_in_motion = False
+        self.accident_in_progress = False
+        self.hazard_events = []
+
     # -- vehicle state inputs -------------------------------------------------------
 
     def set_motion(self, in_motion: bool) -> None:

@@ -11,6 +11,7 @@ log and pass-throughs for the firmware-compromise model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Callable
 
 from repro.can.frame import CANFrame
@@ -60,6 +61,11 @@ class VehicleECU:
         self._handlers: dict[int, list[Callable[[CANFrame], None]]] = {}
         self._operational = True
         self.events: list[EcuEvent] = []
+        #: Whether a subclass overrides :meth:`handle_frame`; when not,
+        #: the dispatch hot path skips the no-op virtual call entirely.
+        self._dispatches_handle_frame = (
+            type(self).handle_frame is not VehicleECU.handle_frame
+        )
         self._configure_default_filters()
 
     # -- configuration --------------------------------------------------------------
@@ -83,11 +89,34 @@ class VehicleECU:
             self.node.controller.tx_filters.set_default_reject()
             for can_id in tx_ids:
                 self.node.controller.tx_filters.add_exact(can_id)
+        # Pre-compile both banks' acceptance bitsets: catalogue filters
+        # never change after construction, and the fused fleet data path
+        # probes the compiled masks instead of scanning match buckets.
+        self.node.controller.rx_filters.compile_mask()
+        self.node.controller.tx_filters.compile_mask()
 
     def on_message(self, message_name: str, handler: Callable[[CANFrame], None]) -> None:
         """Register *handler* for the named catalogue message."""
         can_id = self.catalog.id_of(message_name)
         self._handlers.setdefault(can_id, []).append(handler)
+
+    # -- pool reuse -----------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore the ECU to its just-built observable state.
+
+        Clears the node's run state (counters, inbox, compromise), the
+        event log and the operational flag, then calls
+        :meth:`reset_state` for subclass-specific fields.  Registered
+        handlers, filters and any fitted policy engine are kept.
+        """
+        self.node.reset_for_reuse()
+        self._operational = True
+        self.events.clear()
+        self.reset_state()
+
+    def reset_state(self) -> None:
+        """Subclass hook: restore application fields to construction values."""
 
     # -- state ------------------------------------------------------------------------
 
@@ -153,9 +182,12 @@ class VehicleECU:
 
     def _dispatch(self, frame: CANFrame) -> None:
         """Dispatch a received frame to registered handlers."""
-        for handler in self._handlers.get(frame.can_id, ()):  # pragma: no branch
-            handler(frame)
-        self.handle_frame(frame)
+        handlers = self._handlers.get(frame.can_id)
+        if handlers is not None:
+            for handler in handlers:
+                handler(frame)
+        if self._dispatches_handle_frame:
+            self.handle_frame(frame)
 
     def handle_frame(self, frame: CANFrame) -> None:
         """Hook for subclasses: called for every frame that reaches the application."""
@@ -175,17 +207,22 @@ class VehicleECU:
         for message in self.catalog.produced_by(self.name):
             if message.period_ms is None:
                 continue
-            name = message.name
             scheduler.schedule_periodic(
                 message.period_ms / 1000.0,
-                lambda message_name=name: self._periodic_send(message_name),
-                label=f"{self.name}:{name}",
+                partial(self._periodic_send_message, message),
+                label=f"{self.name}:{message.name}",
             )
 
     def _periodic_send(self, message_name: str) -> None:
         if not self._operational:
             return
         self.send_message(message_name, self.periodic_payload(message_name))
+
+    def _periodic_send_message(self, message) -> None:
+        """Per-tick periodic broadcast with the message pre-resolved."""
+        if not self._operational:
+            return
+        self.node.send(message.frame(self.periodic_payload(message.name), self.name))
 
     def periodic_payload(self, message_name: str) -> bytes:
         """Payload for a periodic message (subclasses override for realism)."""

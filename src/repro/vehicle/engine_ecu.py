@@ -31,6 +31,11 @@ class EngineController(VehicleECU):
         self.on_message("FIRMWARE_UPDATE", self._handle_firmware_update)
         self.on_message("DIAG_REQUEST", self._handle_diag_request)
 
+    def reset_state(self) -> None:
+        self.rpm = 800
+        self.torque_demand = 0
+        self.modification_events = 0
+
     @property
     def running(self) -> bool:
         """Whether the engine is currently running."""

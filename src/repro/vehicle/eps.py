@@ -26,6 +26,9 @@ class PowerSteeringController(VehicleECU):
         self.on_message("ECU_COMMAND", self._handle_command)
         self.on_message("DIAG_REQUEST", self._handle_diag_request)
 
+    def reset_state(self) -> None:
+        self.assistance_level = 100
+
     @property
     def assisting(self) -> bool:
         """Whether steering assistance is currently provided."""

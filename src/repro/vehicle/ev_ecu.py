@@ -41,6 +41,10 @@ class ElectronicVehicleECU(VehicleECU):
         self.on_message("SENSOR_TRANSMISSION", self._handle_transmission)
         self.on_message("FIRMWARE_UPDATE", self._handle_firmware_update)
 
+    def reset_state(self) -> None:
+        self.sensor_state = {"accel": 0, "brake": 0, "transmission": 0}
+        self.firmware_updates_received = 0
+
     @property
     def propulsion_available(self) -> bool:
         """Whether the vehicle can currently be propelled."""

@@ -31,11 +31,18 @@ class CANGateway(VehicleECU):
         self.relay_allowed: set[str] = (
             set(relay_allowed) if relay_allowed is not None else {"DIAG_REQUEST"}
         )
+        self._initial_relay_allowed = frozenset(self.relay_allowed)
         self.relayed_frames = 0
         self.refused_relays = 0
         self.external_log: list[str] = []
         self.on_message("DIAG_RESPONSE", self._handle_diag_response)
         self.on_message("TRACKING_REPORT", self._handle_tracking_report)
+
+    def reset_state(self) -> None:
+        self.relay_allowed = set(self._initial_relay_allowed)
+        self.relayed_frames = 0
+        self.refused_relays = 0
+        self.external_log = []
 
     # -- inward relay ------------------------------------------------------------------
 

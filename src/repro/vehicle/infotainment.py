@@ -41,6 +41,15 @@ class InfotainmentSystem(VehicleECU):
         self.on_message("GPS_POSITION", self._handle_gps)
         self.on_message("ECU_STATUS", self._handle_ecu_status)
 
+    def reset_state(self) -> None:
+        self.displayed_status = {"speed": 0, "range": 0, "gear": 0}
+        self.displayed_gps = (0, 0)
+        self.installed_packages = []
+        self.blocked_installations = []
+        # The enforcement coordinator re-attaches its point after reset;
+        # an unprotected or hardware-only car stays without one.
+        self.enforcement_point = None
+
     # -- software enforcement wiring --------------------------------------------------
 
     def attach_enforcement_point(self, point: SoftwareEnforcementPoint) -> None:

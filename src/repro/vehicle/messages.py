@@ -86,6 +86,11 @@ class VehicleMessage:
         object.__setattr__(self, "producers", tuple(self.producers))
         object.__setattr__(self, "consumers", tuple(self.consumers))
         object.__setattr__(self, "allowed_modes", tuple(self.allowed_modes))
+        # Frames are immutable, so identical (data, source) requests can
+        # share one instance: periodic broadcasts cycle through a
+        # handful of payloads, and the cache spares an allocation plus
+        # identifier validation per tick (bounded; see :meth:`frame`).
+        object.__setattr__(self, "_frame_cache", {})
 
     def allowed_in_mode(self, mode: CarMode) -> bool:
         """Whether legitimate production of this message occurs in *mode*."""
@@ -100,8 +105,17 @@ class VehicleMessage:
         return node in self.consumers
 
     def frame(self, data: bytes = b"", source: str = "") -> CANFrame:
-        """Instantiate a CAN frame carrying this message."""
-        return CANFrame(can_id=self.can_id, data=data, source=source or self.producers[0])
+        """A CAN frame carrying this message (cached; frames are immutable)."""
+        key = (data, source)
+        cache = self._frame_cache
+        cached = cache.get(key)
+        if cached is None:
+            cached = CANFrame(
+                can_id=self.can_id, data=data, source=source or self.producers[0]
+            )
+            if len(cache) < 512:
+                cache[key] = cached
+        return cached
 
     def __str__(self) -> str:
         return f"0x{self.can_id:03X} {self.name}"

@@ -63,9 +63,20 @@ class ModeManager:
     """
 
     def __init__(self, initial: CarMode = CarMode.NORMAL) -> None:
+        self._initial = initial
         self._mode = initial
         self._listeners: list[Callable[[CarMode, CarMode], None]] = []
         self._history: list[CarMode] = [initial]
+
+    def reset(self) -> None:
+        """Restore the initial mode and history without notifying listeners.
+
+        Pool reuse support: listeners (e.g. the enforcement
+        coordinator's sync hook) stay registered, exactly as on a
+        freshly built car whose coordinator has been fitted.
+        """
+        self._mode = self._initial
+        self._history = [self._initial]
 
     @property
     def mode(self) -> CarMode:

@@ -40,6 +40,15 @@ class SafetyCriticalController(VehicleECU):
         self.on_message("ALARM_DISABLE", self._handle_alarm_disable)
         self.on_message("DOOR_STATUS", self._handle_door_status)
 
+    def reset_state(self) -> None:
+        self.alarm_armed = False
+        self.alarm_triggered = False
+        self.failsafe_active = False
+        self.airbags_deployed = False
+        self.last_brake = 0
+        self.last_proximity = 255
+        self.false_failsafe_events = 0
+
     # -- alarm -----------------------------------------------------------------------
 
     def arm_alarm(self) -> None:

@@ -36,7 +36,16 @@ class SensorCluster(VehicleECU):
         seed: int = 7,
     ) -> None:
         super().__init__(NODE_SENSORS, catalog, policy_engine)
+        self._seed = seed
         self._random = random.Random(seed)
+        self.accel_position = 0
+        self.brake_position = 0
+        self.transmission_gear = 1
+        self.proximity_cm = 250
+
+    def reset_state(self) -> None:
+        # Reseeding restores the exact jitter sequence of a fresh build.
+        self._random = random.Random(self._seed)
         self.accel_position = 0
         self.brake_position = 0
         self.transmission_gear = 1

@@ -32,6 +32,13 @@ class TelematicsUnit(VehicleECU):
         self.on_message("EMERGENCY_CALL", self._handle_emergency_call)
         self.on_message("FAILSAFE_TRIGGER", self._handle_failsafe)
 
+    def reset_state(self) -> None:
+        self.modem_enabled = True
+        self.tracking_enabled = True
+        self.emergency_calls_placed = 0
+        self.tracking_reports_sent = 0
+        self.privacy_exfiltration_events = 0
+
     # -- connectivity state ----------------------------------------------------------
 
     @property

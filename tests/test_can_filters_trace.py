@@ -136,3 +136,67 @@ class TestBusTrace:
         trace = self.make_trace()
         trace.clear()
         assert len(trace) == 0
+
+
+class TestCompiledAcceptMask:
+    """The compiled acceptance bitset answers exactly like accepts_id."""
+
+    def test_exact_filters_compile(self):
+        bank = FilterBank(default_accept=False)
+        for can_id in (0x10, 0x7FF, 0x0):
+            bank.add_exact(can_id)
+        mask = bank.compile_mask()
+        for can_id in range(MAX_STANDARD_ID + 1):
+            bit = bool(mask[can_id >> 3] >> (can_id & 7) & 1)
+            assert bit == bank.accepts_id(can_id), hex(can_id)
+
+    def test_partial_mask_filters_compile(self):
+        bank = FilterBank(default_accept=False)
+        bank.add(AcceptanceFilter(value=0x100, mask=0x700))
+        mask = bank.compile_mask()
+        for can_id in range(MAX_STANDARD_ID + 1):
+            bit = bool(mask[can_id >> 3] >> (can_id & 7) & 1)
+            assert bit == bank.accepts_id(can_id), hex(can_id)
+
+    def test_empty_bank_defaults(self):
+        assert set(FilterBank(default_accept=True).compile_mask()) == {0xFF}
+        assert set(FilterBank(default_accept=False).compile_mask()) == {0}
+
+    def test_mutation_invalidates(self):
+        bank = FilterBank(default_accept=False)
+        bank.add_exact(0x10)
+        first = bank.compile_mask()
+        bank.add_exact(0x20)
+        second = bank.compile_mask()
+        assert first is not second
+        assert second[0x20 >> 3] >> (0x20 & 7) & 1
+
+    def test_compromise_does_not_change_compiled_mask(self):
+        bank = FilterBank(default_accept=False)
+        bank.add_exact(0x10)
+        before = bank.compile_mask()
+        bank.compromise()
+        # The mask reflects the configured filters; the compromise
+        # bypass is checked separately by callers (as accepts_id does).
+        assert bank.compile_mask() == before
+        assert bank.accepts_id(0x555)
+
+    @given(
+        values=st.lists(
+            st.integers(min_value=0, max_value=MAX_STANDARD_ID), max_size=12
+        ),
+        default_accept=st.booleans(),
+        probes=st.lists(
+            st.integers(min_value=0, max_value=MAX_STANDARD_ID),
+            min_size=1,
+            max_size=40,
+        ),
+    )
+    def test_fuzzed_equivalence(self, values, default_accept, probes):
+        bank = FilterBank(default_accept=default_accept)
+        for value in values:
+            bank.add_exact(value)
+        mask = bank.compile_mask()
+        for can_id in probes:
+            bit = bool(mask[can_id >> 3] >> (can_id & 7) & 1)
+            assert bit == bank.accepts_id(can_id)
