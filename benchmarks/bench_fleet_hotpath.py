@@ -29,13 +29,13 @@ import os
 import time
 from contextlib import contextmanager
 
+from repro.api import ExperimentConfig, FleetSession
 from repro.can.bus import CANBus
 from repro.can.errors import BusOffError, NodeDetachedError
 from repro.can.frame import CANFrame
 from repro.can.node import CANNode
 from repro.can.scheduler import _PeriodicTask
 from repro.can.trace import TraceEventKind
-from repro.fleet.runner import FleetRunner
 from repro.vehicle.ecu import VehicleECU
 from repro.vehicle.messages import VehicleMessage
 
@@ -195,13 +195,22 @@ def legacy_pipeline():
 
 def _measure(scenario: str, vehicles: int, *, reuse_cars: bool, compile_tables: bool):
     """Single-worker vehicles/sec for one (pool, decision-path) mode."""
-    runner = FleetRunner(
-        workers=1, reuse_cars=reuse_cars, compile_tables=compile_tables
-    )
-    runner.run(scenario, WARMUP_VEHICLES, seed=1)
-    start = time.perf_counter()
-    result = runner.run(scenario, vehicles, seed=SEED)
-    elapsed = time.perf_counter() - start
+
+    def config(fleet_size: int, seed: int) -> ExperimentConfig:
+        return ExperimentConfig(
+            scenario=scenario,
+            vehicles=fleet_size,
+            seed=seed,
+            workers=1,
+            reuse_cars=reuse_cars,
+            compile_tables=compile_tables,
+        )
+
+    with FleetSession(config(WARMUP_VEHICLES, 1)) as session:
+        session.run()
+        start = time.perf_counter()
+        (_, result), = session.run_matrix([config(vehicles, SEED)])
+        elapsed = time.perf_counter() - start
     return result, vehicles / elapsed
 
 
@@ -270,16 +279,23 @@ def test_fleet_hotpath_determinism():
     vehicles = 48
     with legacy_pipeline():
         reference = (
-            FleetRunner(workers=1, reuse_cars=False, compile_tables=False)
-            .run(scenario, vehicles, seed=SEED)
+            FleetSession(
+                ExperimentConfig.faithful(scenario, vehicles, seed=SEED)
+            )
+            .run()
             .fingerprint()
         )
-    for trace_level in ("full", "ring", "counters"):
-        for workers in (1, 4):
-            result = FleetRunner(
-                workers=workers,
-                trace_level=trace_level,
-                reuse_cars=True,
-                compile_tables=True,
-            ).run(scenario, vehicles, seed=SEED)
-            assert result.fingerprint() == reference, (trace_level, workers)
+    base = ExperimentConfig(scenario=scenario, vehicles=vehicles, seed=SEED)
+    with FleetSession(base) as session:
+        matrix = session.run_matrix(
+            [
+                {"trace_level": trace_level, "workers": workers}
+                for trace_level in ("full", "ring", "counters")
+                for workers in (1, 4)
+            ]
+        )
+    for config, result in matrix:
+        assert result.fingerprint() == reference, (
+            config.trace_level,
+            config.workers,
+        )

@@ -15,7 +15,7 @@ from repro.analysis.metrics import (
     fleet_comparison_rows,
     fleet_totals,
 )
-from repro.fleet import FleetRunner
+from repro.api import ExperimentConfig, FleetSession
 
 FLEET_SCENARIOS = ("baseline_cruise", "fleet_replay_storm", "mixed_ev_dos")
 VEHICLES_PER_SCENARIO = 170  # 510 vehicles across the three scenarios
@@ -23,8 +23,27 @@ FLEET_SEED = 2018
 
 
 def _run_fleet(workers: int):
-    runner = FleetRunner(workers=workers)
-    return runner.run_many(FLEET_SCENARIOS, VEHICLES_PER_SCENARIO, seed=FLEET_SEED)
+    """One config per scenario, run as a matrix through a shared session.
+
+    ``first_vehicle_id`` offsets keep vehicle ids globally unique across
+    the combined fleet (what ``run_many`` used to do); the session keeps
+    the worker pools warm across the three entries.
+    """
+    configs = [
+        ExperimentConfig(
+            scenario=name,
+            vehicles=VEHICLES_PER_SCENARIO,
+            seed=FLEET_SEED,
+            workers=workers,
+            first_vehicle_id=index * VEHICLES_PER_SCENARIO,
+        )
+        for index, name in enumerate(FLEET_SCENARIOS)
+    ]
+    with FleetSession(configs[0]) as session:
+        return {
+            config.scenario: result
+            for config, result in session.run_matrix(configs)
+        }
 
 
 def test_bench_fleet_scale(benchmark, bench_json):

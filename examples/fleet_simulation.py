@@ -20,7 +20,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.analysis.figures import render_fleet_scale
 from repro.analysis.metrics import fleet_totals
-from repro.fleet import FleetRunner, get_scenario
+from repro.api import ExperimentConfig, FleetSession
+from repro.fleet import get_scenario
 
 SCENARIOS = ("baseline_cruise", "fleet_replay_storm", "mixed_ev_dos")
 VEHICLES_PER_SCENARIO = 100
@@ -35,8 +36,24 @@ def main() -> None:
         print(f"  {'':<20} mix: {dict(scenario.mix)}  duration: {scenario.duration_s}s")
     print()
 
-    runner = FleetRunner(workers=4)
-    results = runner.run_many(SCENARIOS, VEHICLES_PER_SCENARIO, seed=SEED)
+    # One config per scenario; first_vehicle_id offsets keep vehicle ids
+    # globally unique across the combined fleet.  The session shares its
+    # warm car pools and worker processes across the whole sweep.
+    configs = [
+        ExperimentConfig(
+            scenario=name,
+            vehicles=VEHICLES_PER_SCENARIO,
+            seed=SEED,
+            workers=4,
+            first_vehicle_id=index * VEHICLES_PER_SCENARIO,
+        )
+        for index, name in enumerate(SCENARIOS)
+    ]
+    with FleetSession(configs[0]) as session:
+        results = {
+            config.scenario: result
+            for config, result in session.run_matrix(configs)
+        }
 
     print(render_fleet_scale(results))
     print()
@@ -55,9 +72,11 @@ def main() -> None:
         print(f"  {key:>24}: {value}")
     print()
     print(
-        "Re-running with FleetRunner(workers=1) and the same seed produces "
-        "bit-identical aggregates (see FleetResult.fingerprint())."
+        "Re-running any config with workers=1 and the same seed produces "
+        "bit-identical aggregates (see FleetResult.fingerprint());"
     )
+    print("each run is reproducible from the shell too, e.g.:")
+    print(f"  {configs[1].cli_command()}")
 
 
 if __name__ == "__main__":

@@ -18,9 +18,12 @@ Subpackages
 ``repro.attacks``    -- attack injection and the Table I scenarios.
 ``repro.core``       -- policy model, derivation, enforcement, updates.
 ``repro.casestudy``  -- the connected-car case-study dataset and builders.
+``repro.fleet``      -- fleet-scale parallel simulation machinery.
+``repro.api``        -- the public experiment layer: ``ExperimentConfig``,
+                        ``FleetSession`` and the ``python -m repro`` CLI.
 ``repro.analysis``   -- tables, figures, metrics and comparisons.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

@@ -1,0 +1,373 @@
+"""``python -m repro`` -- fleet experiments from the shell.
+
+The CLI is a thin veneer over :class:`~repro.api.config.ExperimentConfig`
+and :class:`~repro.api.session.FleetSession`: flags build the exact same
+config object the Python API takes, so a shell run is as reproducible as
+a scripted one (identical config, identical fleet fingerprint).
+
+Commands::
+
+    repro fleet run --scenario fleet_replay_storm --vehicles 5000 \
+        --workers 4 --json out.json
+    repro fleet run --config experiment.json          # replay a saved config
+    repro scenarios list                              # registered workloads
+    repro scenarios show fleet_replay_storm           # one workload in detail
+    repro config presets                              # named preset overrides
+    repro config show --preset throughput --scenario mixed_ev_dos --vehicles 500
+
+``fleet run --json PATH`` writes ``{"config", "summary", "fingerprint"}``;
+feeding ``config`` back through ``--config`` (or
+``ExperimentConfig.from_dict``) reproduces the run bit for bit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.api.config import PRESETS, ExperimentConfig
+from repro.api.session import FleetSession
+from repro.fleet.scenarios import get_scenario, registered_scenarios
+
+PROG = "repro"
+
+#: Sentinel distinguishing "--inbox-limit none" (an explicit None) from
+#: the flag not being passed at all.
+_UNSET = object()
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def _parse_param(text: str) -> tuple[str, object]:
+    """Parse one ``--param KEY=VALUE`` (VALUE as JSON, else a bare string)."""
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected KEY=VALUE, got {text!r}"
+        )
+    try:
+        value: object = json.loads(raw)
+    except ValueError:
+        value = raw
+    return key, value
+
+
+def _parse_inbox_limit(text: str) -> int | None:
+    """Parse ``--inbox-limit`` (a positive integer, or ``none``)."""
+    if text.lower() == "none":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'none', got {text!r}"
+        ) from None
+
+
+def _add_config_flags(parser: argparse.ArgumentParser) -> None:
+    """The flags that map one-to-one onto ExperimentConfig fields.
+
+    Defaults are ``None`` sentinels so only flags the user actually
+    passed override the preset / config-file / dataclass defaults.
+    """
+    parser.add_argument("--scenario", help="registered fleet scenario name")
+    parser.add_argument("--vehicles", type=int, help="fleet size")
+    parser.add_argument("--seed", type=int, default=None, help="master seed (default 0)")
+    parser.add_argument(
+        "--first-vehicle-id", type=int, default=None, help="id of the first vehicle"
+    )
+    parser.add_argument(
+        "--enforcement",
+        default=None,
+        help="fleet-wide enforcement label overriding the scenario mix",
+    )
+    parser.add_argument(
+        "--trace-level",
+        choices=["full", "ring", "counters"],
+        default=None,
+        help="bus-trace retention (fingerprints identical across levels)",
+    )
+    parser.add_argument(
+        "--inbox-limit",
+        type=_parse_inbox_limit,
+        default=_UNSET,
+        metavar="N|none",
+        help="per-node inbox retention ('none' keeps every frame)",
+    )
+    parser.add_argument("--workers", type=int, default=None, help="worker processes")
+    parser.add_argument(
+        "--chunk-size", type=int, default=None, help="vehicles per work item"
+    )
+    parser.add_argument(
+        "--reuse-cars",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="reset one warm car per configuration between vehicles",
+    )
+    parser.add_argument(
+        "--compile-tables",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="use compiled bitmask decision tables",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        type=_parse_param,
+        default=None,
+        metavar="KEY=VALUE",
+        help=(
+            "scenario parameter override (VALUE parsed as JSON; repeatable). "
+            "Reaches parameter-aware scenario scripts and is recorded in the "
+            "config/report; built-in scenarios treat it as recorded metadata"
+        ),
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=PROG,
+        description="Fleet experiments over the policy-enforcement simulation.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    fleet = commands.add_parser("fleet", help="run fleet experiments")
+    fleet_commands = fleet.add_subparsers(dest="subcommand", required=True)
+    run = fleet_commands.add_parser(
+        "run", help="run one experiment described by flags, a preset or a file"
+    )
+    run.add_argument(
+        "--config",
+        dest="config_file",
+        metavar="PATH",
+        help="load an ExperimentConfig JSON file (flags override its fields)",
+    )
+    run.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        help="start from a named preset (flags override its fields)",
+    )
+    _add_config_flags(run)
+    run.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        help="write config + summary + fingerprint to PATH as JSON",
+    )
+    run.add_argument(
+        "--progress",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print a streamed progress line every N vehicles",
+    )
+    run.set_defaults(func=_cmd_fleet_run)
+
+    scenarios = commands.add_parser("scenarios", help="inspect the scenario registry")
+    scenario_commands = scenarios.add_subparsers(dest="subcommand", required=True)
+    listing = scenario_commands.add_parser("list", help="list registered scenarios")
+    listing.add_argument("--json", dest="as_json", action="store_true")
+    listing.set_defaults(func=_cmd_scenarios_list)
+    show = scenario_commands.add_parser("show", help="show one scenario in detail")
+    show.add_argument("name")
+    show.add_argument("--json", dest="as_json", action="store_true")
+    show.set_defaults(func=_cmd_scenarios_show)
+
+    config = commands.add_parser("config", help="inspect experiment configuration")
+    config_commands = config.add_subparsers(dest="subcommand", required=True)
+    presets = config_commands.add_parser("presets", help="list the named presets")
+    presets.set_defaults(func=_cmd_config_presets)
+    show_config = config_commands.add_parser(
+        "show", help="print the full config a set of flags resolves to"
+    )
+    show_config.add_argument("--config", dest="config_file", metavar="PATH")
+    show_config.add_argument("--preset", choices=sorted(PRESETS))
+    _add_config_flags(show_config)
+    show_config.set_defaults(func=_cmd_config_show)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Config resolution
+# ---------------------------------------------------------------------------
+
+#: args attribute -> ExperimentConfig field for the one-to-one flags.
+_FLAG_FIELDS = (
+    ("scenario", "scenario"),
+    ("vehicles", "vehicles"),
+    ("seed", "seed"),
+    ("first_vehicle_id", "first_vehicle_id"),
+    ("enforcement", "enforcement"),
+    ("trace_level", "trace_level"),
+    ("workers", "workers"),
+    ("chunk_size", "chunk_size"),
+    ("reuse_cars", "reuse_cars"),
+    ("compile_tables", "compile_tables"),
+)
+
+
+def _resolve_config(args: argparse.Namespace) -> ExperimentConfig:
+    """Build the ExperimentConfig a ``fleet run``/``config show`` call means."""
+    overrides: dict[str, object] = {}
+    for attr, fieldname in _FLAG_FIELDS:
+        value = getattr(args, attr)
+        if value is not None:
+            overrides[fieldname] = value
+    if args.inbox_limit is not _UNSET:
+        overrides["inbox_limit"] = args.inbox_limit
+    if args.param:
+        overrides["scenario_parameters"] = dict(args.param)
+
+    if args.config_file:
+        if args.preset:
+            raise ValueError(
+                "--preset cannot be combined with --config: the file already "
+                "pins every field a preset would set"
+            )
+        with open(args.config_file, encoding="utf-8") as handle:
+            data = json.load(handle)
+        if isinstance(data, dict) and isinstance(data.get("config"), dict):
+            # A ``fleet run --json`` report: replay its config block.
+            data = data["config"]
+        if not isinstance(data, dict):
+            raise ValueError(f"{args.config_file}: expected a JSON object")
+        base = ExperimentConfig.from_dict(data)
+        return base.with_overrides(**overrides) if overrides else base
+
+    scenario = overrides.pop("scenario", None)
+    vehicles = overrides.pop("vehicles", None)
+    if scenario is None or vehicles is None:
+        raise ValueError(
+            "--scenario and --vehicles are required unless --config is given"
+        )
+    if args.preset:
+        return ExperimentConfig.preset(args.preset, scenario, vehicles, **overrides)
+    return ExperimentConfig(scenario=scenario, vehicles=vehicles, **overrides)
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_fleet_run(args: argparse.Namespace) -> int:
+    config = _resolve_config(args)
+    with FleetSession(config) as session:
+        count = 0
+        for outcome in session.iter_outcomes():
+            count += 1
+            if args.progress and count % args.progress == 0:
+                print(
+                    f"  ... {count}/{config.vehicles} vehicles "
+                    f"(last: id={outcome.vehicle_id} {outcome.enforcement}, "
+                    f"{outcome.frames_transmitted} frames)"
+                )
+        result = session.last_result
+    assert result is not None
+    print(f"scenario       : {result.scenario}")
+    for key, value in result.summary().items():
+        if key not in ("scenario", "fingerprint"):
+            print(f"{key:<22}: {value}")
+    print(f"{'fingerprint':<22}: {result.fingerprint()}")
+    print(f"{'reproduce with':<22}: {config.cli_command()}")
+    if args.json_path:
+        payload = {
+            "config": config.to_dict(),
+            "summary": result.summary(),
+            "fingerprint": result.fingerprint(),
+        }
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"{'json report':<22}: {args.json_path}")
+    return 0
+
+
+def _scenario_payload(scenario) -> dict:
+    return {
+        "name": scenario.name,
+        "description": scenario.description,
+        "duration_s": scenario.duration_s,
+        "mix": dict(scenario.mix),
+        "parameters": dict(scenario.parameters),
+    }
+
+
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    scenarios = list(registered_scenarios())
+    if args.as_json:
+        print(json.dumps([_scenario_payload(s) for s in scenarios], indent=2))
+        return 0
+    width = max((len(s.name) for s in scenarios), default=0)
+    for scenario in scenarios:
+        print(f"{scenario.name:<{width}}  {scenario.description}")
+    return 0
+
+
+def _cmd_scenarios_show(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.name)
+    if args.as_json:
+        print(json.dumps(_scenario_payload(scenario), indent=2))
+        return 0
+    print(f"name        : {scenario.name}")
+    print(f"description : {scenario.description}")
+    print(f"duration_s  : {scenario.duration_s}")
+    print("mix         :")
+    for label, weight in scenario.mix:
+        print(f"  {label:<14} {weight}")
+    print("parameters  :")
+    if scenario.parameters:
+        for key, value in scenario.parameters:
+            print(f"  {key:<14} {value!r}")
+    else:
+        print("  (none)")
+    return 0
+
+
+def _cmd_config_presets(args: argparse.Namespace) -> int:
+    serialisable = {
+        name: {
+            key: (value.value if hasattr(value, "value") else value)
+            for key, value in overrides.items()
+        }
+        for name, overrides in PRESETS.items()
+    }
+    print(json.dumps(serialisable, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_config_show(args: argparse.Namespace) -> int:
+    config = _resolve_config(args)
+    print(config.to_json())
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. ``| head``) closed the pipe; that is
+        # not an experiment failure.
+        return 0
+    except (ValueError, KeyError, OSError) as error:
+        message = error.args[0] if error.args else error
+        print(f"{PROG}: error: {message}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,288 @@
+"""Declarative experiment configuration: one object per fleet run.
+
+The paper's thesis is that *policy is data*; the experiment layer
+applies the same idea to the experiments themselves.  An
+:class:`ExperimentConfig` captures everything that determines a fleet
+run -- scenario, fleet size, seed, enforcement override, trace
+retention, worker count and the pool/compiled-table toggles -- as one
+frozen, validated, JSON-round-trippable value.  A run is then a pure
+function of its config: the same config reproduces the same fleet
+fingerprint from Python (:class:`~repro.api.session.FleetSession`), from
+a sweep (:meth:`~repro.api.session.FleetSession.run_matrix`) or from the
+shell (``python -m repro fleet run``, see :meth:`ExperimentConfig.cli_arguments`).
+
+Named presets bundle the three configurations everything else is
+described in terms of:
+
+* :meth:`ExperimentConfig.debug` -- single worker, full traces,
+  unbounded inboxes, a fresh car per vehicle: everything inspectable.
+* :meth:`ExperimentConfig.throughput` -- counters-only traces, bounded
+  inboxes, pooled cars, compiled tables, multiprocess: the fast path.
+* :meth:`ExperimentConfig.faithful` -- the pre-optimisation object
+  decision path the fast path is validated against.
+
+All three produce bit-identical fleet fingerprints for the same
+(scenario, vehicles, seed) -- the presets move time and memory around,
+never results (the trace-level, pooled-reuse and compiled-table
+equivalence suites prove it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import shlex
+from dataclasses import dataclass
+
+from repro.can.trace import TraceLevel
+from repro.fleet.runner import DEFAULT_FLEET_INBOX_LIMIT
+from repro.fleet.scenarios import ENFORCEMENT_LABELS, _check_keys, _freeze
+
+#: ``from_dict`` key sets (everything else is rejected, loudly).
+_REQUIRED_KEYS = ("scenario", "vehicles")
+_OPTIONAL_KEYS = (
+    "seed",
+    "first_vehicle_id",
+    "enforcement",
+    "scenario_parameters",
+    "trace_level",
+    "inbox_limit",
+    "workers",
+    "chunk_size",
+    "reuse_cars",
+    "compile_tables",
+)
+
+#: Field overrides applied by :meth:`ExperimentConfig.preset`.
+PRESETS: dict[str, dict[str, object]] = {
+    "debug": {
+        "workers": 1,
+        "trace_level": TraceLevel.FULL,
+        "inbox_limit": None,
+        "reuse_cars": False,
+        "compile_tables": True,
+    },
+    "throughput": {
+        "workers": 4,
+        "trace_level": TraceLevel.COUNTERS,
+        "inbox_limit": DEFAULT_FLEET_INBOX_LIMIT,
+        "reuse_cars": True,
+        "compile_tables": True,
+    },
+    "faithful": {
+        "workers": 1,
+        "trace_level": TraceLevel.FULL,
+        "inbox_limit": None,
+        "reuse_cars": False,
+        "compile_tables": False,
+    },
+}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything that determines one fleet experiment, as one value.
+
+    Parameters
+    ----------
+    scenario:
+        Registered fleet-scenario name (resolved at run time, so configs
+        may be built before a custom scenario is registered).
+    vehicles:
+        Fleet size (>= 1).
+    seed:
+        Master seed every per-vehicle stream derives from.
+    first_vehicle_id:
+        Id of the first vehicle (lets sweep entries share one global id
+        space, as ``run_many`` did).
+    enforcement:
+        Optional fleet-wide enforcement label overriding the scenario's
+        mix (``"unprotected"``, ``"selinux-only"``, ``"hpe-only"``,
+        ``"hpe+selinux"``); ``None`` keeps the per-vehicle mix draw.
+    scenario_parameters:
+        Tunable overrides applied to the scenario via
+        :meth:`~repro.fleet.scenarios.FleetScenario.with_parameters`.
+        Parameter-aware script factories (those declaring a third
+        ``params`` argument) receive them and materialise a different
+        fleet; the built-in scripts take two arguments and close over
+        their defaults, so for them the overrides are recorded report
+        metadata only.
+    trace_level:
+        Bus-trace retention for every vehicle (fingerprints are
+        bit-identical across levels).
+    inbox_limit:
+        Per-node inbox retention (``None`` keeps every received frame).
+    workers / chunk_size:
+        Worker processes and vehicles per work item (``chunk_size=None``
+        sizes chunks as fleet size over ``4 * workers``, at least 8).
+    reuse_cars / compile_tables:
+        The pool and compiled-decision-table toggles (both default on;
+        fingerprints are identical either way).
+    """
+
+    scenario: str
+    vehicles: int
+    seed: int = 0
+    first_vehicle_id: int = 0
+    enforcement: str | None = None
+    scenario_parameters: tuple[tuple[str, object], ...] = ()
+    trace_level: TraceLevel = TraceLevel.COUNTERS
+    inbox_limit: int | None = DEFAULT_FLEET_INBOX_LIMIT
+    workers: int = 1
+    chunk_size: int | None = None
+    reuse_cars: bool = True
+    compile_tables: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.scenario, str) or not self.scenario.strip():
+            raise ValueError("scenario must be a non-empty scenario name")
+        if self.vehicles < 1:
+            raise ValueError("vehicles must be >= 1")
+        if self.first_vehicle_id < 0:
+            raise ValueError("first_vehicle_id must be >= 0")
+        if self.enforcement is not None and self.enforcement not in ENFORCEMENT_LABELS:
+            raise ValueError(
+                f"unknown enforcement label {self.enforcement!r}; "
+                f"known: {ENFORCEMENT_LABELS}"
+            )
+        items = (
+            self.scenario_parameters.items()
+            if isinstance(self.scenario_parameters, dict)
+            else self.scenario_parameters
+        )
+        object.__setattr__(
+            self,
+            "scenario_parameters",
+            tuple(sorted((str(key), _freeze(value)) for key, value in items)),
+        )
+        object.__setattr__(self, "trace_level", TraceLevel.coerce(self.trace_level))
+        if self.inbox_limit is not None and self.inbox_limit < 1:
+            raise ValueError("inbox_limit must be >= 1 or None")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1 or None")
+
+    # -- derivation -----------------------------------------------------------
+
+    def with_overrides(self, **overrides) -> "ExperimentConfig":
+        """A copy with the given fields replaced (and re-validated)."""
+        return dataclasses.replace(self, **overrides)
+
+    # -- presets --------------------------------------------------------------
+
+    @classmethod
+    def preset(
+        cls, name: str, scenario: str, vehicles: int, **overrides
+    ) -> "ExperimentConfig":
+        """Build a named preset (see :data:`PRESETS`), then apply *overrides*."""
+        try:
+            base = PRESETS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown preset {name!r}; known: {sorted(PRESETS)}"
+            ) from None
+        merged: dict[str, object] = dict(base)
+        merged.update(overrides)
+        return cls(scenario=scenario, vehicles=vehicles, **merged)
+
+    @classmethod
+    def debug(cls, scenario: str, vehicles: int, **overrides) -> "ExperimentConfig":
+        """Single worker, full traces, fresh cars: everything inspectable."""
+        return cls.preset("debug", scenario, vehicles, **overrides)
+
+    @classmethod
+    def throughput(cls, scenario: str, vehicles: int, **overrides) -> "ExperimentConfig":
+        """Counters-only, pooled, compiled, multiprocess: the fast path."""
+        return cls.preset("throughput", scenario, vehicles, **overrides)
+
+    @classmethod
+    def faithful(cls, scenario: str, vehicles: int, **overrides) -> "ExperimentConfig":
+        """The pre-optimisation object path the fast path is validated against."""
+        return cls.preset("faithful", scenario, vehicles, **overrides)
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (round-trips via :meth:`from_dict`)."""
+        return {
+            "scenario": self.scenario,
+            "vehicles": self.vehicles,
+            "seed": self.seed,
+            "first_vehicle_id": self.first_vehicle_id,
+            "enforcement": self.enforcement,
+            "scenario_parameters": dict(self.scenario_parameters),
+            "trace_level": self.trace_level.value,
+            "inbox_limit": self.inbox_limit,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+            "reuse_cars": self.reuse_cars,
+            "compile_tables": self.compile_tables,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentConfig":
+        """Rebuild a config serialised by :meth:`to_dict`.
+
+        Unknown keys are rejected with the allowed key set named -- a
+        typo'd key would otherwise silently run a different experiment.
+        """
+        _check_keys(data, "ExperimentConfig", _REQUIRED_KEYS, _OPTIONAL_KEYS)
+        return cls(**data)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The config as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentConfig":
+        """Rebuild a config from :meth:`to_json` output."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("ExperimentConfig JSON must be an object")
+        return cls.from_dict(data)
+
+    # -- CLI equivalence ------------------------------------------------------
+
+    def cli_arguments(self) -> list[str]:
+        """``python -m repro`` arguments reproducing this exact config.
+
+        ``python -m repro`` + these arguments runs the same experiment
+        (and prints the same fingerprint) as handing the config to a
+        :class:`~repro.api.session.FleetSession` -- the shell form of a
+        run is derivable from the Python form and vice versa.
+        """
+        args = [
+            "fleet",
+            "run",
+            "--scenario",
+            self.scenario,
+            "--vehicles",
+            str(self.vehicles),
+            "--seed",
+            str(self.seed),
+            "--workers",
+            str(self.workers),
+            "--trace-level",
+            self.trace_level.value,
+            "--inbox-limit",
+            "none" if self.inbox_limit is None else str(self.inbox_limit),
+        ]
+        if self.first_vehicle_id:
+            args += ["--first-vehicle-id", str(self.first_vehicle_id)]
+        if self.enforcement is not None:
+            args += ["--enforcement", self.enforcement]
+        if self.chunk_size is not None:
+            args += ["--chunk-size", str(self.chunk_size)]
+        if not self.reuse_cars:
+            args += ["--no-reuse-cars"]
+        if not self.compile_tables:
+            args += ["--no-compile-tables"]
+        for key, value in self.scenario_parameters:
+            encoded = json.dumps(value, default=list, separators=(",", ":"))
+            args += ["--param", f"{key}={encoded}"]
+        return args
+
+    def cli_command(self) -> str:
+        """The full shell command reproducing this config (shell-quoted)."""
+        return "python -m repro " + shlex.join(self.cli_arguments())

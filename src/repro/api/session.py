@@ -1,0 +1,305 @@
+"""The fleet experiment façade: config in, streamed outcomes out.
+
+:class:`FleetSession` owns every moving part a fleet experiment needs --
+the case-study builder (policy derived once), the warm
+:class:`~repro.casestudy.builder.CarPool`, and the multiprocessing
+worker pools -- behind three entry points:
+
+* :meth:`FleetSession.run` -- execute the session's
+  :class:`~repro.api.config.ExperimentConfig` and return the aggregate
+  :class:`~repro.fleet.results.FleetResult`.
+* :meth:`FleetSession.iter_outcomes` -- a generator yielding one
+  :class:`~repro.fleet.results.VehicleOutcome` at a time, **in vehicle-id
+  order**, as worker chunks complete.  Outcomes are folded into a
+  :class:`~repro.fleet.results.StreamingFleetAggregator` and released,
+  so a 10^5-vehicle run never materialises the outcome list; the final
+  aggregate (:attr:`last_result`) is bit-identical to :meth:`run` and to
+  the legacy batch path at any worker count.
+* :meth:`FleetSession.run_matrix` -- run a sweep of configs through the
+  *same* session, sharing the warm car pools and worker processes
+  (policy derivation and car construction amortise across the sweep).
+
+Worker processes are kept alive across runs (one pool per worker
+count) until :meth:`close` -- use the session as a context manager.
+Everything the session does is a pure function of the config: the same
+config reproduces the same fingerprint here, in the legacy
+:class:`~repro.fleet.runner.FleetRunner` shim, and from the shell via
+``python -m repro fleet run``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.pool
+import time
+from collections import deque
+from dataclasses import replace
+from functools import partial
+from itertools import islice
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.casestudy.builder import CarPool, CaseStudyBuilder
+from repro.fleet.results import FleetResult, StreamingFleetAggregator, VehicleOutcome
+from repro.fleet.runner import (
+    _chunked,
+    _init_worker,
+    _process_builder,
+    _process_pool,
+    _simulate_chunk,
+    simulate_vehicle,
+)
+from repro.fleet.scenarios import FleetScenario, VehicleSpec, get_scenario
+
+from repro.api.config import ExperimentConfig
+
+
+class FleetSession:
+    """Run fleet experiments described by :class:`ExperimentConfig` objects.
+
+    Parameters
+    ----------
+    config:
+        The experiment this session runs by default (:meth:`run`,
+        :meth:`iter_outcomes`) and the base for :meth:`run_matrix`
+        override sweeps.
+    builder:
+        Optional case-study builder to use instead of the shared
+        per-process one.  Injecting a builder gives the session its own
+        private :class:`~repro.casestudy.builder.CarPool`; by default
+        the process-wide builder and pool are shared, so repeated
+        sessions stay warm.
+    """
+
+    def __init__(
+        self, config: ExperimentConfig, builder: CaseStudyBuilder | None = None
+    ) -> None:
+        if not isinstance(config, ExperimentConfig):
+            raise TypeError(
+                f"config must be an ExperimentConfig, not {type(config).__name__}"
+            )
+        self.config = config
+        self._builder = builder
+        self._car_pool: CarPool | None = None
+        self._mp_pools: dict[int, multiprocessing.pool.Pool] = {}
+        self._last_result: FleetResult | None = None
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def __enter__(self) -> "FleetSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Terminate the session's worker processes (idempotent).
+
+        Single-worker sessions hold no processes, so closing is optional
+        for them; multiprocess sessions should be used as context
+        managers.
+        """
+        for pool in self._mp_pools.values():
+            pool.terminate()
+            pool.join()
+        self._mp_pools.clear()
+        self._closed = True
+
+    @property
+    def builder(self) -> CaseStudyBuilder:
+        """The case-study builder backing inline simulation."""
+        if self._builder is None:
+            return _process_builder()
+        return self._builder
+
+    @property
+    def last_result(self) -> FleetResult | None:
+        """Aggregate of the most recently *completed* run or stream."""
+        return self._last_result
+
+    # -- spec materialisation -------------------------------------------------
+
+    def scenario(self, config: ExperimentConfig | None = None) -> FleetScenario:
+        """The resolved scenario (with any config parameter overrides)."""
+        config = config or self.config
+        scenario = get_scenario(config.scenario)
+        if config.scenario_parameters:
+            scenario = scenario.with_parameters(**dict(config.scenario_parameters))
+        return scenario
+
+    def vehicle_specs(self, config: ExperimentConfig | None = None) -> list[VehicleSpec]:
+        """Materialise the config's fully explicit per-vehicle specs."""
+        config = config or self.config
+        specs = self.scenario(config).vehicle_specs(
+            config.vehicles, config.seed, first_vehicle_id=config.first_vehicle_id
+        )
+        if config.enforcement is not None:
+            specs = [replace(spec, enforcement=config.enforcement) for spec in specs]
+        return specs
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self) -> FleetResult:
+        """Run the session's config and return the fleet aggregate."""
+        return self._drain(self.iter_outcomes())
+
+    def iter_outcomes(self) -> Iterator[VehicleOutcome]:
+        """Stream the config's outcomes one vehicle at a time, in id order.
+
+        Outcomes are folded into the aggregate incrementally and handed
+        to the caller without being retained; chunk submission is
+        windowed, so buffered outcomes stay bounded by a few chunks
+        regardless of fleet size or how slowly the caller consumes.
+        After the generator is exhausted, :attr:`last_result` holds the
+        finished :class:`FleetResult` -- bit-identical to :meth:`run`
+        (which is this generator, drained).  :attr:`last_result` resets
+        to ``None`` as soon as this method is called and stays ``None``
+        if the stream is abandoned before the final vehicle.
+        """
+        self._last_result = None
+        return self._stream(self.config, self.vehicle_specs(), self.config.scenario)
+
+    def run_specs(
+        self, specs: Sequence[VehicleSpec], scenario_name: str
+    ) -> FleetResult:
+        """Run explicit specs (the custom-workload and legacy-shim path)."""
+        ordered = sorted(specs, key=lambda spec: spec.vehicle_id)
+        return self._drain(self._stream(self.config, ordered, scenario_name))
+
+    def run_matrix(
+        self, configs: Iterable[ExperimentConfig | dict]
+    ) -> list[tuple[ExperimentConfig, FleetResult]]:
+        """Run a config sweep through this session's warm pools.
+
+        Each entry is either a full :class:`ExperimentConfig` or a dict
+        of overrides applied to the session's base config.  Entries run
+        sequentially but share the session's builder, car pools and
+        worker processes, so the policy derivation and car construction
+        cost is paid once for the whole sweep.  Returns ``(config,
+        result)`` pairs in execution order.
+        """
+        results: list[tuple[ExperimentConfig, FleetResult]] = []
+        for entry in configs:
+            config = (
+                self.config.with_overrides(**entry)
+                if isinstance(entry, dict)
+                else entry
+            )
+            if not isinstance(config, ExperimentConfig):
+                raise TypeError(
+                    "run_matrix entries must be ExperimentConfig objects or "
+                    f"override dicts, not {type(entry).__name__}"
+                )
+            result = self._drain(
+                self._stream(config, self.vehicle_specs(config), config.scenario)
+            )
+            results.append((config, result))
+        return results
+
+    # -- internals ------------------------------------------------------------
+
+    def _drain(self, stream: Iterator[VehicleOutcome]) -> FleetResult:
+        deque(stream, maxlen=0)
+        assert self._last_result is not None
+        return self._last_result
+
+    def _stream(
+        self,
+        config: ExperimentConfig,
+        specs: Sequence[VehicleSpec],
+        scenario_name: str,
+    ) -> Iterator[VehicleOutcome]:
+        if self._closed:
+            raise RuntimeError("session is closed")
+        self._last_result = None
+        wall_start = time.perf_counter()
+        aggregator = StreamingFleetAggregator(scenario_name)
+        if config.workers == 1 or len(specs) <= 1:
+            source = self._simulate_inline(config, specs)
+        else:
+            source = self._simulate_parallel(config, specs)
+        for outcome in source:
+            aggregator.add(outcome)
+            yield outcome
+        self._last_result = aggregator.result(
+            wall_seconds=time.perf_counter() - wall_start
+        )
+
+    def _simulate_inline(
+        self, config: ExperimentConfig, specs: Sequence[VehicleSpec]
+    ) -> Iterator[VehicleOutcome]:
+        builder = self.builder
+        pool = self._inline_car_pool() if config.reuse_cars else None
+        for spec in specs:
+            yield simulate_vehicle(
+                spec,
+                builder,
+                trace_level=config.trace_level,
+                inbox_limit=config.inbox_limit,
+                pool=pool,
+                compile_tables=config.compile_tables,
+            )
+
+    def _simulate_parallel(
+        self, config: ExperimentConfig, specs: Sequence[VehicleSpec]
+    ) -> Iterator[VehicleOutcome]:
+        chunk_size = config.chunk_size
+        if chunk_size is None:
+            chunk_size = max(8, len(specs) // (config.workers * 4) or 1)
+        chunks = iter(_chunked(specs, chunk_size))
+        simulate_chunk = partial(
+            _simulate_chunk,
+            trace_level=config.trace_level.value,
+            inbox_limit=config.inbox_limit,
+            reuse_cars=config.reuse_cars,
+            compile_tables=config.compile_tables,
+        )
+        # Windowed submission with ordered consumption: at most
+        # ``workers + 2`` chunks are in flight (running or finished but
+        # unconsumed), and results are taken in submission order --
+        # vehicle-id order -- so the stream is deterministic and the
+        # incremental fold matches the batch sort-then-fold bit for
+        # bit.  Unlike ``Pool.imap`` (which submits everything up front
+        # and buffers completed chunks without limit), a consumer
+        # slower than the workers exerts backpressure here: no new
+        # chunk is submitted until one has been drained, keeping
+        # buffered outcomes bounded by the window whatever the fleet
+        # size.
+        pool = self._mp_pool(config.workers)
+        in_flight: deque = deque()
+        for chunk in islice(chunks, config.workers + 2):
+            in_flight.append(pool.apply_async(simulate_chunk, (chunk,)))
+        while in_flight:
+            outcomes = in_flight.popleft().get()
+            next_chunk = next(chunks, None)
+            if next_chunk is not None:
+                in_flight.append(pool.apply_async(simulate_chunk, (next_chunk,)))
+            yield from outcomes
+
+    def _inline_car_pool(self) -> CarPool:
+        if self._builder is None:
+            # Shared process-wide pool: stays warm across sessions and
+            # matches the legacy FleetRunner inline path exactly.
+            return _process_pool()
+        if self._car_pool is None:
+            self._car_pool = self._builder.pool()
+        return self._car_pool
+
+    def _mp_pool(self, workers: int) -> multiprocessing.pool.Pool:
+        pool = self._mp_pools.get(workers)
+        if pool is None:
+            src_root = str(Path(__file__).resolve().parents[2])
+            pool = multiprocessing.get_context().Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=([src_root],),
+            )
+            self._mp_pools[workers] = pool
+        return pool
+
+
+def run_experiment(config: ExperimentConfig) -> FleetResult:
+    """One-shot convenience: run *config* in a fresh session and close it."""
+    with FleetSession(config) as session:
+        return session.run()

@@ -84,6 +84,42 @@ class EnforcementConfig:
             return "selinux-only"
         return "unprotected"
 
+    @classmethod
+    def from_label(
+        cls,
+        label: str,
+        *,
+        selinux_mode: EnforcementMode = EnforcementMode.ENFORCING,
+        compile_tables: bool = True,
+    ) -> "EnforcementConfig":
+        """The inverse of :attr:`label`: parse a short label back to a config.
+
+        CLI and serialised experiment configs carry enforcement as the
+        label string; this turns it back into the mechanism flags.
+        ``from_label(config.label)`` round-trips for every config built
+        from the named constructors.  Unknown labels raise ``ValueError``
+        (listing the known ones) instead of silently building something
+        else.
+        """
+        flags = {
+            "unprotected": (False, False),
+            "selinux-only": (False, True),
+            "hpe-only": (True, False),
+            "hpe+selinux": (True, True),
+        }
+        try:
+            use_hpe, use_selinux = flags[label]
+        except KeyError:
+            raise ValueError(
+                f"unknown enforcement label {label!r}; known: {sorted(flags)}"
+            ) from None
+        return cls(
+            use_hpe=use_hpe,
+            use_selinux=use_selinux,
+            selinux_mode=selinux_mode,
+            compile_tables=compile_tables,
+        )
+
 
 class EnforcementCoordinator:
     """Deploys and maintains policy enforcement on one vehicle."""

@@ -11,17 +11,29 @@ thousands of vehicles in one call:
   fleet workloads (``fleet_replay_storm``, ``staggered_ota_rollout``,
   ``mixed_ev_dos``, ...) composing the existing attack primitives, car
   modes and policy-update events into per-vehicle action scripts.
-* :mod:`repro.fleet.runner` -- a :class:`~repro.fleet.runner.FleetRunner`
-  that materialises vehicle specs from a scenario and executes them
-  across a chunked ``multiprocessing`` worker pool; aggregates are
-  bit-identical for any worker count at the same seed.
-* :mod:`repro.fleet.results` -- streaming aggregation of per-vehicle
-  outcomes into fleet metrics (block rates, enforcement latency
-  percentiles, frames/sec) with a determinism fingerprint.
+  Register permanently with :func:`register_scenario` (also usable as a
+  decorator on a script factory) or for one ``with`` block via
+  :func:`temporary_scenario`.
+* :mod:`repro.fleet.runner` -- :func:`simulate_vehicle` (one spec to one
+  outcome) plus the per-process worker plumbing.  The
+  :class:`~repro.fleet.runner.FleetRunner` class is a deprecation shim;
+  orchestrate through :class:`repro.api.FleetSession` with an
+  :class:`repro.api.ExperimentConfig` instead.
+* :mod:`repro.fleet.results` -- aggregation of per-vehicle outcomes into
+  fleet metrics (block rates, enforcement latency percentiles,
+  frames/sec) with a determinism fingerprint; the streaming variant
+  folds in vehicle-id order without retaining outcomes.
+
+Aggregates are bit-identical for any worker count at the same seed.
 """
 
 from repro.fleet.kernel import FleetKernel
-from repro.fleet.results import FleetAggregator, FleetResult, VehicleOutcome
+from repro.fleet.results import (
+    FleetAggregator,
+    FleetResult,
+    StreamingFleetAggregator,
+    VehicleOutcome,
+)
 from repro.fleet.runner import FleetRunner, VehicleSpec, simulate_vehicle
 from repro.fleet.scenarios import (
     FleetScenario,
@@ -29,6 +41,7 @@ from repro.fleet.scenarios import (
     get_scenario,
     register_scenario,
     registered_scenarios,
+    temporary_scenario,
     unregister_scenario,
 )
 
@@ -38,6 +51,7 @@ __all__ = [
     "FleetResult",
     "FleetRunner",
     "FleetScenario",
+    "StreamingFleetAggregator",
     "VehicleAction",
     "VehicleOutcome",
     "VehicleSpec",
@@ -45,5 +59,6 @@ __all__ = [
     "register_scenario",
     "registered_scenarios",
     "simulate_vehicle",
+    "temporary_scenario",
     "unregister_scenario",
 ]

@@ -181,13 +181,94 @@ class FleetResult:
         }
 
 
+class StreamingFleetAggregator:
+    """Fold outcomes arriving in vehicle-id order without retaining them.
+
+    The batch :class:`FleetAggregator` keeps every outcome so it can
+    sort by vehicle id before folding.  When the caller can already
+    guarantee id order -- the :class:`~repro.api.session.FleetSession`
+    streaming path reassembles worker chunks in submission order -- the
+    same fold runs one outcome at a time: sums, the enforcement mix,
+    the SHA-256 fingerprint and the per-vehicle latency sample are
+    updated incrementally and the outcome object is released to the
+    caller.  Memory is O(1) in fleet size apart from one float per
+    vehicle (the latency sample the percentiles need).
+
+    Folding here in id order is *exactly* the loop the batch aggregator
+    runs after sorting, so the finished :class:`FleetResult` -- float
+    sums, percentiles and fingerprint included -- is bit-identical to
+    the batch path (:meth:`FleetAggregator.result` is itself implemented
+    on top of this class).
+    """
+
+    def __init__(self, scenario: str) -> None:
+        self.scenario = scenario
+        self._result = FleetResult(scenario=scenario)
+        self._digest = hashlib.sha256()
+        self._latencies: list[float] = []
+        self._last_vehicle_id: int | None = None
+        self._finalised = False
+
+    @property
+    def count(self) -> int:
+        """Outcomes folded so far."""
+        return self._result.vehicles
+
+    def add(self, outcome: VehicleOutcome) -> None:
+        """Fold one outcome (vehicle ids must arrive in non-decreasing order)."""
+        if self._finalised:
+            raise RuntimeError("aggregator already finalised by result()")
+        if (
+            self._last_vehicle_id is not None
+            and outcome.vehicle_id < self._last_vehicle_id
+        ):
+            raise ValueError(
+                f"outcomes must stream in vehicle-id order: got vehicle "
+                f"{outcome.vehicle_id} after {self._last_vehicle_id}"
+            )
+        self._last_vehicle_id = outcome.vehicle_id
+        result = self._result
+        result.vehicles += 1
+        result.frames_transmitted += outcome.frames_transmitted
+        result.frames_delivered += outcome.frames_delivered
+        result.frames_blocked += outcome.frames_blocked
+        result.hpe_decisions += outcome.hpe_decisions
+        result.policy_pushes += outcome.policy_pushes
+        result.attacks_attempted += outcome.attacks_attempted
+        result.attacks_mitigated += outcome.attacks_mitigated
+        result.simulated_vehicle_seconds += outcome.simulated_seconds
+        result.simulation_wall_seconds += outcome.wall_seconds
+        result.build_wall_seconds += outcome.build_seconds
+        if not outcome.healthy:
+            result.unhealthy_vehicles += 1
+        result.enforcement_mix[outcome.enforcement] = (
+            result.enforcement_mix.get(outcome.enforcement, 0) + 1
+        )
+        self._latencies.append(outcome.mean_decision_latency_s)
+        self._digest.update(repr(outcome.deterministic_tuple()).encode())
+
+    def result(self, wall_seconds: float = 0.0) -> FleetResult:
+        """Finalise and return the aggregate (no further adds afterwards)."""
+        self._finalised = True
+        result = self._result
+        result.wall_seconds = wall_seconds
+        self._latencies.sort()
+        result.latency_p50_s = _percentile(self._latencies, 0.50)
+        result.latency_p95_s = _percentile(self._latencies, 0.95)
+        result.latency_p99_s = _percentile(self._latencies, 0.99)
+        result._fingerprint = self._digest.hexdigest()
+        return result
+
+
 class FleetAggregator:
     """Stream per-vehicle outcomes into a :class:`FleetResult`.
 
     Outcomes may arrive in any order (workers finish when they finish);
     :meth:`result` sorts by vehicle id before folding, which makes every
     aggregate -- including float sums and the fingerprint -- independent
-    of arrival order.
+    of arrival order.  Callers that can guarantee id order should use
+    :class:`StreamingFleetAggregator` directly and skip the retained
+    outcome list.
     """
 
     def __init__(self, scenario: str) -> None:
@@ -213,32 +294,7 @@ class FleetAggregator:
 
     def result(self, wall_seconds: float = 0.0) -> FleetResult:
         """Fold every recorded outcome into the aggregate result."""
-        ordered = self.outcomes()
-        result = FleetResult(scenario=self.scenario, wall_seconds=wall_seconds)
-        digest = hashlib.sha256()
-        latencies: list[float] = []
-        for outcome in ordered:
-            result.vehicles += 1
-            result.frames_transmitted += outcome.frames_transmitted
-            result.frames_delivered += outcome.frames_delivered
-            result.frames_blocked += outcome.frames_blocked
-            result.hpe_decisions += outcome.hpe_decisions
-            result.policy_pushes += outcome.policy_pushes
-            result.attacks_attempted += outcome.attacks_attempted
-            result.attacks_mitigated += outcome.attacks_mitigated
-            result.simulated_vehicle_seconds += outcome.simulated_seconds
-            result.simulation_wall_seconds += outcome.wall_seconds
-            result.build_wall_seconds += outcome.build_seconds
-            if not outcome.healthy:
-                result.unhealthy_vehicles += 1
-            result.enforcement_mix[outcome.enforcement] = (
-                result.enforcement_mix.get(outcome.enforcement, 0) + 1
-            )
-            latencies.append(outcome.mean_decision_latency_s)
-            digest.update(repr(outcome.deterministic_tuple()).encode())
-        latencies.sort()
-        result.latency_p50_s = _percentile(latencies, 0.50)
-        result.latency_p95_s = _percentile(latencies, 0.95)
-        result.latency_p99_s = _percentile(latencies, 0.99)
-        result._fingerprint = digest.hexdigest()
-        return result
+        stream = StreamingFleetAggregator(self.scenario)
+        for outcome in self.outcomes():
+            stream.add(outcome)
+        return stream.result(wall_seconds=wall_seconds)

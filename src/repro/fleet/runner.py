@@ -1,27 +1,34 @@
-"""Execute fleet scenarios across a worker pool.
+"""Per-vehicle simulation and the worker-side fleet machinery.
 
-:class:`FleetRunner` turns a registered scenario into N fully explicit
-:class:`~repro.fleet.scenarios.VehicleSpec` objects, simulates each one
-on its own :class:`~repro.vehicle.car.ConnectedCar` (built through the
-shared :class:`~repro.casestudy.builder.CaseStudyBuilder`, so the policy
-is derived once per process) and streams the outcomes into a
-:class:`~repro.fleet.results.FleetResult`.
+:func:`simulate_vehicle` turns one fully explicit
+:class:`~repro.fleet.scenarios.VehicleSpec` into a
+:class:`~repro.fleet.results.VehicleOutcome`: the car is built (or
+acquired warm) through the shared
+:class:`~repro.casestudy.builder.CaseStudyBuilder`, the kernel replays
+the scripted actions, and every outcome field is a pure function of the
+spec.  The module also hosts the per-process worker plumbing (builder
+and car-pool caches, the picklable chunk function) that
+:class:`~repro.api.session.FleetSession` drives.
+
+Orchestration lives in :mod:`repro.api`: build an
+:class:`~repro.api.config.ExperimentConfig` and run it through a
+:class:`~repro.api.session.FleetSession`.  The :class:`FleetRunner` here
+is a thin deprecation shim kept for existing callers -- it forwards to a
+session and emits ``DeprecationWarning``.
 
 Worker-count invariance: each vehicle's timeline is a pure function of
 its spec (the kernel replays scripted actions at scripted times with
-seeded RNG streams), and aggregation sorts outcomes by vehicle id before
-folding -- so a 4-worker run is bit-identical to a 1-worker run with the
-same seed, which the fleet benchmark asserts.
+seeded RNG streams), and aggregation folds outcomes in vehicle-id order
+-- so a 4-worker run is bit-identical to a 1-worker run with the same
+seed, which the fleet benchmark asserts.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import sys
 import time
+import warnings
 from dataclasses import replace
-from functools import partial
-from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.attacks.dos import BusFloodAttack, TargetedDisableAttack
@@ -33,7 +40,7 @@ from repro.casestudy.builder import CarPool, CaseStudyBuilder
 from repro.core.enforcement import EnforcementConfig
 from repro.core.updates import PolicyUpdateBundle, PolicyUpdateClient
 from repro.fleet.kernel import FleetKernel
-from repro.fleet.results import FleetAggregator, FleetResult, VehicleOutcome
+from repro.fleet.results import FleetResult, VehicleOutcome
 from repro.fleet.scenarios import FleetScenario, VehicleAction, VehicleSpec, get_scenario
 from repro.vehicle.car import ConnectedCar
 
@@ -376,35 +383,17 @@ def _chunked(specs: Sequence[VehicleSpec], chunk_size: int) -> list[list[Vehicle
 
 
 class FleetRunner:
-    """Run fleet scenarios over N vehicles with an optional worker pool.
+    """Deprecated: run fleet scenarios through the legacy kwargs surface.
 
-    Parameters
-    ----------
-    workers:
-        Worker processes.  ``1`` simulates inline (no pool), which is
-        also the reference for the bit-identical aggregate guarantee.
-    chunk_size:
-        Vehicles per work item handed to the pool (default: fleet size
-        divided over ``4 * workers`` chunks, at least 8 per chunk).
-    trace_level:
-        Bus-trace retention for every simulated vehicle (default
-        ``COUNTERS``: O(1) trace memory, fastest).  Outcomes -- and
-        therefore fleet fingerprints -- are bit-identical across levels
-        because every outcome field reads the always-on counters.
-    inbox_limit:
-        Per-node inbox retention for every simulated vehicle (``None``
-        keeps every received frame, pre-fleet behaviour).
-    reuse_cars:
-        When ``True`` (the default) each worker keeps one warm car per
-        enforcement configuration in a :class:`~repro.casestudy.builder.CarPool`
-        and resets it between vehicles instead of rebuilding the
-        nine-ECU object graph.  Fingerprints are bit-identical either
-        way; ``False`` restores the rebuild-per-vehicle path (benchmark
-        baseline).
-    compile_tables:
-        When ``True`` (the default) HPE permit checks use compiled
-        bitmask tables; ``False`` keeps the approved-list object path.
-        Decisions -- and therefore fingerprints -- are identical.
+    .. deprecated::
+        Build an :class:`~repro.api.config.ExperimentConfig` and run it
+        through a :class:`~repro.api.session.FleetSession` instead --
+        one config value replaces the six constructor kwargs, round-trips
+        through JSON and drives ``python -m repro`` identically.
+
+    The shim forwards every call to a session, so results (including
+    fleet fingerprints) are bit-identical to both the new surface and
+    the historical runner at any worker count.
     """
 
     def __init__(
@@ -416,6 +405,12 @@ class FleetRunner:
         reuse_cars: bool = True,
         compile_tables: bool = True,
     ) -> None:
+        warnings.warn(
+            "FleetRunner is deprecated; build a repro.api.ExperimentConfig "
+            "and run it through repro.api.FleetSession",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
@@ -427,6 +422,15 @@ class FleetRunner:
 
     # -- execution ------------------------------------------------------------
 
+    @staticmethod
+    def _warn_deprecated(name: str) -> None:
+        # stacklevel=3: _warn_deprecated -> public method -> the caller.
+        warnings.warn(
+            f"{name} is deprecated; use repro.api.FleetSession",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def run(
         self,
         scenario: FleetScenario | str,
@@ -435,49 +439,16 @@ class FleetRunner:
         first_vehicle_id: int = 0,
     ) -> FleetResult:
         """Run *vehicles* instances of *scenario* and aggregate the fleet."""
+        self._warn_deprecated("FleetRunner.run")
         if isinstance(scenario, str):
             scenario = get_scenario(scenario)
         specs = scenario.vehicle_specs(vehicles, seed, first_vehicle_id=first_vehicle_id)
-        return self.run_specs(specs, scenario.name)
+        return self._run_specs(specs, scenario.name)
 
     def run_specs(self, specs: Sequence[VehicleSpec], scenario_name: str) -> FleetResult:
         """Simulate explicit specs (the path custom workloads use too)."""
-        wall_start = time.perf_counter()
-        aggregator = FleetAggregator(scenario_name)
-        if self.workers == 1 or len(specs) <= 1:
-            pool = _process_pool() if self.reuse_cars else None
-            for spec in specs:
-                aggregator.add(
-                    simulate_vehicle(
-                        spec,
-                        _process_builder(),
-                        trace_level=self.trace_level,
-                        inbox_limit=self.inbox_limit,
-                        pool=pool,
-                        compile_tables=self.compile_tables,
-                    )
-                )
-        else:
-            chunk_size = self.chunk_size
-            if chunk_size is None:
-                chunk_size = max(8, len(specs) // (self.workers * 4) or 1)
-            chunks = _chunked(specs, chunk_size)
-            src_root = str(Path(__file__).resolve().parents[2])
-            simulate_chunk = partial(
-                _simulate_chunk,
-                trace_level=self.trace_level.value,
-                inbox_limit=self.inbox_limit,
-                reuse_cars=self.reuse_cars,
-                compile_tables=self.compile_tables,
-            )
-            with multiprocessing.get_context().Pool(
-                processes=self.workers,
-                initializer=_init_worker,
-                initargs=([src_root],),
-            ) as pool:
-                for outcomes in pool.imap_unordered(simulate_chunk, chunks):
-                    aggregator.extend(outcomes)
-        return aggregator.result(wall_seconds=time.perf_counter() - wall_start)
+        self._warn_deprecated("FleetRunner.run_specs")
+        return self._run_specs(specs, scenario_name)
 
     def run_many(
         self,
@@ -490,12 +461,33 @@ class FleetRunner:
         Vehicle ids are globally unique across the combined fleet so
         per-scenario results can be merged or compared without clashes.
         """
+        self._warn_deprecated("FleetRunner.run_many")
         results: dict[str, FleetResult] = {}
         next_id = 0
         for entry in scenarios:
             scenario = get_scenario(entry) if isinstance(entry, str) else entry
-            results[scenario.name] = self.run(
-                scenario, vehicles_each, seed=seed, first_vehicle_id=next_id
+            specs = scenario.vehicle_specs(
+                vehicles_each, seed, first_vehicle_id=next_id
             )
+            results[scenario.name] = self._run_specs(specs, scenario.name)
             next_id += vehicles_each
         return results
+
+    def _run_specs(self, specs: Sequence[VehicleSpec], scenario_name: str) -> FleetResult:
+        # Imported here so the fleet package has no import-time
+        # dependency on the api layer built on top of it.
+        from repro.api.config import ExperimentConfig
+        from repro.api.session import FleetSession
+
+        config = ExperimentConfig(
+            scenario=scenario_name or "custom",
+            vehicles=max(1, len(specs)),
+            workers=self.workers,
+            chunk_size=self.chunk_size,
+            trace_level=self.trace_level,
+            inbox_limit=self.inbox_limit,
+            reuse_cars=self.reuse_cars,
+            compile_tables=self.compile_tables,
+        )
+        with FleetSession(config) as session:
+            return session.run_specs(specs, scenario_name)

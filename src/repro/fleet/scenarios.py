@@ -19,7 +19,9 @@ examples look them up with :func:`get_scenario`.
 
 from __future__ import annotations
 
+import inspect
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterator
 
@@ -30,13 +32,33 @@ from repro.fleet.kernel import derive_seed
 ENFORCEMENT_LABELS = ("unprotected", "selinux-only", "hpe-only", "hpe+selinux")
 
 
-def _freeze(value: object) -> object:
-    """Canonicalise a parameter value: sequences become tuples, recursively.
+def _check_keys(
+    data: dict, kind: str, required: tuple[str, ...], optional: tuple[str, ...] = ()
+) -> None:
+    """Validate a ``from_dict`` payload's key set with a precise error."""
+    allowed = set(required) | set(optional)
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown {kind} key(s) {unknown}; allowed keys: {sorted(allowed)}"
+        )
+    missing = sorted(set(required) - set(data))
+    if missing:
+        raise ValueError(f"missing required {kind} key(s) {missing}")
 
-    JSON round-trips turn tuples into lists; freezing on construction
-    means an action rebuilt from JSON compares equal to (and hashes the
-    same as) the original.
+
+def _freeze(value: object) -> object:
+    """Canonicalise a parameter value into a hashable form, recursively.
+
+    Sequences become tuples and mappings become sorted ``(key, value)``
+    pair tuples.  JSON round-trips turn tuples into lists; freezing on
+    construction means an action rebuilt from JSON compares equal to
+    (and hashes the same as) the original, and any action, spec or
+    experiment config stays hashable whatever parameter shapes it
+    carries.
     """
+    if isinstance(value, dict):
+        return tuple(sorted((str(key), _freeze(item)) for key, item in value.items()))
     if isinstance(value, (list, tuple)):
         return tuple(_freeze(item) for item in value)
     return value
@@ -73,7 +95,13 @@ class VehicleAction:
 
     @classmethod
     def from_dict(cls, data: dict) -> "VehicleAction":
-        """Rebuild an action serialised by :meth:`to_dict`."""
+        """Rebuild an action serialised by :meth:`to_dict`.
+
+        Unknown keys are rejected rather than silently dropped -- a
+        typo'd key in a hand-written spec would otherwise produce a
+        subtly different fleet.
+        """
+        _check_keys(data, "VehicleAction", required=("time", "kind"), optional=("params",))
         return cls(
             time=float(data["time"]),
             kind=str(data["kind"]),
@@ -105,7 +133,13 @@ class VehicleSpec:
 
     @classmethod
     def from_dict(cls, data: dict) -> "VehicleSpec":
-        """Rebuild a spec serialised by :meth:`to_dict`."""
+        """Rebuild a spec serialised by :meth:`to_dict` (unknown keys rejected)."""
+        _check_keys(
+            data,
+            "VehicleSpec",
+            required=("vehicle_id", "scenario", "enforcement", "seed", "duration_s"),
+            optional=("actions",),
+        )
         return cls(
             vehicle_id=int(data["vehicle_id"]),
             scenario=str(data["scenario"]),
@@ -119,7 +153,20 @@ class VehicleSpec:
 
 
 #: Builds one vehicle's action script from (vehicle index, seeded rng).
-ScriptFactory = Callable[[int, random.Random], tuple[VehicleAction, ...]]
+#: A factory may declare a third ``params`` argument to receive the
+#: scenario's parameter dict -- such *parameter-aware* scripts respond
+#: to :meth:`FleetScenario.with_parameters` overrides (and therefore to
+#: ``ExperimentConfig.scenario_parameters`` / the CLI's ``--param``);
+#: two-argument factories treat parameters as recorded metadata only.
+ScriptFactory = Callable[..., tuple[VehicleAction, ...]]
+
+
+def _script_takes_params(script: ScriptFactory) -> bool:
+    """Whether *script* declares the optional third ``params`` argument."""
+    try:
+        return len(inspect.signature(script).parameters) >= 3
+    except (TypeError, ValueError):  # builtins / exotic callables
+        return False
 
 
 @dataclass(frozen=True)
@@ -139,10 +186,14 @@ class FleetScenario:
         enforcement configuration from this distribution.
     script:
         Factory producing a vehicle's action script from its index and
-        a per-vehicle seeded RNG.
+        a per-vehicle seeded RNG; a factory declaring a third ``params``
+        argument also receives the scenario's parameter dict.
     parameters:
-        The scenario's tunable knobs, recorded for reporting (the
-        factory closes over their values).
+        The scenario's tunable knobs.  Parameter-aware scripts (third
+        ``params`` argument) read them, so :meth:`with_parameters`
+        overrides change the materialised fleet; for two-argument
+        scripts (all built-ins -- they close over their defaults) the
+        knobs are recorded metadata for reports.
     """
 
     name: str
@@ -185,6 +236,8 @@ class FleetScenario:
             raise ValueError("fleet size must be positive")
         labels = [label for label, _ in self.mix]
         weights = [weight for _, weight in self.mix]
+        takes_params = _script_takes_params(self.script)
+        params = dict(self.parameters)
         specs: list[VehicleSpec] = []
         for index in range(vehicles):
             vehicle_id = first_vehicle_id + index
@@ -196,6 +249,11 @@ class FleetScenario:
             script_rng = random.Random(
                 derive_seed(seed, f"{self.name}/script-{vehicle_id}")
             )
+            actions = (
+                self.script(index, script_rng, params)
+                if takes_params
+                else self.script(index, script_rng)
+            )
             specs.append(
                 VehicleSpec(
                     vehicle_id=vehicle_id,
@@ -203,9 +261,7 @@ class FleetScenario:
                     enforcement=enforcement,
                     seed=derive_seed(seed, f"{self.name}/sim-{vehicle_id}"),
                     duration_s=self.duration_s,
-                    actions=tuple(
-                        sorted(self.script(index, script_rng), key=lambda a: a.time)
-                    ),
+                    actions=tuple(sorted(actions, key=lambda a: a.time)),
                 )
             )
         return specs
@@ -218,12 +274,90 @@ class FleetScenario:
 _REGISTRY: dict[str, FleetScenario] = {}
 
 
-def register_scenario(scenario: FleetScenario, replace_existing: bool = False) -> FleetScenario:
-    """Register *scenario* under its name; returns it for chaining."""
-    if scenario.name in _REGISTRY and not replace_existing:
-        raise ValueError(f"scenario {scenario.name!r} is already registered")
+def register_scenario(
+    scenario: FleetScenario | None = None,
+    replace_existing: bool = False,
+    *,
+    name: str | None = None,
+    description: str = "",
+    duration_s: float | None = None,
+    mix: tuple[tuple[str, float], ...] | None = None,
+    parameters: tuple[tuple[str, object], ...] | dict = (),
+):
+    """Register a scenario under its name; returns it for chaining.
+
+    Two forms:
+
+    * ``register_scenario(scenario)`` -- register an existing
+      :class:`FleetScenario` object (the historical form).
+    * As a decorator on a script factory, which builds and registers the
+      scenario around the decorated function (its first docstring line
+      becomes the description unless one is given explicitly)::
+
+          @register_scenario(name="rush_hour", duration_s=0.3,
+                             mix=(("hpe+selinux", 1.0),))
+          def rush_hour(index, rng):
+              '''Dense commuter traffic.'''
+              return (VehicleAction(0.0, "drive", {"accel": 90}),)
+
+      The decorator returns the registered :class:`FleetScenario` (not
+      the bare function), so the module attribute is the scenario itself.
+    """
+    if scenario is not None:
+        if not isinstance(scenario, FleetScenario):
+            raise TypeError(
+                "register_scenario takes a FleetScenario positionally; use "
+                "keyword arguments (name=, duration_s=, mix=) for the "
+                "decorator form"
+            )
+        if scenario.name in _REGISTRY and not replace_existing:
+            raise ValueError(f"scenario {scenario.name!r} is already registered")
+        _REGISTRY[scenario.name] = scenario
+        return scenario
+
+    if name is None or duration_s is None or mix is None:
+        raise TypeError(
+            "the decorator form of register_scenario requires name=, "
+            "duration_s= and mix= keyword arguments"
+        )
+
+    def decorate(script: ScriptFactory) -> FleetScenario:
+        doc = (script.__doc__ or "").strip().splitlines()
+        built = FleetScenario(
+            name=name,
+            description=description or (doc[0] if doc else ""),
+            duration_s=duration_s,
+            mix=tuple(mix),
+            script=script,
+            parameters=tuple(sorted(dict(parameters).items())),
+        )
+        return register_scenario(built, replace_existing=replace_existing)
+
+    return decorate
+
+
+@contextmanager
+def temporary_scenario(scenario: FleetScenario) -> Iterator[FleetScenario]:
+    """Register *scenario* for the duration of a ``with`` block only.
+
+    Tests and benchmarks used to mutate the global registry and leak
+    entries (or clobber built-ins) when an assertion failed before the
+    cleanup ran.  This context manager registers on entry -- shadowing
+    any existing scenario of the same name -- and restores the previous
+    registry state on exit, exception or not::
+
+        with temporary_scenario(my_scenario):
+            FleetSession(config).run()
+    """
+    previous = _REGISTRY.get(scenario.name)
     _REGISTRY[scenario.name] = scenario
-    return scenario
+    try:
+        yield scenario
+    finally:
+        if previous is None:
+            _REGISTRY.pop(scenario.name, None)
+        else:
+            _REGISTRY[scenario.name] = previous
 
 
 def unregister_scenario(name: str) -> FleetScenario:

@@ -1,0 +1,259 @@
+"""Tests for :class:`repro.api.config.ExperimentConfig`: validation,
+presets, serialisation round trips and the CLI-equivalence surface."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.cli import build_parser
+from repro.api.config import PRESETS, ExperimentConfig
+from repro.can.trace import TraceLevel
+from repro.core.enforcement import EnforcementConfig
+from repro.fleet.runner import DEFAULT_FLEET_INBOX_LIMIT
+from repro.fleet.scenarios import ENFORCEMENT_LABELS
+
+
+class TestValidation:
+    def test_defaults_are_the_fast_path(self):
+        config = ExperimentConfig(scenario="fleet_replay_storm", vehicles=10)
+        assert config.trace_level is TraceLevel.COUNTERS
+        assert config.inbox_limit == DEFAULT_FLEET_INBOX_LIMIT
+        assert config.reuse_cars and config.compile_tables
+        assert config.workers == 1
+
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            ({"vehicles": 0}, "vehicles"),
+            ({"workers": 0}, "workers"),
+            ({"first_vehicle_id": -1}, "first_vehicle_id"),
+            ({"enforcement": "tinfoil"}, "enforcement label"),
+            ({"inbox_limit": 0}, "inbox_limit"),
+            ({"chunk_size": 0}, "chunk_size"),
+        ],
+    )
+    def test_bad_fields_raise(self, overrides, match):
+        kwargs = {"scenario": "fleet_replay_storm", "vehicles": 10, **overrides}
+        with pytest.raises(ValueError, match=match):
+            ExperimentConfig(**kwargs)
+
+    def test_empty_scenario_raises(self):
+        with pytest.raises(ValueError, match="scenario"):
+            ExperimentConfig(scenario="  ", vehicles=1)
+
+    def test_bad_trace_level_raises(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scenario="x", vehicles=1, trace_level="verbose")
+
+    def test_dict_valued_parameters_stay_hashable(self):
+        config = ExperimentConfig(
+            scenario="x", vehicles=1, scenario_parameters={"mix": {"b": 2, "a": 1}}
+        )
+        assert hash(config) is not None
+        assert config.scenario_parameters == (("mix", (("a", 1), ("b", 2))),)
+        assert ExperimentConfig.from_json(config.to_json()) == config
+
+    def test_scenario_parameters_canonicalise(self):
+        from_dict = ExperimentConfig(
+            scenario="x", vehicles=1, scenario_parameters={"b": [1, 2], "a": 3}
+        )
+        from_pairs = ExperimentConfig(
+            scenario="x", vehicles=1, scenario_parameters=(("a", 3), ("b", (1, 2)))
+        )
+        assert from_dict == from_pairs
+        assert hash(from_dict) == hash(from_pairs)
+
+    def test_with_overrides_revalidates(self):
+        config = ExperimentConfig(scenario="x", vehicles=4)
+        assert config.with_overrides(workers=4).workers == 4
+        with pytest.raises(ValueError):
+            config.with_overrides(workers=0)
+
+
+class TestPresets:
+    def test_debug_is_fully_inspectable(self):
+        config = ExperimentConfig.debug("fleet_replay_storm", 5)
+        assert config.workers == 1
+        assert config.trace_level is TraceLevel.FULL
+        assert config.inbox_limit is None
+        assert not config.reuse_cars
+
+    def test_throughput_is_the_fast_path(self):
+        config = ExperimentConfig.throughput("fleet_replay_storm", 5)
+        assert config.workers == 4
+        assert config.trace_level is TraceLevel.COUNTERS
+        assert config.reuse_cars and config.compile_tables
+
+    def test_faithful_uses_the_object_decision_path(self):
+        config = ExperimentConfig.faithful("fleet_replay_storm", 5)
+        assert not config.compile_tables
+        assert not config.reuse_cars
+        assert config.trace_level is TraceLevel.FULL
+
+    def test_preset_accepts_overrides(self):
+        config = ExperimentConfig.preset("throughput", "x", 5, workers=2, seed=9)
+        assert config.workers == 2
+        assert config.seed == 9
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="unknown preset"):
+            ExperimentConfig.preset("warp", "x", 5)
+
+    def test_preset_registry_names(self):
+        assert set(PRESETS) == {"debug", "throughput", "faithful"}
+
+
+class TestSerialisation:
+    def test_dict_round_trip(self):
+        config = ExperimentConfig(
+            scenario="mixed_ev_dos",
+            vehicles=42,
+            seed=7,
+            enforcement="hpe-only",
+            scenario_parameters={"frames": (30, 80)},
+            trace_level="ring",
+            inbox_limit=None,
+            workers=4,
+            chunk_size=5,
+            reuse_cars=False,
+            compile_tables=False,
+        )
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+
+    def test_json_round_trip_restores_tuples(self):
+        config = ExperimentConfig(
+            scenario="x", vehicles=3, scenario_parameters={"window": (0.1, 0.2)}
+        )
+        rebuilt = ExperimentConfig.from_json(config.to_json())
+        assert rebuilt == config
+        assert rebuilt.scenario_parameters == (("window", (0.1, 0.2)),)
+
+    def test_unknown_keys_rejected(self):
+        data = ExperimentConfig(scenario="x", vehicles=3).to_dict()
+        data["vehicels"] = 5
+        with pytest.raises(ValueError, match="vehicels"):
+            ExperimentConfig.from_dict(data)
+
+    def test_missing_required_keys_rejected(self):
+        with pytest.raises(ValueError, match="missing required"):
+            ExperimentConfig.from_dict({"scenario": "x"})
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(ValueError, match="object"):
+            ExperimentConfig.from_json("[1, 2]")
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        scenario=st.text(
+            alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=20
+        ),
+        vehicles=st.integers(min_value=1, max_value=10**6),
+        seed=st.integers(min_value=-(2**31), max_value=2**31),
+        first_vehicle_id=st.integers(min_value=0, max_value=10**6),
+        enforcement=st.sampled_from((None,) + ENFORCEMENT_LABELS),
+        params=st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.one_of(
+                st.integers(min_value=-(10**6), max_value=10**6),
+                st.floats(allow_nan=False, allow_infinity=False),
+                st.text(max_size=12),
+                st.booleans(),
+                st.lists(st.integers(min_value=0, max_value=99), max_size=4),
+            ),
+            max_size=4,
+        ),
+        trace_level=st.sampled_from(list(TraceLevel)),
+        inbox_limit=st.one_of(st.none(), st.integers(min_value=1, max_value=10**5)),
+        workers=st.integers(min_value=1, max_value=16),
+        chunk_size=st.one_of(st.none(), st.integers(min_value=1, max_value=512)),
+        reuse_cars=st.booleans(),
+        compile_tables=st.booleans(),
+    )
+    def test_property_round_trips(self, scenario, vehicles, seed, first_vehicle_id,
+                                  enforcement, params, trace_level, inbox_limit,
+                                  workers, chunk_size, reuse_cars, compile_tables):
+        config = ExperimentConfig(
+            scenario=scenario,
+            vehicles=vehicles,
+            seed=seed,
+            first_vehicle_id=first_vehicle_id,
+            enforcement=enforcement,
+            scenario_parameters=params,
+            trace_level=trace_level,
+            inbox_limit=inbox_limit,
+            workers=workers,
+            chunk_size=chunk_size,
+            reuse_cars=reuse_cars,
+            compile_tables=compile_tables,
+        )
+        assert ExperimentConfig.from_dict(config.to_dict()) == config
+        assert ExperimentConfig.from_json(config.to_json()) == config
+        assert ExperimentConfig.from_json(
+            json.dumps(json.loads(config.to_json()))
+        ) == config
+
+
+class TestCliEquivalence:
+    def test_cli_arguments_parse_back_to_the_same_config(self):
+        config = ExperimentConfig(
+            scenario="fleet_replay_storm",
+            vehicles=25,
+            seed=3,
+            first_vehicle_id=100,
+            enforcement="unprotected",
+            scenario_parameters={"frames": (30, 80), "note": "sweep"},
+            trace_level="ring",
+            inbox_limit=None,
+            workers=2,
+            chunk_size=4,
+            reuse_cars=False,
+            compile_tables=False,
+        )
+        from repro.api.cli import _resolve_config
+
+        args = build_parser().parse_args(config.cli_arguments())
+        assert _resolve_config(args) == config
+
+    def test_cli_command_names_the_module(self):
+        config = ExperimentConfig(scenario="x", vehicles=1)
+        assert config.cli_command().startswith("python -m repro fleet run ")
+
+    def test_cli_command_shell_quoting_survives_sequence_params(self):
+        import shlex
+
+        from repro.api.cli import _resolve_config
+
+        config = ExperimentConfig(
+            scenario="x",
+            vehicles=2,
+            scenario_parameters={"burst": (1, 2), "note": "two words"},
+        )
+        # The printed command, split exactly as a shell would split it,
+        # must parse back to the identical config.
+        argv = shlex.split(config.cli_command())[3:]  # drop python -m repro
+        args = build_parser().parse_args(argv)
+        assert _resolve_config(args) == config
+
+
+class TestEnforcementFromLabel:
+    @pytest.mark.parametrize("label", ENFORCEMENT_LABELS)
+    def test_round_trips_every_label(self, label):
+        assert EnforcementConfig.from_label(label).label == label
+
+    def test_named_constructors_round_trip(self):
+        for config in (
+            EnforcementConfig.none(),
+            EnforcementConfig.software_only(),
+            EnforcementConfig.hardware_only(),
+            EnforcementConfig.full(),
+        ):
+            assert EnforcementConfig.from_label(config.label) == config
+
+    def test_compile_tables_toggle(self):
+        assert not EnforcementConfig.from_label("hpe-only", compile_tables=False).compile_tables
+
+    def test_unknown_label_raises(self):
+        with pytest.raises(ValueError, match="unknown enforcement label"):
+            EnforcementConfig.from_label("hpe+guesswork")

@@ -1,0 +1,92 @@
+"""The legacy :class:`FleetRunner` surface: every call path warns, and
+results stay bit-identical to the :class:`repro.api.FleetSession` layer
+it now delegates to."""
+
+import warnings
+
+import pytest
+
+from repro.api import ExperimentConfig, FleetSession
+from repro.fleet.runner import FleetRunner
+from repro.fleet.scenarios import get_scenario
+
+FLEET = 16
+SEED = 42
+
+
+def _quiet_runner(**kwargs) -> FleetRunner:
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return FleetRunner(**kwargs)
+
+
+class TestEveryLegacyPathWarns:
+    def test_constructor_warns(self):
+        with pytest.deprecated_call(match="FleetRunner is deprecated"):
+            FleetRunner()
+
+    def test_run_warns(self):
+        runner = _quiet_runner()
+        with pytest.deprecated_call(match="FleetSession"):
+            runner.run("baseline_cruise", 2, seed=1)
+
+    def test_run_specs_warns(self):
+        runner = _quiet_runner()
+        specs = get_scenario("baseline_cruise").vehicle_specs(2, 1)
+        with pytest.deprecated_call(match="FleetSession"):
+            runner.run_specs(specs, "baseline_cruise")
+
+    def test_run_many_warns(self):
+        runner = _quiet_runner()
+        with pytest.deprecated_call(match="FleetSession"):
+            runner.run_many(("baseline_cruise",), vehicles_each=2, seed=1)
+
+
+class TestLegacyResultsAreBitIdentical:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_fingerprint_matches_fleet_session(self, workers):
+        config = ExperimentConfig(
+            scenario="mixed_ev_dos", vehicles=FLEET, seed=SEED, workers=workers
+        )
+        with FleetSession(config) as session:
+            expected = session.run()
+        legacy = _quiet_runner(workers=workers).run("mixed_ev_dos", FLEET, seed=SEED)
+        assert legacy.fingerprint() == expected.fingerprint()
+        assert legacy.vehicles == expected.vehicles
+        assert legacy.enforcement_mix == expected.enforcement_mix
+        assert legacy.latency_p99_s == expected.latency_p99_s
+
+    def test_legacy_kwargs_still_steer_the_session(self):
+        """The six historical kwargs map onto config fields unchanged."""
+        legacy = _quiet_runner(
+            workers=1,
+            trace_level="full",
+            inbox_limit=None,
+            reuse_cars=False,
+            compile_tables=False,
+        ).run("fleet_replay_storm", FLEET, seed=SEED)
+        config = ExperimentConfig(
+            scenario="fleet_replay_storm",
+            vehicles=FLEET,
+            seed=SEED,
+            trace_level="full",
+            inbox_limit=None,
+            reuse_cars=False,
+            compile_tables=False,
+        )
+        assert legacy.fingerprint() == FleetSession(config).run().fingerprint()
+
+    def test_run_many_matches_first_vehicle_id_offsets(self):
+        legacy = _quiet_runner().run_many(
+            ("baseline_cruise", "fuzz_probe"), vehicles_each=4, seed=3
+        )
+        base = ExperimentConfig(scenario="baseline_cruise", vehicles=4, seed=3)
+        with FleetSession(base) as session:
+            results = session.run_matrix(
+                [
+                    {"scenario": "baseline_cruise", "first_vehicle_id": 0},
+                    {"scenario": "fuzz_probe", "first_vehicle_id": 4},
+                ]
+            )
+        for (config, result) in results:
+            assert legacy[config.scenario].fingerprint() == result.fingerprint()

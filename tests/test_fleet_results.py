@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.fleet.results import FleetAggregator, VehicleOutcome
+from repro.fleet.results import (
+    FleetAggregator,
+    StreamingFleetAggregator,
+    VehicleOutcome,
+)
 
 
 def make_outcome(vehicle_id: int, **overrides) -> VehicleOutcome:
@@ -59,6 +63,47 @@ class TestAggregation:
         assert result.latency_p50_s == pytest.approx(50.0)
         assert result.latency_p95_s == pytest.approx(94.0)
         assert result.latency_p99_s == pytest.approx(98.0)
+
+
+class TestStreamingAggregator:
+    def test_matches_the_batch_aggregator_bit_for_bit(self):
+        outcomes = [
+            make_outcome(i, frames_blocked=i * 3, mean_decision_latency_s=i * 1e-8)
+            for i in range(25)
+        ]
+        batch = FleetAggregator("test")
+        stream = StreamingFleetAggregator("test")
+        for outcome in outcomes:
+            batch.add(outcome)
+            stream.add(outcome)
+        batch_result = batch.result(wall_seconds=1.5)
+        stream_result = stream.result(wall_seconds=1.5)
+        assert stream_result.fingerprint() == batch_result.fingerprint()
+        assert stream_result.frames_blocked == batch_result.frames_blocked
+        assert stream_result.latency_p95_s == batch_result.latency_p95_s
+        assert stream_result.enforcement_mix == batch_result.enforcement_mix
+        assert stream_result.summary() == batch_result.summary()
+
+    def test_rejects_out_of_order_vehicles(self):
+        stream = StreamingFleetAggregator("test")
+        stream.add(make_outcome(5))
+        stream.add(make_outcome(5))  # equal ids are fine
+        with pytest.raises(ValueError, match="vehicle-id order"):
+            stream.add(make_outcome(4))
+
+    def test_refuses_adds_after_finalisation(self):
+        stream = StreamingFleetAggregator("test")
+        stream.add(make_outcome(0))
+        stream.result()
+        with pytest.raises(RuntimeError, match="finalised"):
+            stream.add(make_outcome(1))
+
+    def test_count_tracks_folded_outcomes(self):
+        stream = StreamingFleetAggregator("test")
+        assert stream.count == 0
+        stream.add(make_outcome(0))
+        stream.add(make_outcome(1))
+        assert stream.count == 2
 
 
 class TestFingerprint:

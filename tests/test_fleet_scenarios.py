@@ -11,6 +11,7 @@ from repro.fleet.scenarios import (
     get_scenario,
     register_scenario,
     registered_scenarios,
+    temporary_scenario,
     unregister_scenario,
 )
 
@@ -69,6 +70,105 @@ class TestRegistry:
     def test_unknown_scenario_error_names_known_ones(self):
         with pytest.raises(KeyError, match="baseline_cruise"):
             get_scenario("no_such_workload")
+
+
+class TestDecoratorRegistration:
+    def test_decorator_builds_and_registers_the_scenario(self):
+        @register_scenario(
+            name="decorated_test_scenario",
+            duration_s=0.1,
+            mix=(("hpe+selinux", 1.0),),
+            parameters={"accel": 55},
+        )
+        def decorated_script(index, rng):
+            """Decorated steady driving."""
+            return (VehicleAction(0.0, "drive", {"accel": 55}),)
+
+        try:
+            assert isinstance(decorated_script, FleetScenario)
+            assert get_scenario("decorated_test_scenario") is decorated_script
+            # The docstring's first line became the description.
+            assert decorated_script.description == "Decorated steady driving."
+            assert dict(decorated_script.parameters) == {"accel": 55}
+            specs = decorated_script.vehicle_specs(3, seed=1)
+            assert all(spec.actions[0].param("accel") == 55 for spec in specs)
+        finally:
+            unregister_scenario("decorated_test_scenario")
+
+    def test_explicit_description_beats_the_docstring(self):
+        @register_scenario(
+            name="described_test_scenario",
+            description="explicit wins",
+            duration_s=0.1,
+            mix=(("unprotected", 1.0),),
+        )
+        def scripted(index, rng):
+            """Docstring loses."""
+            return ()
+
+        try:
+            assert scripted.description == "explicit wins"
+        finally:
+            unregister_scenario("described_test_scenario")
+
+    def test_decorator_form_requires_the_scenario_fields(self):
+        with pytest.raises(TypeError, match="name=, duration_s= and mix="):
+            register_scenario(name="incomplete")
+
+    def test_positional_argument_must_be_a_scenario(self):
+        with pytest.raises(TypeError, match="FleetScenario"):
+            register_scenario(_noop_script)
+
+
+class TestParameterAwareScripts:
+    def test_three_argument_script_receives_parameter_overrides(self):
+        @register_scenario(
+            name="param_aware_test",
+            duration_s=0.1,
+            mix=(("hpe+selinux", 1.0),),
+            parameters={"accel": 40},
+        )
+        def scripted(index, rng, params):
+            """Parameter-aware steady driving."""
+            return (VehicleAction(0.0, "drive", {"accel": params["accel"]}),)
+
+        try:
+            base = scripted.vehicle_specs(2, seed=1)
+            assert all(spec.actions[0].param("accel") == 40 for spec in base)
+            tuned = scripted.with_parameters(accel=90).vehicle_specs(2, seed=1)
+            assert all(spec.actions[0].param("accel") == 90 for spec in tuned)
+        finally:
+            unregister_scenario("param_aware_test")
+
+    def test_two_argument_scripts_treat_parameters_as_metadata(self):
+        scenario = get_scenario("baseline_cruise")
+        overridden = scenario.with_parameters(accel_range=(1, 2))
+        assert overridden.vehicle_specs(3, seed=1) == scenario.vehicle_specs(3, seed=1)
+
+
+class TestTemporaryScenario:
+    def test_registers_for_the_block_only(self):
+        scenario = make_scenario("temp_test_scenario")
+        with temporary_scenario(scenario) as active:
+            assert active is scenario
+            assert get_scenario("temp_test_scenario") is scenario
+        with pytest.raises(KeyError):
+            get_scenario("temp_test_scenario")
+
+    def test_shadows_and_restores_an_existing_scenario(self):
+        builtin = get_scenario("baseline_cruise")
+        shadow = make_scenario("baseline_cruise")
+        with temporary_scenario(shadow):
+            assert get_scenario("baseline_cruise") is shadow
+        assert get_scenario("baseline_cruise") is builtin
+
+    def test_restores_even_when_the_block_raises(self):
+        scenario = make_scenario("temp_raises_scenario")
+        with pytest.raises(RuntimeError):
+            with temporary_scenario(scenario):
+                raise RuntimeError("boom")
+        with pytest.raises(KeyError):
+            get_scenario("temp_raises_scenario")
 
 
 class TestScenarioValidation:
@@ -161,3 +261,21 @@ class TestSerialisationRoundTrip:
         b = VehicleAction(0.1, "drive", {"a": 1, "b": 2})
         assert a == b
         assert a.params == (("a", 1), ("b", 2))
+
+    def test_action_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match=r"unknown VehicleAction key\(s\) \['knid'\]"):
+            VehicleAction.from_dict({"time": 0.1, "kind": "drive", "knid": "typo"})
+
+    def test_action_rejects_missing_required_keys(self):
+        with pytest.raises(ValueError, match="missing required VehicleAction"):
+            VehicleAction.from_dict({"time": 0.1})
+
+    def test_spec_rejects_unknown_keys(self):
+        data = get_scenario("baseline_cruise").vehicle_specs(1, seed=1)[0].to_dict()
+        data["enforcment"] = data.pop("enforcement")
+        with pytest.raises(ValueError, match="enforcment"):
+            VehicleSpec.from_dict(data)
+
+    def test_spec_rejects_missing_required_keys(self):
+        with pytest.raises(ValueError, match="missing required VehicleSpec"):
+            VehicleSpec.from_dict({"vehicle_id": 1, "scenario": "x"})
