@@ -1,0 +1,94 @@
+"""Parent-memory budget smoke: a big fleet run must stay O(chunk).
+
+Runs the default lazy + shared-memory fleet pipeline (``repro.api``)
+with the parent under ``tracemalloc`` and asserts the parent's peak
+traced allocation stays below a fixed budget.  The budget is sized from
+the chunk window (a few MiB at any fleet size), far below what
+materialising the fleet's specs costs (~35 MiB at 50k vehicles), so the
+smoke fails loudly if anyone reintroduces full-fleet materialisation or
+unbounded outcome buffering into the parent.
+
+Run directly (CI wires this at 50k vehicles)::
+
+    PYTHONPATH=src python benchmarks/fleet_memory_smoke.py \
+        --vehicles 50000 --workers 4 --budget-mib 16
+
+Implementation note: the worker pool is warmed *before* tracing starts,
+both so forked workers don't inherit tracemalloc (a 3-6x slowdown that
+measures nothing -- only the parent's footprint is under test) and so
+one-time builder/policy caches don't pollute the steady-state peak.
+"""
+
+from __future__ import annotations
+
+import argparse
+import resource
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.api import ExperimentConfig, FleetSession
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="baseline_cruise")
+    parser.add_argument("--vehicles", type=int, default=50_000)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument(
+        "--budget-mib",
+        type=float,
+        default=16.0,
+        help="parent peak traced-allocation budget (MiB)",
+    )
+    args = parser.parse_args(argv)
+
+    config = ExperimentConfig(
+        scenario=args.scenario,
+        vehicles=args.vehicles,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    with FleetSession(config) as session:
+        # Warm the worker pool and one-time caches outside the trace.
+        session.run_matrix([{"vehicles": min(64, args.vehicles)}])
+
+        tracemalloc.start()
+        start = time.perf_counter()
+        count = sum(1 for _ in session.iter_outcomes())
+        elapsed = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        result = session.last_result
+
+    peak_mib = peak / 2**20
+    rss_mib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+    print(f"scenario              : {config.scenario}")
+    print(f"vehicles              : {count} (workers={config.workers})")
+    print(f"vehicles/sec          : {count / elapsed:.1f}")
+    print(f"fingerprint           : {result.fingerprint()}")
+    print(f"parent traced peak    : {peak_mib:.2f} MiB (budget {args.budget_mib} MiB)")
+    print(f"parent ru_maxrss      : {rss_mib:.1f} MiB (informational)")
+
+    if count != args.vehicles:
+        print(f"FAIL: streamed {count} outcomes, expected {args.vehicles}")
+        return 1
+    if peak_mib > args.budget_mib:
+        print(
+            f"FAIL: parent peak {peak_mib:.2f} MiB exceeds the O(chunk) "
+            f"budget of {args.budget_mib} MiB -- did full-fleet "
+            "materialisation sneak back into the parent?"
+        )
+        return 1
+    print("OK: parent stayed within the O(chunk) budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from typing import Sequence
 from repro.api.config import PRESETS, ExperimentConfig
 from repro.api.session import FleetSession
 from repro.fleet.scenarios import get_scenario, registered_scenarios
+from repro.fleet.transfer import SPEC_TRANSFER_MODES
 
 PROG = "repro"
 
@@ -102,6 +103,17 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=None, help="worker processes")
     parser.add_argument(
         "--chunk-size", type=int, default=None, help="vehicles per work item"
+    )
+    parser.add_argument(
+        "--spec-transfer",
+        choices=list(SPEC_TRANSFER_MODES),
+        default=None,
+        help=(
+            "how spec chunks reach workers: 'shm' moves columnar blocks "
+            "through shared memory (default; falls back to pickle where "
+            "unavailable), 'pickle' sends pickled lists -- fingerprints "
+            "are identical either way"
+        ),
     )
     parser.add_argument(
         "--reuse-cars",
@@ -207,6 +219,7 @@ _FLAG_FIELDS = (
     ("trace_level", "trace_level"),
     ("workers", "workers"),
     ("chunk_size", "chunk_size"),
+    ("spec_transfer", "spec_transfer"),
     ("reuse_cars", "reuse_cars"),
     ("compile_tables", "compile_tables"),
 )

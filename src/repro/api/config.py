@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from repro.can.trace import TraceLevel
 from repro.fleet.runner import DEFAULT_FLEET_INBOX_LIMIT
 from repro.fleet.scenarios import ENFORCEMENT_LABELS, _check_keys, _freeze
+from repro.fleet.transfer import SPEC_TRANSFER_MODES
 
 #: ``from_dict`` key sets (everything else is rejected, loudly).
 _REQUIRED_KEYS = ("scenario", "vehicles")
@@ -49,6 +50,7 @@ _OPTIONAL_KEYS = (
     "inbox_limit",
     "workers",
     "chunk_size",
+    "spec_transfer",
     "reuse_cars",
     "compile_tables",
 )
@@ -66,6 +68,7 @@ PRESETS: dict[str, dict[str, object]] = {
         "workers": 4,
         "trace_level": TraceLevel.COUNTERS,
         "inbox_limit": DEFAULT_FLEET_INBOX_LIMIT,
+        "spec_transfer": "shm",
         "reuse_cars": True,
         "compile_tables": True,
     },
@@ -73,6 +76,7 @@ PRESETS: dict[str, dict[str, object]] = {
         "workers": 1,
         "trace_level": TraceLevel.FULL,
         "inbox_limit": None,
+        "spec_transfer": "pickle",
         "reuse_cars": False,
         "compile_tables": False,
     },
@@ -115,6 +119,16 @@ class ExperimentConfig:
     workers / chunk_size:
         Worker processes and vehicles per work item (``chunk_size=None``
         sizes chunks as fleet size over ``4 * workers``, at least 8).
+    spec_transfer:
+        How spec chunks reach multiprocess workers (and outcome batches
+        come back): ``"shm"`` (default) moves columnar
+        :class:`~repro.fleet.transfer.SpecBlock` payloads through
+        :mod:`multiprocessing.shared_memory` so only a tiny handle
+        crosses the pipe, ``"pickle"`` sends pickled spec lists.
+        ``"shm"`` falls back to ``"pickle"`` automatically where shared
+        memory is unavailable; fingerprints are bit-identical across
+        modes, so the field moves bytes and memory around, never
+        results.
     reuse_cars / compile_tables:
         The pool and compiled-decision-table toggles (both default on;
         fingerprints are identical either way).
@@ -130,6 +144,7 @@ class ExperimentConfig:
     inbox_limit: int | None = DEFAULT_FLEET_INBOX_LIMIT
     workers: int = 1
     chunk_size: int | None = None
+    spec_transfer: str = "shm"
     reuse_cars: bool = True
     compile_tables: bool = True
 
@@ -162,12 +177,31 @@ class ExperimentConfig:
             raise ValueError("workers must be >= 1")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be >= 1 or None")
+        if self.spec_transfer not in SPEC_TRANSFER_MODES:
+            raise ValueError(
+                f"unknown spec_transfer {self.spec_transfer!r}; "
+                f"known: {SPEC_TRANSFER_MODES}"
+            )
 
     # -- derivation -----------------------------------------------------------
 
     def with_overrides(self, **overrides) -> "ExperimentConfig":
         """A copy with the given fields replaced (and re-validated)."""
         return dataclasses.replace(self, **overrides)
+
+    def effective_chunk_size(self, total: int | None = None) -> int:
+        """Vehicles per work item after the default sizing rule.
+
+        An explicit ``chunk_size`` wins; otherwise chunks are sized as
+        *total* (defaulting to the config's fleet size -- ``run_specs``
+        passes its own spec count) over ``4 * workers``, at least 8.
+        The single authority for the rule: the session's submission
+        loop and the transfer benchmark both derive from here.
+        """
+        if self.chunk_size is not None:
+            return self.chunk_size
+        total = self.vehicles if total is None else total
+        return max(8, total // (self.workers * 4) or 1)
 
     # -- presets --------------------------------------------------------------
 
@@ -216,6 +250,7 @@ class ExperimentConfig:
             "inbox_limit": self.inbox_limit,
             "workers": self.workers,
             "chunk_size": self.chunk_size,
+            "spec_transfer": self.spec_transfer,
             "reuse_cars": self.reuse_cars,
             "compile_tables": self.compile_tables,
         }
@@ -267,6 +302,8 @@ class ExperimentConfig:
             self.trace_level.value,
             "--inbox-limit",
             "none" if self.inbox_limit is None else str(self.inbox_limit),
+            "--spec-transfer",
+            self.spec_transfer,
         ]
         if self.first_vehicle_id:
             args += ["--first-vehicle-id", str(self.first_vehicle_id)]

@@ -19,6 +19,15 @@ worker pools -- behind three entry points:
   *same* session, sharing the warm car pools and worker processes
   (policy derivation and car construction amortise across the sweep).
 
+The data plane is lazy and columnar end to end: specs are generated one
+vehicle at a time (:meth:`FleetSession.iter_vehicle_specs`), chunked
+straight into worker submissions, and -- with the default
+``spec_transfer="shm"`` -- packed into
+:class:`~repro.fleet.transfer.SpecBlock` shared-memory segments whose
+outcome batches return the same way, so the parent stays O(chunk) and
+the worker pipe carries only ``(name, size)`` handles at any fleet
+size.
+
 Worker processes are kept alive across runs (one pool per worker
 count) until :meth:`close` -- use the session as a context manager.
 Everything the session does is a pure function of the config: the same
@@ -32,6 +41,7 @@ from __future__ import annotations
 import multiprocessing
 import multiprocessing.pool
 import time
+from multiprocessing import resource_tracker
 from collections import deque
 from dataclasses import replace
 from functools import partial
@@ -47,9 +57,19 @@ from repro.fleet.runner import (
     _process_builder,
     _process_pool,
     _simulate_chunk,
+    _simulate_chunk_shm,
     simulate_vehicle,
 )
 from repro.fleet.scenarios import FleetScenario, VehicleSpec, get_scenario
+from repro.fleet.transfer import (
+    SHM_AVAILABLE,
+    OutcomeBlock,
+    SpecBlock,
+    discard_segment,
+    read_block,
+    resolve_spec_transfer,
+    write_block,
+)
 
 from repro.api.config import ExperimentConfig
 
@@ -71,6 +91,15 @@ class FleetSession:
         sessions stay warm.
     """
 
+    #: Largest fleet ``run_matrix`` will record for consecutive-entry
+    #: spec reuse.  Beyond this the recording is abandoned mid-stream
+    #: (and the entry runs lazily like any other), so sweeps over 10^5+
+    #: -vehicle fleets keep the parent O(chunk) instead of silently
+    #: rematerialising the whole fleet -- reuse is a small-sweep
+    #: optimisation (~14 MiB of specs at this cap), not a licence to
+    #: undo the lazy pipeline.
+    SPEC_CACHE_LIMIT = 20_000
+
     def __init__(
         self, config: ExperimentConfig, builder: CaseStudyBuilder | None = None
     ) -> None:
@@ -83,6 +112,10 @@ class FleetSession:
         self._car_pool: CarPool | None = None
         self._mp_pools: dict[int, multiprocessing.pool.Pool] = {}
         self._last_result: FleetResult | None = None
+        #: Async results abandoned mid-stream whose workers were still
+        #: running: their OutcomeBlock segments are swept on the next
+        #: parallel run and on close (see _discard_in_flight).
+        self._orphan_results: list = []
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------------
@@ -100,10 +133,12 @@ class FleetSession:
         for them; multiprocess sessions should be used as context
         managers.
         """
+        self._sweep_orphans()
         for pool in self._mp_pools.values():
             pool.terminate()
             pool.join()
         self._mp_pools.clear()
+        self._orphan_results.clear()
         self._closed = True
 
     @property
@@ -128,15 +163,29 @@ class FleetSession:
             scenario = scenario.with_parameters(**dict(config.scenario_parameters))
         return scenario
 
-    def vehicle_specs(self, config: ExperimentConfig | None = None) -> list[VehicleSpec]:
-        """Materialise the config's fully explicit per-vehicle specs."""
+    def iter_vehicle_specs(
+        self, config: ExperimentConfig | None = None
+    ) -> Iterator[VehicleSpec]:
+        """Stream the config's fully explicit per-vehicle specs, lazily.
+
+        The fleet is generated one spec at a time (any fleet-wide
+        enforcement override is mapped over the stream), so the parent
+        never holds more than the chunk being submitted -- the O(chunk)
+        half of the 10^5-vehicle contract, alongside shared-memory
+        transfer.
+        """
         config = config or self.config
-        specs = self.scenario(config).vehicle_specs(
+        stream = self.scenario(config).iter_vehicle_specs(
             config.vehicles, config.seed, first_vehicle_id=config.first_vehicle_id
         )
         if config.enforcement is not None:
-            specs = [replace(spec, enforcement=config.enforcement) for spec in specs]
-        return specs
+            override = config.enforcement
+            stream = (replace(spec, enforcement=override) for spec in stream)
+        return stream
+
+    def vehicle_specs(self, config: ExperimentConfig | None = None) -> list[VehicleSpec]:
+        """:meth:`iter_vehicle_specs`, materialised as a list."""
+        return list(self.iter_vehicle_specs(config))
 
     # -- execution ------------------------------------------------------------
 
@@ -158,14 +207,21 @@ class FleetSession:
         if the stream is abandoned before the final vehicle.
         """
         self._last_result = None
-        return self._stream(self.config, self.vehicle_specs(), self.config.scenario)
+        return self._stream(
+            self.config,
+            self.iter_vehicle_specs(),
+            self.config.scenario,
+            total=self.config.vehicles,
+        )
 
     def run_specs(
         self, specs: Sequence[VehicleSpec], scenario_name: str
     ) -> FleetResult:
         """Run explicit specs (the custom-workload and legacy-shim path)."""
         ordered = sorted(specs, key=lambda spec: spec.vehicle_id)
-        return self._drain(self._stream(self.config, ordered, scenario_name))
+        return self._drain(
+            self._stream(self.config, ordered, scenario_name, total=len(ordered))
+        )
 
     def run_matrix(
         self, configs: Iterable[ExperimentConfig | dict]
@@ -176,10 +232,19 @@ class FleetSession:
         of overrides applied to the session's base config.  Entries run
         sequentially but share the session's builder, car pools and
         worker processes, so the policy derivation and car construction
-        cost is paid once for the whole sweep.  Returns ``(config,
-        result)`` pairs in execution order.
+        cost is paid once for the whole sweep.  Consecutive entries that
+        describe the same fleet -- same (scenario, parameters, vehicles,
+        seed, first_vehicle_id, enforcement), e.g. a worker-count or
+        trace-level sweep -- also reuse one recorded spec stream, so
+        spec generation is paid once per distinct fleet rather than per
+        entry.  Recording is bounded by :attr:`SPEC_CACHE_LIMIT`:
+        fleets beyond it run lazily without reuse, so sweeps keep the
+        parent O(chunk) at any scale.  Returns ``(config, result)``
+        pairs in execution order.
         """
         results: list[tuple[ExperimentConfig, FleetResult]] = []
+        cached_key: tuple | None = None
+        cached_specs: list[VehicleSpec] = []
         for entry in configs:
             config = (
                 self.config.with_overrides(**entry)
@@ -191,13 +256,60 @@ class FleetSession:
                     "run_matrix entries must be ExperimentConfig objects or "
                     f"override dicts, not {type(entry).__name__}"
                 )
+            key = self._spec_stream_key(config)
+            record: dict | None = None
+            if key == cached_key:
+                source: Iterable[VehicleSpec] = cached_specs
+            else:
+                record = {"specs": [], "valid": True}
+                source = self._recording_stream(
+                    self.iter_vehicle_specs(config), record
+                )
             result = self._drain(
-                self._stream(config, self.vehicle_specs(config), config.scenario)
+                self._stream(config, source, config.scenario, total=config.vehicles)
             )
+            if record is not None:
+                # Only a fully drained, size-bounded stream is a
+                # faithful cache; otherwise drop any stale one too.
+                if record["valid"]:
+                    cached_key, cached_specs = key, record["specs"]
+                else:
+                    cached_key, cached_specs = None, []
             results.append((config, result))
         return results
 
     # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _spec_stream_key(config: ExperimentConfig) -> tuple:
+        """Everything the spec stream is a function of (and nothing else)."""
+        return (
+            config.scenario,
+            config.scenario_parameters,
+            config.vehicles,
+            config.seed,
+            config.first_vehicle_id,
+            config.enforcement,
+        )
+
+    @classmethod
+    def _recording_stream(
+        cls, stream: Iterator[VehicleSpec], record: dict
+    ) -> Iterator[VehicleSpec]:
+        """Tee *stream* into ``record["specs"]`` up to the cache limit.
+
+        Past :attr:`SPEC_CACHE_LIMIT` the recording is abandoned --
+        ``record["valid"]`` flips off and the partial copy is released
+        -- while the stream itself keeps flowing untouched.
+        """
+        specs = record["specs"]
+        for spec in stream:
+            if record["valid"]:
+                specs.append(spec)
+                if len(specs) > cls.SPEC_CACHE_LIMIT:
+                    record["valid"] = False
+                    specs.clear()
+            yield spec
 
     def _drain(self, stream: Iterator[VehicleOutcome]) -> FleetResult:
         deque(stream, maxlen=0)
@@ -207,18 +319,19 @@ class FleetSession:
     def _stream(
         self,
         config: ExperimentConfig,
-        specs: Sequence[VehicleSpec],
+        specs: Iterable[VehicleSpec],
         scenario_name: str,
+        total: int,
     ) -> Iterator[VehicleOutcome]:
         if self._closed:
             raise RuntimeError("session is closed")
         self._last_result = None
         wall_start = time.perf_counter()
         aggregator = StreamingFleetAggregator(scenario_name)
-        if config.workers == 1 or len(specs) <= 1:
+        if config.workers == 1 or total <= 1:
             source = self._simulate_inline(config, specs)
         else:
-            source = self._simulate_parallel(config, specs)
+            source = self._simulate_parallel(config, specs, total)
         for outcome in source:
             aggregator.add(outcome)
             yield outcome
@@ -227,7 +340,7 @@ class FleetSession:
         )
 
     def _simulate_inline(
-        self, config: ExperimentConfig, specs: Sequence[VehicleSpec]
+        self, config: ExperimentConfig, specs: Iterable[VehicleSpec]
     ) -> Iterator[VehicleOutcome]:
         builder = self.builder
         pool = self._inline_car_pool() if config.reuse_cars else None
@@ -242,19 +355,49 @@ class FleetSession:
             )
 
     def _simulate_parallel(
-        self, config: ExperimentConfig, specs: Sequence[VehicleSpec]
+        self, config: ExperimentConfig, specs: Iterable[VehicleSpec], total: int
     ) -> Iterator[VehicleOutcome]:
-        chunk_size = config.chunk_size
-        if chunk_size is None:
-            chunk_size = max(8, len(specs) // (config.workers * 4) or 1)
-        chunks = iter(_chunked(specs, chunk_size))
-        simulate_chunk = partial(
-            _simulate_chunk,
+        self._sweep_orphans()
+        chunk_size = config.effective_chunk_size(total)
+        chunks = _chunked(specs, chunk_size)
+        transfer = resolve_spec_transfer(config.spec_transfer)
+        worker_kwargs = dict(
             trace_level=config.trace_level.value,
             inbox_limit=config.inbox_limit,
             reuse_cars=config.reuse_cars,
             compile_tables=config.compile_tables,
         )
+        pool = self._mp_pool(config.workers)
+        if transfer == "shm":
+            # Columnar shared-memory transfer: the chunk is packed into
+            # a SpecBlock segment the worker decodes (and unlinks), and
+            # the outcome batch comes back as an OutcomeBlock segment
+            # this side unlinks -- only (name, size) handles cross the
+            # pipe in either direction.
+            simulate = partial(_simulate_chunk_shm, **worker_kwargs)
+
+            def submit(chunk: list[VehicleSpec]):
+                handle = write_block(SpecBlock.encode(chunk).to_bytes())
+                try:
+                    return pool.apply_async(simulate, (handle,)), handle
+                except BaseException:
+                    discard_segment(handle.name)  # no worker will consume it
+                    raise
+
+            def consume(payload) -> list[VehicleOutcome]:
+                return OutcomeBlock.from_bytes(
+                    read_block(payload, unlink=True)
+                ).decode()
+
+        else:
+            simulate = partial(_simulate_chunk, **worker_kwargs)
+
+            def submit(chunk: list[VehicleSpec]):
+                return pool.apply_async(simulate, (chunk,)), None
+
+            def consume(payload) -> list[VehicleOutcome]:
+                return payload
+
         # Windowed submission with ordered consumption: at most
         # ``workers + 2`` chunks are in flight (running or finished but
         # unconsumed), and results are taken in submission order --
@@ -265,17 +408,81 @@ class FleetSession:
         # slower than the workers exerts backpressure here: no new
         # chunk is submitted until one has been drained, keeping
         # buffered outcomes bounded by the window whatever the fleet
-        # size.
-        pool = self._mp_pool(config.workers)
+        # size.  Because ``chunks`` slices the lazy spec stream, specs
+        # are also *generated* only as the window advances -- the
+        # parent is O(chunk) end to end.
         in_flight: deque = deque()
-        for chunk in islice(chunks, config.workers + 2):
-            in_flight.append(pool.apply_async(simulate_chunk, (chunk,)))
-        while in_flight:
-            outcomes = in_flight.popleft().get()
-            next_chunk = next(chunks, None)
-            if next_chunk is not None:
-                in_flight.append(pool.apply_async(simulate_chunk, (next_chunk,)))
-            yield from outcomes
+        try:
+            for chunk in islice(chunks, config.workers + 2):
+                in_flight.append(submit(chunk))
+            while in_flight:
+                result, spec_handle = in_flight.popleft()
+                try:
+                    payload = result.get()
+                except BaseException:
+                    # The worker died before (or while) consuming its
+                    # spec segment -- it left in_flight with popleft,
+                    # so the finally block below won't see it.
+                    if spec_handle is not None:
+                        discard_segment(spec_handle.name)
+                    raise
+                try:
+                    # Pulling the next chunk runs scenario script code
+                    # (the stream is lazy) and another write_block; if
+                    # either fails, the outcome segment already handed
+                    # back for this chunk must not be orphaned.
+                    next_chunk = next(chunks, None)
+                    if next_chunk is not None:
+                        in_flight.append(submit(next_chunk))
+                except BaseException:
+                    if transfer == "shm":
+                        discard_segment(payload.name)
+                    raise
+                yield from consume(payload)
+        finally:
+            if transfer == "shm" and in_flight:
+                self._discard_in_flight(in_flight)
+
+    def _discard_in_flight(self, in_flight: deque) -> None:
+        """Cleanup of shm segments for an abandoned or failed stream.
+
+        Spec segments whose worker never ran (or died) are unlinked
+        here; workers that did run unlinked theirs already, which the
+        discard treats as success.  Completed-but-unconsumed outcome
+        segments are unlinked immediately; results whose worker is
+        *still running* are parked on ``_orphan_results`` and their
+        segments swept once finished -- at the next parallel run or at
+        :meth:`close` -- rather than blocking the abandoning caller for
+        up to a window of chunk simulations.  (Workers killed by
+        ``close`` mid-write are reclaimed by the shared resource
+        tracker at process shutdown.)
+        """
+        for result, spec_handle in in_flight:
+            if spec_handle is not None:
+                discard_segment(spec_handle.name)
+            if not self._discard_result_segment(result):
+                self._orphan_results.append(result)
+        in_flight.clear()
+
+    @staticmethod
+    def _discard_result_segment(result) -> bool:
+        """Discard a finished result's outcome segment; False if still running."""
+        if not result.ready():
+            return False
+        try:
+            outcome_handle = result.get(0)
+        except Exception:
+            return True  # worker failed: nothing was written back
+        discard_segment(outcome_handle.name)
+        return True
+
+    def _sweep_orphans(self) -> None:
+        """Unlink outcome segments of since-finished abandoned chunks."""
+        self._orphan_results = [
+            result
+            for result in self._orphan_results
+            if not self._discard_result_segment(result)
+        ]
 
     def _inline_car_pool(self) -> CarPool:
         if self._builder is None:
@@ -289,6 +496,16 @@ class FleetSession:
     def _mp_pool(self, workers: int) -> multiprocessing.pool.Pool:
         pool = self._mp_pools.get(workers)
         if pool is None:
+            # Start the shared-memory resource tracker *before* forking
+            # workers: forked children then inherit one tracker, so a
+            # segment registered on create in one process and unlinked
+            # in another books out cleanly instead of each side's
+            # private tracker reporting it leaked at shutdown.  (Under
+            # a spawn start method trackers stay per-process and the
+            # shutdown sweep may warn; transfers are correct either
+            # way -- double unlinks are ignored.)
+            if SHM_AVAILABLE:
+                resource_tracker.ensure_running()
             src_root = str(Path(__file__).resolve().parents[2])
             pool = multiprocessing.get_context().Pool(
                 processes=workers,

@@ -19,6 +19,10 @@ thousands of vehicles in one call:
   :class:`~repro.fleet.runner.FleetRunner` class is a deprecation shim;
   orchestrate through :class:`repro.api.FleetSession` with an
   :class:`repro.api.ExperimentConfig` instead.
+* :mod:`repro.fleet.transfer` -- columnar :class:`SpecBlock` /
+  :class:`OutcomeBlock` codecs and the shared-memory transport that
+  moves chunks between parent and workers with only ``(name, size)``
+  handles on the pipe.
 * :mod:`repro.fleet.results` -- aggregation of per-vehicle outcomes into
   fleet metrics (block rates, enforcement latency percentiles,
   frames/sec) with a determinism fingerprint; the streaming variant
@@ -35,6 +39,7 @@ from repro.fleet.results import (
     VehicleOutcome,
 )
 from repro.fleet.runner import FleetRunner, VehicleSpec, simulate_vehicle
+from repro.fleet.transfer import OutcomeBlock, ShmHandle, SpecBlock
 from repro.fleet.scenarios import (
     FleetScenario,
     VehicleAction,
@@ -51,6 +56,9 @@ __all__ = [
     "FleetResult",
     "FleetRunner",
     "FleetScenario",
+    "OutcomeBlock",
+    "ShmHandle",
+    "SpecBlock",
     "StreamingFleetAggregator",
     "VehicleAction",
     "VehicleOutcome",

@@ -63,6 +63,32 @@ class VehicleOutcome:
         )
 
 
+#: Columnar layout of :class:`VehicleOutcome` shared with
+#: :mod:`repro.fleet.transfer`: every field with its column kind, in
+#: declaration order.  ``int`` columns are signed 64-bit, ``count``
+#: unsigned 64-bit (both with an escape for misfits), ``float`` IEEE-754
+#: doubles (exact), ``bool`` one byte, ``str`` an interned-table index.
+#: Kept next to the dataclass so adding a field and forgetting the
+#: transfer schema is caught by the coverage test, not by silent loss.
+OUTCOME_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("vehicle_id", "int"),
+    ("scenario", "str"),
+    ("enforcement", "str"),
+    ("simulated_seconds", "float"),
+    ("frames_transmitted", "count"),
+    ("frames_delivered", "count"),
+    ("frames_blocked", "count"),
+    ("hpe_decisions", "count"),
+    ("policy_pushes", "count"),
+    ("attacks_attempted", "count"),
+    ("attacks_mitigated", "count"),
+    ("mean_decision_latency_s", "float"),
+    ("healthy", "bool"),
+    ("wall_seconds", "float"),
+    ("build_seconds", "float"),
+)
+
+
 def _percentile(sorted_values: list[float], fraction: float) -> float:
     """Nearest-rank percentile of an already sorted sample (0.0 if empty)."""
     if not sorted_values:

@@ -29,7 +29,8 @@ import sys
 import time
 import warnings
 from dataclasses import replace
-from typing import Iterable, Sequence
+from itertools import islice
+from typing import Iterable, Iterator, Sequence
 
 from repro.attacks.dos import BusFloodAttack, TargetedDisableAttack
 from repro.attacks.fuzzing import FuzzingAttack
@@ -42,6 +43,13 @@ from repro.core.updates import PolicyUpdateBundle, PolicyUpdateClient
 from repro.fleet.kernel import FleetKernel
 from repro.fleet.results import FleetResult, VehicleOutcome
 from repro.fleet.scenarios import FleetScenario, VehicleAction, VehicleSpec, get_scenario
+from repro.fleet.transfer import (
+    OutcomeBlock,
+    ShmHandle,
+    SpecBlock,
+    read_block,
+    write_block,
+)
 from repro.vehicle.car import ConnectedCar
 
 #: Enforcement label -> configuration (``None`` = unprotected baseline).
@@ -378,8 +386,47 @@ def _simulate_chunk(
     ]
 
 
-def _chunked(specs: Sequence[VehicleSpec], chunk_size: int) -> list[list[VehicleSpec]]:
-    return [list(specs[i : i + chunk_size]) for i in range(0, len(specs), chunk_size)]
+def _chunked(
+    specs: Iterable[VehicleSpec], chunk_size: int
+) -> Iterator[list[VehicleSpec]]:
+    """Slice a spec stream into submission-sized lists, lazily.
+
+    Works on any iterable -- in particular the lazy
+    :meth:`~repro.fleet.scenarios.FleetScenario.iter_vehicle_specs`
+    stream -- and only ever holds one chunk, which is what keeps the
+    parent O(chunk) however large the fleet is.
+    """
+    iterator = iter(specs)
+    while True:
+        chunk = list(islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def _simulate_chunk_shm(
+    handle: ShmHandle,
+    trace_level: str = TraceLevel.COUNTERS.value,
+    inbox_limit: int | None = DEFAULT_FLEET_INBOX_LIMIT,
+    reuse_cars: bool = True,
+    compile_tables: bool = True,
+) -> ShmHandle:
+    """Worker entry point for shared-memory spec transfer.
+
+    Decodes (and unlinks) the parent's :class:`SpecBlock` segment,
+    simulates the chunk exactly as :func:`_simulate_chunk` would, and
+    returns the outcomes as a fresh :class:`OutcomeBlock` segment --
+    the only things crossing the pipe are two ``(name, size)`` handles.
+    """
+    specs = SpecBlock.from_bytes(read_block(handle, unlink=True)).decode()
+    outcomes = _simulate_chunk(
+        specs,
+        trace_level=trace_level,
+        inbox_limit=inbox_limit,
+        reuse_cars=reuse_cars,
+        compile_tables=compile_tables,
+    )
+    return write_block(OutcomeBlock.encode(outcomes).to_bytes())
 
 
 class FleetRunner:

@@ -6,10 +6,13 @@ post-deployment policy updates -- into a workload definition that the
 :class:`~repro.fleet.runner.FleetRunner` can stamp out over thousands of
 vehicles.  Scenario materialisation is split from execution:
 
-* :meth:`FleetScenario.vehicle_specs` runs in the parent process and
-  turns (scenario, fleet size, seed) into fully explicit, picklable
-  :class:`VehicleSpec` objects -- every randomised choice (enforcement
-  mix, attack times, flood sizes) is drawn here from seeded streams.
+* :meth:`FleetScenario.iter_vehicle_specs` runs in the parent process
+  and streams (scenario, fleet size, seed) into fully explicit,
+  picklable :class:`VehicleSpec` objects -- every randomised choice
+  (enforcement mix, attack times, flood sizes) is drawn here from
+  seeded streams, one vehicle at a time, so the parent never has to
+  hold the whole fleet (:meth:`FleetScenario.vehicle_specs` is the
+  same stream materialised as a list).
 * Workers only ever see specs, so what a vehicle does is a pure
   function of its spec and worker count cannot leak into results.
 
@@ -78,6 +81,12 @@ class VehicleAction:
     params: tuple[tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
+        # Canonical float time: the columnar transfer codec stores times
+        # in IEEE-754 double columns, so int-valued times would decode
+        # as floats -- coercing here keeps a spec identical whichever
+        # transfer mode carried it (and 0 == 0.0, so equality of
+        # existing callers is unchanged).
+        object.__setattr__(self, "time", float(self.time))
         items = self.params.items() if isinstance(self.params, dict) else self.params
         pairs = tuple(sorted((str(key), _freeze(value)) for key, value in items))
         object.__setattr__(self, "params", pairs)
@@ -119,6 +128,13 @@ class VehicleSpec:
     seed: int
     duration_s: float
     actions: tuple[VehicleAction, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Same canonicalisation as VehicleAction.time: float durations
+        # make the spec a fixed point of the columnar codec's double
+        # columns, so fingerprints cannot differ between pickle and shm
+        # transfer for hand-built int-valued specs.
+        object.__setattr__(self, "duration_s", float(self.duration_s))
 
     def to_dict(self) -> dict:
         """JSON-friendly representation (round-trips via :meth:`from_dict`)."""
@@ -222,27 +238,35 @@ class FleetScenario:
         merged.update(overrides)
         return replace(self, parameters=tuple(sorted(merged.items())))
 
-    def vehicle_specs(
+    def iter_vehicle_specs(
         self, vehicles: int, seed: int, first_vehicle_id: int = 0
-    ) -> list[VehicleSpec]:
-        """Materialise *vehicles* fully explicit specs for this scenario.
+    ) -> Iterator[VehicleSpec]:
+        """Generate *vehicles* fully explicit specs, one at a time.
 
         Every randomised decision is drawn here from streams derived via
-        :func:`~repro.fleet.kernel.derive_seed`, so the returned specs --
+        :func:`~repro.fleet.kernel.derive_seed`, so the yielded specs --
         and therefore the whole fleet run -- are a pure function of
-        ``(scenario, vehicles, seed)``.
+        ``(scenario, vehicles, seed)``.  Streaming is what keeps the
+        parent O(chunk) at 10^5+ vehicles: the
+        :class:`~repro.api.session.FleetSession` chunks this generator
+        straight into worker submissions without ever holding the whole
+        fleet (:meth:`vehicle_specs` is this stream, materialised).
         """
         if vehicles <= 0:
             raise ValueError("fleet size must be positive")
+        return self._generate_specs(vehicles, seed, first_vehicle_id)
+
+    def _generate_specs(
+        self, vehicles: int, seed: int, first_vehicle_id: int
+    ) -> Iterator[VehicleSpec]:
         labels = [label for label, _ in self.mix]
         weights = [weight for _, weight in self.mix]
         takes_params = _script_takes_params(self.script)
         params = dict(self.parameters)
-        specs: list[VehicleSpec] = []
         for index in range(vehicles):
             vehicle_id = first_vehicle_id + index
             # Every per-vehicle draw (mix, script, sim seed) keys on the
-            # vehicle id, never on batch position, so specs materialised
+            # vehicle id, never on batch position, so specs generated
             # in batches compose identically to one combined call.
             mix_rng = random.Random(derive_seed(seed, f"{self.name}/mix-{vehicle_id}"))
             enforcement = mix_rng.choices(labels, weights=weights, k=1)[0]
@@ -254,17 +278,22 @@ class FleetScenario:
                 if takes_params
                 else self.script(index, script_rng)
             )
-            specs.append(
-                VehicleSpec(
-                    vehicle_id=vehicle_id,
-                    scenario=self.name,
-                    enforcement=enforcement,
-                    seed=derive_seed(seed, f"{self.name}/sim-{vehicle_id}"),
-                    duration_s=self.duration_s,
-                    actions=tuple(sorted(actions, key=lambda a: a.time)),
-                )
+            yield VehicleSpec(
+                vehicle_id=vehicle_id,
+                scenario=self.name,
+                enforcement=enforcement,
+                seed=derive_seed(seed, f"{self.name}/sim-{vehicle_id}"),
+                duration_s=self.duration_s,
+                actions=tuple(sorted(actions, key=lambda a: a.time)),
             )
-        return specs
+
+    def vehicle_specs(
+        self, vehicles: int, seed: int, first_vehicle_id: int = 0
+    ) -> list[VehicleSpec]:
+        """:meth:`iter_vehicle_specs`, materialised as a list."""
+        return list(
+            self.iter_vehicle_specs(vehicles, seed, first_vehicle_id=first_vehicle_id)
+        )
 
 
 # ---------------------------------------------------------------------------
