@@ -1,0 +1,77 @@
+"""The ``--json PATH`` benchmark report writer (merge-on-write).
+
+Several benchmark modules share one report file (``BENCH_fleet.json``):
+each records one or more named sections, and the file is rewritten after
+every record so a partially completed run still leaves a valid report.
+
+The writer holds every section recorded *this run* in memory and merges
+explicitly on each write:
+
+* sections already in the file but not recorded this run are preserved
+  verbatim (a fleet-benchmark run does not erase the hotpath module's
+  sections from a previous run);
+* a section recorded this run always wins over the file copy -- even if
+  the file was rewritten, truncated or corrupted underneath us, the
+  run's own sections are never lost;
+* when both the file copy and the new payload of one section are
+  objects, their keys merge (new keys win), so two modules can
+  contribute different keys to a shared section.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+class BenchJsonWriter:
+    """Merge benchmark result sections into one JSON report file.
+
+    With no ``--json PATH`` the writer is a no-op (``enabled`` is
+    False and :meth:`record` returns immediately).
+    """
+
+    def __init__(self, path: Path | None) -> None:
+        self.path = path
+        #: Sections recorded by this run, in record order.  The cache is
+        #: what guarantees a section survives the file being clobbered
+        #: between two records.
+        self._sections: dict[str, dict] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.path is not None
+
+    def record(self, section: str, payload: dict) -> None:
+        """Merge *payload* under *section* and rewrite the report."""
+        if self.path is None:
+            return
+        existing = self._sections.get(section)
+        if isinstance(existing, dict) and isinstance(payload, dict):
+            merged = dict(existing)
+            merged.update(payload)
+            self._sections[section] = merged
+        else:
+            self._sections[section] = payload
+        self._rewrite()
+
+    def _read_report(self) -> dict:
+        if not self.path.exists():
+            return {}
+        try:
+            report = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return {}
+        return report if isinstance(report, dict) else {}
+
+    def _rewrite(self) -> None:
+        report = self._read_report()
+        for section, payload in self._sections.items():
+            on_disk = report.get(section)
+            if isinstance(on_disk, dict) and isinstance(payload, dict):
+                merged = dict(on_disk)
+                merged.update(payload)
+                report[section] = merged
+            else:
+                report[section] = payload
+        self.path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")

@@ -9,7 +9,6 @@ paper claims.
 
 from __future__ import annotations
 
-import json
 import sys
 from pathlib import Path
 
@@ -19,6 +18,7 @@ if str(SRC) not in sys.path:
 
 import pytest
 
+from bench_json import BenchJsonWriter
 from repro.casestudy.builder import CaseStudyBuilder
 
 
@@ -35,35 +35,6 @@ def pytest_addoption(parser) -> None:
             "(e.g. --json BENCH_fleet.json)."
         ),
     )
-
-
-class BenchJsonWriter:
-    """Merge benchmark result sections into one JSON report file.
-
-    Each benchmark records one named section; the file is rewritten
-    after every record so a partially completed run still leaves a
-    valid report.  With no ``--json PATH`` the writer is a no-op.
-    """
-
-    def __init__(self, path: Path | None) -> None:
-        self.path = path
-
-    @property
-    def enabled(self) -> bool:
-        return self.path is not None
-
-    def record(self, section: str, payload: dict) -> None:
-        """Merge *payload* under *section* and rewrite the report."""
-        if self.path is None:
-            return
-        report: dict = {}
-        if self.path.exists():
-            try:
-                report = json.loads(self.path.read_text())
-            except (OSError, ValueError):
-                report = {}
-        report[section] = payload
-        self.path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

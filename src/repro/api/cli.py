@@ -10,6 +10,9 @@ Commands::
     repro fleet run --scenario fleet_replay_storm --vehicles 5000 \
         --workers 4 --json out.json
     repro fleet run --config experiment.json          # replay a saved config
+    repro fleet run --scenario mixed_ev_dos --vehicles 500 \
+        --metrics metrics.json                        # telemetry snapshot
+    repro metrics show metrics.json                   # render a snapshot
     repro scenarios list                              # registered workloads
     repro scenarios show fleet_replay_storm           # one workload in detail
     repro config presets                              # named preset overrides
@@ -18,6 +21,10 @@ Commands::
 ``fleet run --json PATH`` writes ``{"config", "summary", "fingerprint"}``;
 feeding ``config`` back through ``--config`` (or
 ``ExperimentConfig.from_dict``) reproduces the run bit for bit.
+``--metrics PATH`` additionally enables session telemetry and writes the
+merged parent + worker snapshot (``--metrics-format`` picks JSON or
+Prometheus text) -- a runtime option, not a config field, so the
+fingerprint is identical with or without it.
 """
 
 from __future__ import annotations
@@ -31,6 +38,13 @@ from repro.api.config import PRESETS, ExperimentConfig
 from repro.api.session import FleetSession
 from repro.fleet.scenarios import get_scenario, registered_scenarios
 from repro.fleet.transfer import SPEC_TRANSFER_MODES
+from repro.obs.export import (
+    EXPORT_FORMATS,
+    MetricsSnapshot,
+    format_snapshot,
+    to_prometheus,
+    write_snapshot,
+)
 
 PROG = "repro"
 
@@ -178,6 +192,21 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="print a streamed progress line every N vehicles",
     )
+    run.add_argument(
+        "--metrics",
+        dest="metrics_path",
+        metavar="PATH",
+        help=(
+            "enable telemetry and write the merged metrics snapshot to "
+            "PATH (fingerprints are identical with or without it)"
+        ),
+    )
+    run.add_argument(
+        "--metrics-format",
+        choices=list(EXPORT_FORMATS),
+        default="json",
+        help="snapshot format for --metrics (default: json)",
+    )
     run.set_defaults(func=_cmd_fleet_run)
 
     scenarios = commands.add_parser("scenarios", help="inspect the scenario registry")
@@ -189,6 +218,20 @@ def build_parser() -> argparse.ArgumentParser:
     show.add_argument("name")
     show.add_argument("--json", dest="as_json", action="store_true")
     show.set_defaults(func=_cmd_scenarios_show)
+
+    metrics = commands.add_parser("metrics", help="inspect telemetry snapshots")
+    metrics_commands = metrics.add_subparsers(dest="subcommand", required=True)
+    metrics_show = metrics_commands.add_parser(
+        "show", help="render a JSON metrics snapshot written by fleet run"
+    )
+    metrics_show.add_argument("path", help="snapshot file (JSON)")
+    metrics_show.add_argument(
+        "--format",
+        choices=["table", *EXPORT_FORMATS],
+        default="table",
+        help="rendering (default: human-readable table)",
+    )
+    metrics_show.set_defaults(func=_cmd_metrics_show)
 
     config = commands.add_parser("config", help="inspect experiment configuration")
     config_commands = config.add_subparsers(dest="subcommand", required=True)
@@ -271,7 +314,8 @@ def _resolve_config(args: argparse.Namespace) -> ExperimentConfig:
 
 def _cmd_fleet_run(args: argparse.Namespace) -> int:
     config = _resolve_config(args)
-    with FleetSession(config) as session:
+    telemetry = bool(args.metrics_path)
+    with FleetSession(config, telemetry=telemetry) as session:
         count = 0
         for outcome in session.iter_outcomes():
             count += 1
@@ -282,6 +326,7 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
                     f"{outcome.frames_transmitted} frames)"
                 )
         result = session.last_result
+        snapshot = session.metrics_snapshot() if telemetry else None
     assert result is not None
     print(f"scenario       : {result.scenario}")
     for key, value in result.summary().items():
@@ -299,6 +344,21 @@ def _cmd_fleet_run(args: argparse.Namespace) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"{'json report':<22}: {args.json_path}")
+    if snapshot is not None:
+        write_snapshot(snapshot, args.metrics_path, format=args.metrics_format)
+        print(f"{'metrics snapshot':<22}: {args.metrics_path} ({args.metrics_format})")
+    return 0
+
+
+def _cmd_metrics_show(args: argparse.Namespace) -> int:
+    with open(args.path, encoding="utf-8") as handle:
+        snapshot = MetricsSnapshot.from_json(handle.read())
+    if args.format == "json":
+        print(snapshot.to_json())
+    elif args.format == "prom":
+        print(to_prometheus(snapshot), end="")
+    else:
+        print(format_snapshot(snapshot), end="")
     return 0
 
 

@@ -40,7 +40,6 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.pool
-import time
 from multiprocessing import resource_tracker
 from collections import deque
 from dataclasses import replace
@@ -50,6 +49,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 from repro.casestudy.builder import CarPool, CaseStudyBuilder
+from repro.fleet import runner as _fleet_runner
 from repro.fleet.results import FleetResult, StreamingFleetAggregator, VehicleOutcome
 from repro.fleet.runner import (
     _chunked,
@@ -60,6 +60,11 @@ from repro.fleet.runner import (
     _simulate_chunk_shm,
     simulate_vehicle,
 )
+from repro.obs import clock
+from repro.obs import metrics as _obs_metrics
+from repro.obs.export import MetricsSnapshot, merge_snapshots
+from repro.obs.metrics import NOOP_REGISTRY, MetricsRegistry, NoopRegistry
+from repro.obs.spans import observe_phase, span
 from repro.fleet.scenarios import FleetScenario, VehicleSpec, get_scenario
 from repro.fleet.transfer import (
     SHM_AVAILABLE,
@@ -89,6 +94,16 @@ class FleetSession:
         private :class:`~repro.casestudy.builder.CarPool`; by default
         the process-wide builder and pool are shared, so repeated
         sessions stay warm.
+    telemetry:
+        ``False`` (default) leaves the no-op registry in place -- the
+        hot paths pay one attribute load and a branch.  ``True`` gives
+        the session a fresh :class:`~repro.obs.metrics.MetricsRegistry`;
+        passing a registry shares one across sessions.  The registry is
+        activated for the duration of each run, worker chunk snapshots
+        are merged as they arrive, and :meth:`metrics_snapshot` exposes
+        the combined parent + worker view.  Telemetry is deliberately
+        *not* part of :class:`ExperimentConfig`: enabling it changes no
+        config hash, no fingerprint and no outcome bit.
     """
 
     #: Largest fleet ``run_matrix`` will record for consecutive-entry
@@ -101,7 +116,10 @@ class FleetSession:
     SPEC_CACHE_LIMIT = 20_000
 
     def __init__(
-        self, config: ExperimentConfig, builder: CaseStudyBuilder | None = None
+        self,
+        config: ExperimentConfig,
+        builder: CaseStudyBuilder | None = None,
+        telemetry: "bool | MetricsRegistry" = False,
     ) -> None:
         if not isinstance(config, ExperimentConfig):
             raise TypeError(
@@ -109,6 +127,20 @@ class FleetSession:
             )
         self.config = config
         self._builder = builder
+        if telemetry is True:
+            self._registry: MetricsRegistry | NoopRegistry = MetricsRegistry()
+        elif telemetry is False or telemetry is None:
+            self._registry = NOOP_REGISTRY
+        elif isinstance(telemetry, (MetricsRegistry, NoopRegistry)):
+            self._registry = telemetry
+        else:
+            raise TypeError(
+                "telemetry must be a bool or a MetricsRegistry, "
+                f"not {type(telemetry).__name__}"
+            )
+        #: Merged per-chunk worker snapshots (deltas), accumulated as
+        #: chunks complete; empty for inline and telemetry-off runs.
+        self._worker_snapshot = MetricsSnapshot()
         self._car_pool: CarPool | None = None
         self._mp_pools: dict[int, multiprocessing.pool.Pool] = {}
         self._last_result: FleetResult | None = None
@@ -152,6 +184,20 @@ class FleetSession:
     def last_result(self) -> FleetResult | None:
         """Aggregate of the most recently *completed* run or stream."""
         return self._last_result
+
+    @property
+    def metrics(self) -> "MetricsRegistry | NoopRegistry":
+        """The session's parent-side registry (no-op when telemetry is off)."""
+        return self._registry
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """Parent registry state merged with every worker chunk snapshot.
+
+        Worker snapshots are per-chunk deltas, so this is the exact
+        fleet-wide total however many workers, chunks or runs
+        contributed.  Empty (all-zero) when telemetry is off.
+        """
+        return merge_snapshots([self._registry.snapshot(), self._worker_snapshot])
 
     # -- spec materialisation -------------------------------------------------
 
@@ -326,18 +372,69 @@ class FleetSession:
         if self._closed:
             raise RuntimeError("session is closed")
         self._last_result = None
-        wall_start = time.perf_counter()
-        aggregator = StreamingFleetAggregator(scenario_name)
-        if config.workers == 1 or total <= 1:
-            source = self._simulate_inline(config, specs)
-        else:
-            source = self._simulate_parallel(config, specs, total)
-        for outcome in source:
-            aggregator.add(outcome)
-            yield outcome
-        self._last_result = aggregator.result(
-            wall_seconds=time.perf_counter() - wall_start
-        )
+        registry = self._registry
+        # Activate for the stream's lifetime so inline simulation and
+        # parent-side instrumented paths (pool, shm transfer) report
+        # here; the previous registry is restored even on abandonment.
+        previous = _obs_metrics.activate(registry)
+        try:
+            wall_start = clock.wall()
+            aggregator = StreamingFleetAggregator(scenario_name)
+            if registry.enabled:
+                registry.inc("session.runs")
+                specs = self._timed_spec_stream(registry, specs)
+            if config.workers == 1 or total <= 1:
+                source = self._simulate_inline(config, specs)
+            else:
+                source = self._simulate_parallel(config, specs, total)
+            if registry.enabled:
+                for outcome in source:
+                    fold_start = clock.wall()
+                    aggregator.add(outcome)
+                    observe_phase(registry, "run.aggregate", clock.wall() - fold_start)
+                    yield outcome
+                self._export_parent_state(registry)
+                observe_phase(registry, "run.total", clock.wall() - wall_start)
+            else:
+                for outcome in source:
+                    aggregator.add(outcome)
+                    yield outcome
+            self._last_result = aggregator.result(
+                wall_seconds=clock.wall() - wall_start
+            )
+        finally:
+            _obs_metrics.activate(previous)
+
+    @staticmethod
+    def _timed_spec_stream(
+        registry: MetricsRegistry, specs: Iterable[VehicleSpec]
+    ) -> Iterator[VehicleSpec]:
+        """Time each pull from the lazy spec stream (``run.spec_gen``)."""
+        iterator = iter(specs)
+        while True:
+            start = clock.wall()
+            try:
+                spec = next(iterator)
+            except StopIteration:
+                return
+            observe_phase(registry, "run.spec_gen", clock.wall() - start)
+            yield spec
+
+    def _export_parent_state(self, registry: MetricsRegistry) -> None:
+        """Export parent-side cache/pool state at end of a telemetry run.
+
+        Only state that already exists is read: the process builder is
+        never created (let alone its policy derived) just to report
+        zeros, so telemetry stays invisible to cold-start behaviour.
+        """
+        builder = self._builder or _fleet_runner._PROCESS_BUILDER
+        if builder is not None:
+            for key, delta in builder.evaluator.metrics_delta().items():
+                if delta:
+                    registry.inc(f"policy.{key}", delta)
+        pool = self._car_pool if self._builder is not None else _fleet_runner._PROCESS_POOL
+        if pool is not None:
+            registry.set_gauge("pool.size", float(len(pool)))
 
     def _simulate_inline(
         self, config: ExperimentConfig, specs: Iterable[VehicleSpec]
@@ -361,23 +458,29 @@ class FleetSession:
         chunk_size = config.effective_chunk_size(total)
         chunks = _chunked(specs, chunk_size)
         transfer = resolve_spec_transfer(config.spec_transfer)
+        # Workers get their own registry per chunk and ship back drained
+        # snapshots; the telemetry flag rides in the worker kwargs, NOT
+        # in the config -- fingerprints cannot see it.
         worker_kwargs = dict(
             trace_level=config.trace_level.value,
             inbox_limit=config.inbox_limit,
             reuse_cars=config.reuse_cars,
             compile_tables=config.compile_tables,
+            telemetry=self._registry.enabled,
         )
         pool = self._mp_pool(config.workers)
         if transfer == "shm":
             # Columnar shared-memory transfer: the chunk is packed into
             # a SpecBlock segment the worker decodes (and unlinks), and
             # the outcome batch comes back as an OutcomeBlock segment
-            # this side unlinks -- only (name, size) handles cross the
-            # pipe in either direction.
+            # this side unlinks -- only (name, size) handles (plus, for
+            # telemetry runs, the chunk's small metrics snapshot) cross
+            # the pipe in either direction.
             simulate = partial(_simulate_chunk_shm, **worker_kwargs)
 
             def submit(chunk: list[VehicleSpec]):
-                handle = write_block(SpecBlock.encode(chunk).to_bytes())
+                with span("run.encode"):
+                    handle = write_block(SpecBlock.encode(chunk).to_bytes())
                 try:
                     return pool.apply_async(simulate, (handle,)), handle
                 except BaseException:
@@ -385,9 +488,12 @@ class FleetSession:
                     raise
 
             def consume(payload) -> list[VehicleOutcome]:
-                return OutcomeBlock.from_bytes(
-                    read_block(payload, unlink=True)
-                ).decode()
+                handle, snapshot = payload
+                self._fold_worker_snapshot(snapshot)
+                with span("run.decode"):
+                    return OutcomeBlock.from_bytes(
+                        read_block(handle, unlink=True)
+                    ).decode()
 
         else:
             simulate = partial(_simulate_chunk, **worker_kwargs)
@@ -396,7 +502,9 @@ class FleetSession:
                 return pool.apply_async(simulate, (chunk,)), None
 
             def consume(payload) -> list[VehicleOutcome]:
-                return payload
+                outcomes, snapshot = payload
+                self._fold_worker_snapshot(snapshot)
+                return outcomes
 
         # Windowed submission with ordered consumption: at most
         # ``workers + 2`` chunks are in flight (running or finished but
@@ -418,7 +526,8 @@ class FleetSession:
             while in_flight:
                 result, spec_handle = in_flight.popleft()
                 try:
-                    payload = result.get()
+                    with span("run.wait"):
+                        payload = result.get()
                 except BaseException:
                     # The worker died before (or while) consuming its
                     # spec segment -- it left in_flight with popleft,
@@ -436,7 +545,7 @@ class FleetSession:
                         in_flight.append(submit(next_chunk))
                 except BaseException:
                     if transfer == "shm":
-                        discard_segment(payload.name)
+                        discard_segment(payload[0].name)
                     raise
                 yield from consume(payload)
         finally:
@@ -464,13 +573,21 @@ class FleetSession:
                 self._orphan_results.append(result)
         in_flight.clear()
 
+    def _fold_worker_snapshot(self, snapshot: dict | None) -> None:
+        """Merge one chunk's drained worker metrics into the session total."""
+        if snapshot is None:
+            return
+        self._worker_snapshot = merge_snapshots(
+            [self._worker_snapshot, MetricsSnapshot.from_dict(snapshot)]
+        )
+
     @staticmethod
     def _discard_result_segment(result) -> bool:
         """Discard a finished result's outcome segment; False if still running."""
         if not result.ready():
             return False
         try:
-            outcome_handle = result.get(0)
+            outcome_handle, _snapshot = result.get(0)
         except Exception:
             return True  # worker failed: nothing was written back
         discard_segment(outcome_handle.name)

@@ -331,6 +331,21 @@ class BusTrace:
         """Whether any frame with *can_id* reached the application on *node*."""
         return bool(self.delivered_to(node, can_id))
 
+    def export_metrics(self, registry, prefix: str = "bus.events.") -> None:
+        """Fold this trace's whole-run counters into a metrics registry.
+
+        One ``{prefix}{kind}`` counter per event kind that occurred,
+        plus ``bus.events_total`` and ``bus.blocked_total`` -- served
+        entirely from the always-on O(1) counters, so the export is
+        valid (and identical) at every retention level.  The fleet
+        runner calls this once per simulated vehicle when telemetry is
+        enabled; it reads counters only and cannot perturb the trace.
+        """
+        for kind_value, count in self._kind_counts.items():
+            registry.inc(prefix + kind_value, count)
+        registry.inc("bus.events_total", self._total)
+        registry.inc("bus.blocked_total", self._blocked)
+
     def merge(self, other: "BusTrace") -> "BusTrace":
         """A new FULL trace with both traces' retained records, time-ordered.
 

@@ -19,6 +19,8 @@ from repro.core.enforcement import EnforcementConfig, EnforcementCoordinator
 from repro.can.trace import TraceLevel
 from repro.core.policy_engine import PolicyEvaluator
 from repro.core.security_model import PolicyBasedSecurityModel
+from repro.obs import clock
+from repro.obs import metrics as _obs_metrics
 from repro.vehicle.car import ConnectedCar
 from repro.vehicle.messages import MessageCatalog, standard_catalog
 
@@ -150,6 +152,11 @@ class CarPool:
         trace_level = TraceLevel.coerce(trace_level)
         key = (config, start_periodic_traffic, trace_level, inbox_limit)
         car = self._cars.get(key)
+        # Telemetry: one attribute load + branch when disabled (the
+        # registry is the module-level no-op), pool miss/hit counters
+        # and build/reset timing histograms when a session enabled it.
+        registry = _obs_metrics.ACTIVE
+        start = clock.wall() if registry.enabled else 0.0
         if car is None:
             car = self.builder.build_car(
                 config,
@@ -159,9 +166,15 @@ class CarPool:
             )
             self._cars[key] = car
             self.builds += 1
+            if registry.enabled:
+                registry.inc("pool.builds")
+                registry.observe("pool.build_seconds", clock.wall() - start)
         else:
             car.reset()
             self.reuses += 1
+            if registry.enabled:
+                registry.inc("pool.reuses")
+                registry.observe("pool.reset_seconds", clock.wall() - start)
         return car
 
     def clear(self) -> None:

@@ -142,6 +142,28 @@ class PolicyEvaluator:
             return 0.0
         return self.cache_hits / total
 
+    def metrics_delta(self) -> dict[str, int]:
+        """Cache-counter increments since the previous call (telemetry export).
+
+        The evaluator's hit/miss counters are lifetime totals shared by
+        every car the builder fits; telemetry wants per-chunk deltas so
+        worker snapshots merge into exact fleet-wide totals.  Each call
+        returns what changed since the last one and remembers the new
+        baseline -- the fleet runner drains this once per chunk into the
+        active registry (as ``policy.cache_hits`` etc.), so the hot
+        decision path itself carries no instrumentation at all.
+        """
+        current = {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_flushes": self.cache_flushes,
+            "compile_hits": self.compile_hits,
+            "compile_misses": self.compile_misses,
+        }
+        previous = getattr(self, "_metrics_baseline", None) or {}
+        self._metrics_baseline = current
+        return {key: value - previous.get(key, 0) for key, value in current.items()}
+
     def _drop_policy_entries(self, policy_id: int) -> None:
         for key in [k for k in self._cache if k[0] == policy_id]:
             del self._cache[key]

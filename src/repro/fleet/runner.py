@@ -26,7 +26,6 @@ seed, which the fleet benchmark asserts.
 from __future__ import annotations
 
 import sys
-import time
 import warnings
 from dataclasses import replace
 from itertools import islice
@@ -50,6 +49,10 @@ from repro.fleet.transfer import (
     read_block,
     write_block,
 )
+from repro.obs import clock
+from repro.obs import metrics as _obs_metrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import observe_phase, span
 from repro.vehicle.car import ConnectedCar
 
 #: Enforcement label -> configuration (``None`` = unprotected baseline).
@@ -263,7 +266,7 @@ def simulate_vehicle(
     construction or pool acquisition) and ``wall_seconds`` (pure
     simulation), so throughput metrics are not polluted by setup cost.
     """
-    build_start = time.perf_counter()
+    build_start = clock.wall()
     config = config_for_label(spec.enforcement, compile_tables=compile_tables)
     if pool is not None:
         car = pool.acquire(
@@ -281,7 +284,7 @@ def simulate_vehicle(
             trace_level=trace_level,
             inbox_limit=inbox_limit,
         )
-    wall_start = time.perf_counter()
+    wall_start = clock.wall()
     build_seconds = wall_start - build_start
     kernel = FleetKernel(spec.seed)
     tally = _AttackTally()
@@ -309,6 +312,17 @@ def simulate_vehicle(
     # mask what enforcement itself contributed.  Served by the trace's
     # O(1) counters -- no record scan, valid at every retention level.
     policy_blocks = car.bus.trace.policy_block_count()
+    wall_seconds = clock.wall() - wall_start
+    # Telemetry rides on readings already taken: the per-vehicle phase
+    # samples reuse build/wall timings and the trace's O(1) counters,
+    # so the enabled path adds no clock reads to the simulation itself
+    # and the disabled path is this single branch.
+    registry = _obs_metrics.ACTIVE
+    if registry.enabled:
+        registry.inc("vehicles.simulated")
+        observe_phase(registry, "simulate.vehicle", wall_seconds)
+        observe_phase(registry, "simulate.build", build_seconds)
+        car.bus.trace.export_metrics(registry)
     return VehicleOutcome(
         vehicle_id=spec.vehicle_id,
         scenario=spec.scenario,
@@ -323,7 +337,7 @@ def simulate_vehicle(
         attacks_mitigated=tally.mitigated,
         mean_decision_latency_s=(hpe_latency / hpe_decisions if hpe_decisions else 0.0),
         healthy=all(car.health().values()),
-        wall_seconds=time.perf_counter() - wall_start,
+        wall_seconds=wall_seconds,
         build_seconds=build_seconds,
     )
 
@@ -364,12 +378,63 @@ def _init_worker(extra_paths: list[str]) -> None:
     _process_builder()
 
 
-def _simulate_chunk(
+#: Per-process worker registry (telemetry-enabled chunks only): created
+#: once, activated for the chunk's duration, drained into the snapshot
+#: that rides back with the chunk's outcomes.
+_WORKER_REGISTRY: MetricsRegistry | None = None
+
+#: Pool size already reported by this worker: snapshots carry the
+#: *growth* since the previous drain, so the parent-side gauge sum over
+#: all chunks equals the live pooled-car total across workers.
+_POOL_SIZE_REPORTED = 0
+
+
+def _begin_chunk_telemetry(telemetry: bool) -> MetricsRegistry | None:
+    """Activate (or quiesce) this worker's registry for one chunk."""
+    global _WORKER_REGISTRY
+    if not telemetry:
+        # A disabled run on a warm pool must pay no-op costs even if a
+        # previous telemetry-enabled run left the registry active.
+        if _obs_metrics.ACTIVE.enabled:
+            _obs_metrics.activate(_obs_metrics.NOOP_REGISTRY)
+        return None
+    if _WORKER_REGISTRY is None:
+        _WORKER_REGISTRY = MetricsRegistry()
+    _obs_metrics.activate(_WORKER_REGISTRY)
+    return _WORKER_REGISTRY
+
+
+def _drain_chunk_telemetry(registry: MetricsRegistry | None) -> dict | None:
+    """Export per-chunk cache/pool state, then drain the registry.
+
+    The evaluator's lifetime hit/miss counters are exported as deltas
+    (:meth:`~repro.core.policy_engine.PolicyEvaluator.metrics_delta`),
+    so merging every chunk snapshot reproduces exact process totals.
+    Returns the snapshot as a plain dict -- the only telemetry payload
+    that crosses the worker pipe.
+    """
+    global _POOL_SIZE_REPORTED
+    if registry is None:
+        return None
+    for key, delta in _process_builder().evaluator.metrics_delta().items():
+        if delta:
+            registry.inc(f"policy.{key}", delta)
+    if _PROCESS_POOL is not None:
+        size = len(_PROCESS_POOL)
+        if size != _POOL_SIZE_REPORTED:
+            registry.add_gauge("pool.size", float(size - _POOL_SIZE_REPORTED))
+            _POOL_SIZE_REPORTED = size
+    snapshot = registry.drain().to_dict()
+    _obs_metrics.activate(_obs_metrics.NOOP_REGISTRY)
+    return snapshot
+
+
+def _simulate_specs(
     specs: Sequence[VehicleSpec],
-    trace_level: str = TraceLevel.COUNTERS.value,
-    inbox_limit: int | None = DEFAULT_FLEET_INBOX_LIMIT,
-    reuse_cars: bool = True,
-    compile_tables: bool = True,
+    trace_level: str,
+    inbox_limit: int | None,
+    reuse_cars: bool,
+    compile_tables: bool,
 ) -> list[VehicleOutcome]:
     builder = _process_builder()
     pool = _process_pool() if reuse_cars else None
@@ -384,6 +449,23 @@ def _simulate_chunk(
         )
         for spec in specs
     ]
+
+
+def _simulate_chunk(
+    specs: Sequence[VehicleSpec],
+    trace_level: str = TraceLevel.COUNTERS.value,
+    inbox_limit: int | None = DEFAULT_FLEET_INBOX_LIMIT,
+    reuse_cars: bool = True,
+    compile_tables: bool = True,
+    telemetry: bool = False,
+) -> tuple[list[VehicleOutcome], dict | None]:
+    """Simulate one pickled chunk; returns ``(outcomes, metrics snapshot)``."""
+    registry = _begin_chunk_telemetry(telemetry)
+    with span("simulate"):
+        outcomes = _simulate_specs(
+            specs, trace_level, inbox_limit, reuse_cars, compile_tables
+        )
+    return outcomes, _drain_chunk_telemetry(registry)
 
 
 def _chunked(
@@ -410,23 +492,28 @@ def _simulate_chunk_shm(
     inbox_limit: int | None = DEFAULT_FLEET_INBOX_LIMIT,
     reuse_cars: bool = True,
     compile_tables: bool = True,
-) -> ShmHandle:
+    telemetry: bool = False,
+) -> tuple[ShmHandle, dict | None]:
     """Worker entry point for shared-memory spec transfer.
 
     Decodes (and unlinks) the parent's :class:`SpecBlock` segment,
     simulates the chunk exactly as :func:`_simulate_chunk` would, and
     returns the outcomes as a fresh :class:`OutcomeBlock` segment --
-    the only things crossing the pipe are two ``(name, size)`` handles.
+    the only things crossing the pipe are two ``(name, size)`` handles
+    plus (telemetry runs only) the chunk's drained metrics snapshot.
+    Telemetry activates before the spec read and drains after the
+    outcome write so the worker-side shm counters cover both segments.
     """
-    specs = SpecBlock.from_bytes(read_block(handle, unlink=True)).decode()
-    outcomes = _simulate_chunk(
-        specs,
-        trace_level=trace_level,
-        inbox_limit=inbox_limit,
-        reuse_cars=reuse_cars,
-        compile_tables=compile_tables,
-    )
-    return write_block(OutcomeBlock.encode(outcomes).to_bytes())
+    registry = _begin_chunk_telemetry(telemetry)
+    with span("simulate.decode_specs"):
+        specs = SpecBlock.from_bytes(read_block(handle, unlink=True)).decode()
+    with span("simulate"):
+        outcomes = _simulate_specs(
+            specs, trace_level, inbox_limit, reuse_cars, compile_tables
+        )
+    with span("simulate.encode_outcomes"):
+        out_handle = write_block(OutcomeBlock.encode(outcomes).to_bytes())
+    return out_handle, _drain_chunk_telemetry(registry)
 
 
 class FleetRunner:

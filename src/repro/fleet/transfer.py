@@ -41,6 +41,7 @@ from typing import Sequence
 
 from repro.fleet.results import OUTCOME_COLUMNS, VehicleOutcome
 from repro.fleet.scenarios import VehicleAction, VehicleSpec
+from repro.obs import metrics as _obs_metrics
 
 try:  # pragma: no cover - present on every supported platform
     from multiprocessing import shared_memory as _shared_memory
@@ -453,6 +454,10 @@ def write_block(payload: bytes) -> ShmHandle:
         segment.buf[: len(payload)] = payload
     finally:
         segment.close()
+    registry = _obs_metrics.ACTIVE
+    if registry.enabled:
+        registry.inc("shm.segments_written")
+        registry.inc("shm.bytes_written", len(payload))
     return ShmHandle(segment.name, len(payload))
 
 
@@ -474,6 +479,10 @@ def read_block(handle: ShmHandle, unlink: bool = True) -> bytes:
                 # resource tracker (names dedupe in a set there), so
                 # swallowing without unregistering leaves no residue.
                 pass
+    registry = _obs_metrics.ACTIVE
+    if registry.enabled:
+        registry.inc("shm.segments_read")
+        registry.inc("shm.bytes_read", handle.size)
     return payload
 
 

@@ -1,0 +1,55 @@
+"""Zero-dependency fleet telemetry: metrics, phase spans, exposition.
+
+The observability layer every other subsystem reports into:
+
+* :mod:`repro.obs.metrics` -- a process-local :class:`MetricsRegistry`
+  with counters, gauges and fixed-bucket histograms, plus a module-level
+  no-op registry so instrumented hot paths pay one attribute load when
+  telemetry is disabled.
+* :mod:`repro.obs.spans` -- ``span("phase.name")`` context manager /
+  decorator recording wall and CPU time into phase histograms, with
+  nesting expressed as dotted names.
+* :mod:`repro.obs.export` -- the immutable :class:`MetricsSnapshot`, a
+  deterministic merge for per-worker snapshots, and JSON / Prometheus
+  text exposition.
+* :mod:`repro.obs.clock` -- the one sanctioned wall-clock / CPU-clock
+  helper; simulation packages are lint-checked
+  (``tools/check_determinism.py``) to route timing through it rather
+  than touching :mod:`time` directly.
+
+Telemetry is a *session/runtime* option -- deliberately not part of
+:class:`repro.api.ExperimentConfig` -- so config hashes and fleet
+fingerprints are untouched whether it is on or off (the obs equivalence
+suite asserts bit-identical fingerprints either way).
+"""
+
+from repro.obs.clock import cpu, wall
+from repro.obs.export import (
+    HistogramSnapshot,
+    MetricsSnapshot,
+    merge_snapshots,
+    to_prometheus,
+    write_snapshot,
+)
+from repro.obs.metrics import (
+    NOOP_REGISTRY,
+    MetricsRegistry,
+    activate,
+    active_registry,
+)
+from repro.obs.spans import span
+
+__all__ = [
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NOOP_REGISTRY",
+    "activate",
+    "active_registry",
+    "cpu",
+    "merge_snapshots",
+    "span",
+    "to_prometheus",
+    "wall",
+    "write_snapshot",
+]

@@ -1,0 +1,29 @@
+"""The sanctioned clock: every wall/CPU reading routes through here.
+
+Simulation time in this repo is *kernel* time -- scheduler clocks
+advanced deterministically by the event loop -- and must never observe
+the host's clock.  Telemetry, on the other hand, exists to measure the
+host.  This module is the single place where that boundary is crossed:
+instrumented code calls :func:`wall` and :func:`cpu`, and the
+determinism lint (``tools/check_determinism.py``) rejects any direct
+``time`` import inside the simulation packages so a wall-clock reading
+can never leak into an outcome by accident.
+
+Both helpers are module-level aliases of the underlying C clock
+functions, so routing through this module costs nothing over calling
+:mod:`time` directly.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+#: Monotonic wall-clock seconds (``time.perf_counter``): the duration
+#: clock for spans, histograms and throughput numbers.  The absolute
+#: value is meaningless; only differences are.
+wall = _time.perf_counter
+
+#: Process CPU seconds (``time.process_time``): user + system time of
+#: the calling process, excluding sleep -- the companion reading that
+#: separates "slow because computing" from "slow because waiting".
+cpu = _time.process_time

@@ -1,0 +1,322 @@
+"""Process-local metrics: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a named bag of instruments.  Instruments
+are created on first use (``registry.counter("pool.builds")``) and kept
+for the registry's lifetime, so call sites may either hold the
+instrument object (hot loops) or go through the registry's convenience
+methods (:meth:`MetricsRegistry.inc`, :meth:`~MetricsRegistry.observe`,
+:meth:`~MetricsRegistry.set_gauge`) each time.
+
+Disabled-mode contract
+----------------------
+
+Telemetry is off by default.  Instrumented hot paths read the
+module-level :data:`ACTIVE` registry -- one attribute load -- and when
+no session has activated a real registry that is the shared
+:data:`NOOP_REGISTRY`, whose ``enabled`` is ``False`` and whose methods
+do nothing.  The instrumentation idiom is therefore::
+
+    reg = metrics.ACTIVE
+    if reg.enabled:
+        reg.inc("pool.reuses")
+
+which costs an attribute load and a predictable branch when disabled --
+the property the overhead benchmark (``benchmarks/bench_obs_overhead.py``)
+pins at <= 3% on the fleet hot path.
+
+Cross-process contract
+----------------------
+
+Registries are process-local on purpose.  Fleet workers each own one
+(activated per chunk by :mod:`repro.fleet.runner`), *drain* it into an
+immutable :class:`~repro.obs.export.MetricsSnapshot` after every chunk,
+and ship the snapshot back with the chunk's outcomes; the parent merges
+the deltas with :func:`repro.obs.export.merge_snapshots`.  Draining
+(snapshot + reset) is what makes per-chunk snapshots deltas, and deltas
+are what make the merge exact regardless of how chunks interleave.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+#: Default histogram buckets for durations in seconds: exponential from
+#: 1 microsecond to 10 seconds (values above the last bound land in the
+#: overflow bucket).  Fixed and shared so per-worker histograms always
+#: merge bucket-for-bucket.
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+class Gauge:
+    """A point-in-time value (last write wins; merges by summing)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram with ``le`` (upper-inclusive) semantics.
+
+    ``counts`` has one slot per bucket bound plus a final overflow slot;
+    :meth:`observe` is one bisect over the (usually 22-entry) bound
+    tuple plus three scalar updates.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def reset(self) -> None:
+        for i in range(len(self.counts)):
+            self.counts[i] = 0
+        self.sum = 0.0
+        self.count = 0
+
+
+class MetricsRegistry:
+    """A process-local, name-keyed set of instruments.
+
+    Not thread-safe by design: the fleet layer is process-parallel, and
+    each process owns (at most) one active registry.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access ----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, buckets)
+        return instrument
+
+    # -- convenience writes ---------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def add_gauge(self, name: str, amount: float) -> None:
+        self.gauge(name).add(amount)
+
+    def observe(
+        self, name: str, value: float, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> None:
+        self.histogram(name, buckets).observe(value)
+
+    # -- snapshotting ---------------------------------------------------------
+
+    def snapshot(self):
+        """The registry's current state as an immutable snapshot."""
+        from repro.obs.export import HistogramSnapshot, MetricsSnapshot
+
+        return MetricsSnapshot.build(
+            counters={name: c.value for name, c in self._counters.items()},
+            gauges={name: g.value for name, g in self._gauges.items()},
+            histograms={
+                name: HistogramSnapshot(
+                    buckets=h.buckets,
+                    counts=tuple(h.counts),
+                    sum=h.sum,
+                    count=h.count,
+                )
+                for name, h in self._histograms.items()
+            },
+        )
+
+    def drain(self):
+        """Snapshot, then zero every instrument (instruments stay valid).
+
+        The worker-side primitive: draining after each chunk makes every
+        shipped snapshot a *delta*, so the parent-side merge of all
+        chunk snapshots equals one process-lifetime snapshot exactly.
+        """
+        snapshot = self.snapshot()
+        self.reset()
+        return snapshot
+
+    def reset(self) -> None:
+        """Zero every instrument without discarding it."""
+        for counter in self._counters.values():
+            counter.reset()
+        for gauge in self._gauges.values():
+            gauge.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()
+
+
+class _NoopInstrument:
+    """Stand-in instrument whose writes are no-ops."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+    buckets: tuple[float, ...] = ()
+    counts: tuple[int, ...] = ()
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+
+_NOOP_INSTRUMENT = _NoopInstrument()
+
+
+class NoopRegistry:
+    """The disabled-mode registry: every operation does nothing.
+
+    Shares :class:`MetricsRegistry`'s interface so instrumented code
+    never branches on registry *type* -- only, optionally, on
+    ``enabled`` to skip clock reads.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def gauge(self, name: str) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def add_gauge(self, name: str, amount: float) -> None:
+        pass
+
+    def observe(
+        self, name: str, value: float, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS
+    ) -> None:
+        pass
+
+    def snapshot(self):
+        from repro.obs.export import MetricsSnapshot
+
+        return MetricsSnapshot()
+
+    def drain(self):
+        return self.snapshot()
+
+    def reset(self) -> None:
+        pass
+
+
+#: The shared disabled-mode registry.
+NOOP_REGISTRY = NoopRegistry()
+
+#: What instrumented hot paths read: the process's active registry.
+#: ``metrics.ACTIVE`` is one module-attribute load; it is the no-op
+#: registry unless a telemetry-enabled session (parent side) or chunk
+#: (worker side) has activated a real one.
+ACTIVE: MetricsRegistry | NoopRegistry = NOOP_REGISTRY
+
+
+def activate(registry: MetricsRegistry | NoopRegistry) -> MetricsRegistry | NoopRegistry:
+    """Make *registry* the process's active registry; returns the previous one.
+
+    Callers restore the returned registry when done (sessions do this in
+    a ``finally``), so nested telemetry-enabled scopes compose.
+    """
+    global ACTIVE
+    previous = ACTIVE
+    ACTIVE = registry
+    return previous
+
+
+def active_registry() -> MetricsRegistry | NoopRegistry:
+    """The registry instrumented code is currently reporting into."""
+    return ACTIVE

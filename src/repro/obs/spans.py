@@ -1,0 +1,96 @@
+"""Phase spans: timed scopes that record into phase histograms.
+
+A :class:`span` is a context manager (and, via
+:class:`contextlib.ContextDecorator`, a decorator) that measures the
+wall and CPU time of its body and records both into the active -- or an
+explicitly given -- registry's histograms::
+
+    with span("simulate"):
+        ...                      # -> phase.simulate.wall_seconds
+                                 #    phase.simulate.cpu_seconds
+
+Spans nest: a span opened inside another contributes its parent's name
+as a dotted prefix (``span("encode")`` inside ``span("run")`` records
+``phase.run.encode.*``), so the histogram namespace mirrors the call
+structure without any plumbing.  The nesting stack is process-local and
+maintained only while an *enabled* registry is in scope; with telemetry
+disabled a span costs one ``enabled`` check on entry and exit and
+touches no clock.
+
+Histogram naming: ``phase.<dotted.name>.wall_seconds`` and
+``phase.<dotted.name>.cpu_seconds``, both on the shared
+:data:`~repro.obs.metrics.DEFAULT_TIME_BUCKETS` so per-worker phase
+histograms merge exactly.
+"""
+
+from __future__ import annotations
+
+from contextlib import ContextDecorator
+
+from repro.obs import clock
+from repro.obs import metrics as _metrics
+
+#: Open span names, innermost last.  Process-local (fleet parallelism
+#: is process-based) and only mutated while an enabled registry is
+#: active.
+_STACK: list[str] = []
+
+
+def observe_phase(
+    registry, name: str, wall_seconds: float, cpu_seconds: float | None = None
+) -> None:
+    """Record one phase sample under the standard histogram names.
+
+    The shared primitive for spans and for call sites that already
+    measured a duration (e.g. the per-vehicle simulate time the runner
+    computes anyway) and should not pay a second clock read.
+    """
+    registry.observe(f"phase.{name}.wall_seconds", wall_seconds)
+    if cpu_seconds is not None:
+        registry.observe(f"phase.{name}.cpu_seconds", cpu_seconds)
+
+
+class span(ContextDecorator):
+    """Time a scope and record wall + CPU seconds into phase histograms.
+
+    Parameters
+    ----------
+    name:
+        Phase name; dots are allowed and nested spans prepend their
+        parents' full name.
+    registry:
+        Record into this registry instead of the process's active one.
+        With ``None`` (the default) the registry is resolved at entry,
+        so one ``span`` object can be reused as a decorator across
+        enabled and disabled runs.
+    """
+
+    __slots__ = ("name", "_registry", "_reg", "_full", "_wall0", "_cpu0")
+
+    def __init__(self, name: str, registry=None) -> None:
+        self.name = name
+        self._registry = registry
+        self._reg = None
+
+    def __enter__(self) -> "span":
+        reg = self._registry if self._registry is not None else _metrics.ACTIVE
+        if not reg.enabled:
+            self._reg = None
+            return self
+        self._reg = reg
+        _STACK.append(self.name)
+        self._full = ".".join(_STACK)
+        self._cpu0 = clock.cpu()
+        self._wall0 = clock.wall()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        reg = self._reg
+        if reg is None:
+            return
+        wall_seconds = clock.wall() - self._wall0
+        cpu_seconds = clock.cpu() - self._cpu0
+        self._reg = None
+        if _STACK and _STACK[-1] == self.name:
+            _STACK.pop()
+        observe_phase(reg, self._full, wall_seconds, cpu_seconds)

@@ -1,0 +1,112 @@
+"""The benchmark JSON report writer preserves sections across modules.
+
+The regression this pins: ``--json BENCH_fleet.json`` runs spanning
+several benchmark modules must accumulate every module's sections --
+including when the file is rewritten, truncated or corrupted between
+two records (the in-run section cache wins over whatever is on disk).
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_json import BenchJsonWriter  # noqa: E402
+
+
+def _read(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+class TestDisabled:
+    def test_none_path_is_noop(self, tmp_path):
+        writer = BenchJsonWriter(None)
+        assert not writer.enabled
+        writer.record("fleet", {"a": 1})  # must not raise, must write nothing
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestSectionPreservation:
+    def test_two_sections_accumulate(self, tmp_path):
+        path = tmp_path / "bench.json"
+        writer = BenchJsonWriter(path)
+        writer.record("fleet", {"vehicles_per_second": 100.0})
+        writer.record("hotpath", {"speedup": 2.0})
+        assert _read(path) == {
+            "fleet": {"vehicles_per_second": 100.0},
+            "hotpath": {"speedup": 2.0},
+        }
+
+    def test_preserves_sections_from_previous_run(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"previous": {"kept": True}}))
+        writer = BenchJsonWriter(path)
+        writer.record("fleet", {"a": 1})
+        assert _read(path) == {"previous": {"kept": True}, "fleet": {"a": 1}}
+
+    def test_survives_file_clobbered_between_records(self, tmp_path):
+        path = tmp_path / "bench.json"
+        writer = BenchJsonWriter(path)
+        writer.record("fleet", {"a": 1})
+        path.write_text(json.dumps({"external": {"b": 2}}))  # external rewrite
+        writer.record("hotpath", {"c": 3})
+        report = _read(path)
+        assert report["fleet"] == {"a": 1}  # cached section restored
+        assert report["hotpath"] == {"c": 3}
+        assert report["external"] == {"b": 2}  # and the external one kept
+
+    def test_survives_corrupt_file(self, tmp_path):
+        path = tmp_path / "bench.json"
+        writer = BenchJsonWriter(path)
+        writer.record("fleet", {"a": 1})
+        path.write_text("{not json")
+        writer.record("hotpath", {"b": 2})
+        assert _read(path) == {"fleet": {"a": 1}, "hotpath": {"b": 2}}
+
+    def test_survives_non_object_file(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        writer = BenchJsonWriter(path)
+        writer.record("fleet", {"a": 1})
+        assert _read(path) == {"fleet": {"a": 1}}
+
+
+class TestSectionMerging:
+    def test_same_section_merges_keys_in_run(self, tmp_path):
+        path = tmp_path / "bench.json"
+        writer = BenchJsonWriter(path)
+        writer.record("fleet", {"a": 1})
+        writer.record("fleet", {"b": 2})
+        assert _read(path) == {"fleet": {"a": 1, "b": 2}}
+
+    def test_same_section_new_key_wins(self, tmp_path):
+        path = tmp_path / "bench.json"
+        writer = BenchJsonWriter(path)
+        writer.record("fleet", {"a": 1})
+        writer.record("fleet", {"a": 9})
+        assert _read(path) == {"fleet": {"a": 9}}
+
+    def test_merges_with_on_disk_section_keys(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"fleet": {"disk_only": True}}))
+        writer = BenchJsonWriter(path)
+        writer.record("fleet", {"a": 1})
+        assert _read(path) == {"fleet": {"disk_only": True, "a": 1}}
+
+    def test_run_payload_beats_disk_on_key_clash(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"fleet": {"a": 0}}))
+        writer = BenchJsonWriter(path)
+        writer.record("fleet", {"a": 1})
+        assert _read(path) == {"fleet": {"a": 1}}
+
+    def test_output_is_sorted_and_newline_terminated(self, tmp_path):
+        path = tmp_path / "bench.json"
+        writer = BenchJsonWriter(path)
+        writer.record("z", {"k": 1})
+        writer.record("a", {"k": 2})
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"z"')

@@ -1,0 +1,134 @@
+"""Determinism lint over the simulation packages (tier-1 enforcement).
+
+Runs ``tools/check_determinism.py`` in-process: no ambient wall-clock,
+calendar or module-level randomness may reach simulation code.  The
+positive cases pin the checker itself -- each forbidden construct is
+actually caught, and the sanctioned patterns pass.
+"""
+
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import check_determinism  # noqa: E402
+
+
+def _check_source(tmp_path, source: str):
+    path = tmp_path / "module.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return check_determinism.check_file(path)
+
+
+class TestSimulationPackagesAreClean:
+    def test_default_roots_have_no_violations(self):
+        violations = check_determinism.check_roots()
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+    def test_default_roots_exist(self):
+        for root in check_determinism.DEFAULT_ROOTS:
+            assert (REPO_ROOT / root).is_dir(), root
+
+    def test_obs_clock_is_the_only_time_importer_in_src(self):
+        # The sanctioned boundary: exactly one module under src/ may
+        # import time -- repro.obs.clock.  Everything else (including
+        # the obs package itself) goes through it.
+        importers = []
+        for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+            for violation in check_determinism.check_file(path):
+                if "'time'" in violation.message:
+                    importers.append(path)
+        assert importers == [REPO_ROOT / "src" / "repro" / "obs" / "clock.py"]
+
+
+class TestCheckerCatchesViolations:
+    def test_import_time(self, tmp_path):
+        violations = _check_source(tmp_path, "import time\n")
+        assert len(violations) == 1
+        assert "repro.obs.clock" in violations[0].message
+
+    def test_from_time_import(self, tmp_path):
+        violations = _check_source(tmp_path, "from time import perf_counter\n")
+        assert len(violations) == 1
+
+    def test_import_datetime(self, tmp_path):
+        violations = _check_source(tmp_path, "import datetime\n")
+        assert len(violations) == 1
+        assert "calendar" in violations[0].message
+
+    def test_from_datetime_import(self, tmp_path):
+        violations = _check_source(tmp_path, "from datetime import datetime\n")
+        assert len(violations) == 1
+
+    def test_bare_random_call(self, tmp_path):
+        violations = _check_source(
+            tmp_path, "import random\nx = random.randint(0, 3)\n"
+        )
+        assert len(violations) == 1
+        assert "seeded random.Random" in violations[0].message
+
+    def test_from_random_import_function(self, tmp_path):
+        violations = _check_source(tmp_path, "from random import randint\n")
+        assert len(violations) == 1
+
+    def test_reports_path_and_line(self, tmp_path):
+        violations = _check_source(tmp_path, "x = 1\nimport time\n")
+        assert violations[0].line == 2
+        assert str(violations[0]).endswith(
+            "module.py:2: import 'time' forbidden: route timing through "
+            "repro.obs.clock"
+        )
+
+
+class TestCheckerAllowsSanctionedPatterns:
+    def test_seeded_random_instance(self, tmp_path):
+        violations = _check_source(
+            tmp_path,
+            """
+            import random
+
+            def script(seed: int, rng: random.Random | None = None):
+                rng = rng if rng is not None else random.Random(seed)
+                return rng.randint(0, 3)
+            """,
+        )
+        assert violations == []
+
+    def test_obs_clock_usage(self, tmp_path):
+        violations = _check_source(
+            tmp_path,
+            """
+            from repro.obs import clock
+
+            def measure():
+                return clock.wall(), clock.cpu()
+            """,
+        )
+        assert violations == []
+
+    def test_relative_imports_untouched(self, tmp_path):
+        violations = _check_source(tmp_path, "from . import time\n")
+        assert violations == []
+
+
+class TestCommandLine:
+    def test_main_clean(self):
+        assert check_determinism.main([]) == 0
+
+    def test_main_flags_violations(self, tmp_path, capsys):
+        bad = tmp_path / "dirty"
+        bad.mkdir()
+        (bad / "mod.py").write_text("import time\n", encoding="utf-8")
+        assert check_determinism.main([str(bad)]) == 1
+        err = capsys.readouterr().err
+        assert "1 determinism violation(s)" in err
+
+    def test_main_missing_root(self, tmp_path):
+        try:
+            check_determinism.main([str(tmp_path / "nope")])
+        except FileNotFoundError as error:
+            assert "does not exist" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("expected FileNotFoundError")

@@ -1,0 +1,166 @@
+"""Snapshot-merge algebra and telemetry/fingerprint equivalence.
+
+Two properties carry the whole telemetry design:
+
+1. :func:`repro.obs.export.merge_snapshots` is associative and
+   commutative (hypothesis-swept), which is what lets per-worker,
+   per-chunk delta snapshots fold in any grouping -- arrival order,
+   vehicle-id order, all at once -- to the same fleet-wide total.
+   Float sums are kept *exact* by drawing values as multiples of
+   1/1024 with bounded magnitude, so the assertions are bitwise.
+
+2. Telemetry is invisible to results: a metrics-enabled run's fleet
+   fingerprint is bit-identical to a disabled run's at 1 and 4 workers,
+   across both spec-transfer modes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.config import ExperimentConfig
+from repro.api.session import FleetSession
+from repro.obs.export import HistogramSnapshot, MetricsSnapshot, merge_snapshots
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS
+
+# -- strategies ---------------------------------------------------------------
+
+#: Floats whose sums are exact in binary: n/1024 with |n| <= 2**20.
+exact_floats = st.integers(min_value=-(2**20), max_value=2**20).map(
+    lambda n: n / 1024.0
+)
+
+metric_names = st.sampled_from(
+    ["pool.builds", "vehicles.simulated", "shm.bytes_written", "policy.cache_hits"]
+)
+
+
+@st.composite
+def histogram_snapshots(draw):
+    buckets = DEFAULT_TIME_BUCKETS
+    counts = tuple(
+        draw(st.integers(min_value=0, max_value=1000))
+        for _ in range(len(buckets) + 1)
+    )
+    return HistogramSnapshot(
+        buckets=buckets,
+        counts=counts,
+        sum=draw(exact_floats),
+        count=sum(counts),
+    )
+
+
+@st.composite
+def snapshots(draw):
+    return MetricsSnapshot.build(
+        counters=draw(
+            st.dictionaries(metric_names, st.integers(0, 10**9), max_size=4)
+        ),
+        gauges=draw(st.dictionaries(metric_names, exact_floats, max_size=4)),
+        histograms=draw(
+            st.dictionaries(metric_names, histogram_snapshots(), max_size=2)
+        ),
+    )
+
+
+# -- merge algebra ------------------------------------------------------------
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=100, deadline=None)
+    @given(snapshots(), snapshots())
+    def test_commutative(self, a, b):
+        assert merge_snapshots([a, b]) == merge_snapshots([b, a])
+
+    @settings(max_examples=100, deadline=None)
+    @given(snapshots(), snapshots(), snapshots())
+    def test_associative(self, a, b, c):
+        left = merge_snapshots([merge_snapshots([a, b]), c])
+        right = merge_snapshots([a, merge_snapshots([b, c])])
+        assert left == right
+
+    @settings(max_examples=50, deadline=None)
+    @given(snapshots())
+    def test_empty_is_identity(self, a):
+        assert merge_snapshots([a, MetricsSnapshot()]) == a
+        assert merge_snapshots([MetricsSnapshot(), a]) == a
+
+    @settings(max_examples=50, deadline=None)
+    @given(snapshots(), snapshots())
+    def test_round_trips_through_dict(self, a, b):
+        merged = merge_snapshots([a, b])
+        assert MetricsSnapshot.from_dict(merged.to_dict()) == merged
+
+    @settings(max_examples=50, deadline=None)
+    @given(snapshots(), snapshots())
+    def test_counters_add(self, a, b):
+        merged = merge_snapshots([a, b])
+        names = {n for n, _ in a.counters} | {n for n, _ in b.counters}
+        for name in names:
+            assert merged.counter(name) == a.counter(name) + b.counter(name)
+
+    def test_histogram_bucket_mismatch_raises(self):
+        h1 = HistogramSnapshot(buckets=(1.0,), counts=(1, 0))
+        h2 = HistogramSnapshot(buckets=(2.0,), counts=(0, 1))
+        a = MetricsSnapshot.build(histograms={"h": h1})
+        b = MetricsSnapshot.build(histograms={"h": h2})
+        try:
+            merge_snapshots([a, b])
+        except ValueError as error:
+            assert "buckets" in str(error)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+
+# -- telemetry is invisible to results ---------------------------------------
+
+
+def _fingerprint(config: ExperimentConfig, telemetry: bool) -> str:
+    with FleetSession(config, telemetry=telemetry) as session:
+        result = session.run()
+        if telemetry:
+            # The enabled run must actually have measured something,
+            # or this equivalence test is vacuous.
+            snapshot = session.metrics_snapshot()
+            assert snapshot.counter("vehicles.simulated") == config.vehicles
+    return result.fingerprint()
+
+
+class TestTelemetryInvisibleToFingerprints:
+    def test_single_worker(self):
+        config = ExperimentConfig(
+            scenario="fleet_replay_storm", vehicles=12, workers=1, seed=11
+        )
+        assert _fingerprint(config, True) == _fingerprint(config, False)
+
+    def test_four_workers_shm(self):
+        config = ExperimentConfig(
+            scenario="mixed_ev_dos",
+            vehicles=24,
+            workers=4,
+            seed=11,
+            spec_transfer="shm",
+        )
+        assert _fingerprint(config, True) == _fingerprint(config, False)
+
+    def test_four_workers_pickle(self):
+        config = ExperimentConfig(
+            scenario="mixed_ev_dos",
+            vehicles=24,
+            workers=4,
+            seed=11,
+            spec_transfer="pickle",
+        )
+        assert _fingerprint(config, True) == _fingerprint(config, False)
+
+    def test_worker_counts_agree_with_telemetry_on(self):
+        base = dict(scenario="fleet_replay_storm", vehicles=16, seed=3)
+        one = ExperimentConfig(workers=1, **base)
+        four = ExperimentConfig(workers=4, **base)
+        assert _fingerprint(one, True) == _fingerprint(four, True)
+
+    def test_config_is_telemetry_free(self):
+        # Telemetry is a session/runtime option: it must not appear in
+        # the config surface at all, so config hashes cannot see it.
+        config = ExperimentConfig(scenario="fleet_replay_storm", vehicles=4)
+        assert "telemetry" not in config.to_dict()
+        assert "metrics" not in config.to_dict()

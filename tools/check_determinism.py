@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Determinism lint: no ambient time or randomness in simulation code.
+
+Fleet outcomes are pure functions of their specs: the same config must
+fingerprint identically at any worker count, on any machine, at any
+time of day.  The easiest way to lose that property is an innocuous
+``time.time()`` or bare ``random.randint()`` deep in a simulation
+module.  This checker walks the simulation packages' ASTs and rejects:
+
+* ``import time`` / ``from time import ...`` -- wall-clock and CPU
+  timing must go through :mod:`repro.obs.clock`, the one sanctioned
+  (and grep-able) boundary where real time enters the process;
+* ``import datetime`` / ``from datetime import ...`` -- no simulation
+  quantity may depend on the calendar;
+* bare module-level randomness (``random.random()``, ``from random
+  import randint``) -- all randomness must flow through explicitly
+  seeded ``random.Random(seed)`` instances, which remain allowed.
+
+Run directly (``python tools/check_determinism.py``) or through the
+tier-1 suite (``tests/test_no_wallclock_in_kernel.py``).  Extra roots
+may be passed as arguments; defaults cover every package whose code
+executes inside a vehicle simulation.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Packages whose code runs inside the simulation of a vehicle (or
+#: produces the specs it consumes) and therefore must be deterministic.
+DEFAULT_ROOTS = (
+    "src/repro/fleet",
+    "src/repro/can",
+    "src/repro/vehicle",
+    "src/repro/core",
+    "src/repro/casestudy",
+    "src/repro/attacks",
+    "src/repro/selinux",
+)
+
+#: Modules that must not be imported at all in simulation code.
+FORBIDDEN_MODULES = {
+    "time": "route timing through repro.obs.clock",
+    "datetime": "simulation state must not depend on the calendar",
+}
+
+#: ``random`` attributes that are allowed (seeded generator types).
+ALLOWED_RANDOM_ATTRS = {"Random", "SystemRandom"}
+
+
+class Violation:
+    """One determinism violation, printable as ``path:line: message``."""
+
+    __slots__ = ("path", "line", "message")
+
+    def __init__(self, path: Path, line: int, message: str) -> None:
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.message}"
+
+
+class _DeterminismVisitor(ast.NodeVisitor):
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.violations: list[Violation] = []
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.violations.append(Violation(self.path, node.lineno, message))
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            reason = FORBIDDEN_MODULES.get(root)
+            if reason is not None:
+                self._flag(node, f"import {alias.name!r} forbidden: {reason}")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        root = (node.module or "").split(".")[0]
+        if node.level == 0:  # absolute imports only; relative ones stay in-package
+            reason = FORBIDDEN_MODULES.get(root)
+            if reason is not None:
+                self._flag(node, f"from {node.module!r} import forbidden: {reason}")
+            if root == "random":
+                for alias in node.names:
+                    if alias.name not in ALLOWED_RANDOM_ATTRS:
+                        self._flag(
+                            node,
+                            f"from random import {alias.name!r} forbidden: use a "
+                            "seeded random.Random instance",
+                        )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # Bare module-level randomness: random.<anything-but-Random>.
+        # Attribute *annotations* (``rng: random.Random``) resolve to
+        # allowed names, so flagging every disallowed attribute access
+        # is exact -- there is no legitimate use of random.random() et
+        # al. in simulation code.
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "random"
+            and node.attr not in ALLOWED_RANDOM_ATTRS
+        ):
+            self._flag(
+                node,
+                f"random.{node.attr} uses the shared module-level generator; "
+                "use a seeded random.Random instance",
+            )
+        self.generic_visit(node)
+
+
+def check_file(path: Path) -> list[Violation]:
+    """Determinism violations in one Python source file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    visitor = _DeterminismVisitor(path)
+    visitor.visit(tree)
+    return visitor.violations
+
+
+def check_roots(roots: list[Path] | None = None, repo_root: Path | None = None) -> list[Violation]:
+    """Violations across every ``.py`` file under the given roots."""
+    repo_root = repo_root or Path(__file__).resolve().parents[1]
+    if roots is None:
+        roots = [repo_root / root for root in DEFAULT_ROOTS]
+    violations: list[Violation] = []
+    for root in roots:
+        if not root.exists():
+            raise FileNotFoundError(f"determinism lint root does not exist: {root}")
+        for path in sorted(root.rglob("*.py")):
+            violations.extend(check_file(path))
+    return violations
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    roots = [Path(arg) for arg in argv] if argv else None
+    violations = check_roots(roots)
+    for violation in violations:
+        print(violation, file=sys.stderr)
+    if violations:
+        print(f"{len(violations)} determinism violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
