@@ -1,0 +1,65 @@
+"""Chaos demo: a fleet run that survives an injected worker crash.
+
+Runs the same 4-worker experiment twice -- once fault-free, once with a
+worker hard-killed (``os._exit``) while executing chunk 3 -- and shows
+that the crashed chunk is detected by the per-chunk timeout, re-queued
+on a surviving worker, and folded back in vehicle-id order, so the two
+fleet fingerprints are bit-identical.  The ``resilience.*`` metrics
+make the recovery visible.
+
+Run with::
+
+    python examples/chaos_run.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import ExperimentConfig, FaultPlan, FleetSession
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        scenario="fleet_replay_storm",
+        vehicles=500,
+        seed=123,
+        workers=4,
+        chunk_timeout_s=5.0,  # dead-worker detection deadline
+        retry=2,
+    )
+
+    print("Fault-free run...")
+    with FleetSession(config) as session:
+        baseline = session.run()
+    print(f"  fingerprint : {baseline.fingerprint()}")
+
+    plan = FaultPlan.parse("worker_crash:chunk=3")
+    print(f"\nChaos run (injecting {plan.to_spec()!r})...")
+    with FleetSession(config, fault_plan=plan, telemetry=True) as session:
+        result = session.run()
+        snapshot = session.metrics_snapshot()
+    print(f"  fingerprint : {result.fingerprint()}")
+
+    print("\nRecovery, as the telemetry saw it:")
+    for name, value in snapshot.counters:
+        if name.startswith("resilience."):
+            print(f"  {name:<32} {value}")
+
+    match = baseline.fingerprint() == result.fingerprint()
+    print(f"\nfingerprints identical: {match}")
+    if not match:  # pure chunks make this unreachable; fail loudly anyway
+        raise SystemExit(1)
+    print(
+        "A worker was killed mid-run, its chunk timed out, was re-queued on\n"
+        "a surviving worker, and the fleet aggregate did not move one bit --\n"
+        "chunks are pure functions of their specs, so retries are free of\n"
+        "correctness risk."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -21,10 +21,14 @@ deprecation shim over this layer.
 
 from repro.api.config import PRESETS, ExperimentConfig
 from repro.api.session import FleetSession, run_experiment
+from repro.fleet.resilience import ChunkFailedError, FaultPlan, RetryPolicy
 
 __all__ = [
     "PRESETS",
+    "ChunkFailedError",
     "ExperimentConfig",
+    "FaultPlan",
     "FleetSession",
+    "RetryPolicy",
     "run_experiment",
 ]

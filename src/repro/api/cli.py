@@ -36,6 +36,7 @@ from typing import Sequence
 
 from repro.api.config import PRESETS, ExperimentConfig
 from repro.api.session import FleetSession
+from repro.fleet.resilience import FaultPlan, FleetExecutionError
 from repro.fleet.scenarios import get_scenario, registered_scenarios
 from repro.fleet.transfer import SPEC_TRANSFER_MODES
 from repro.obs.export import (
@@ -81,6 +82,18 @@ def _parse_inbox_limit(text: str) -> int | None:
     except ValueError:
         raise argparse.ArgumentTypeError(
             f"expected an integer or 'none', got {text!r}"
+        ) from None
+
+
+def _parse_chunk_timeout(text: str) -> float | None:
+    """Parse ``--chunk-timeout`` (seconds, or ``none`` to wait forever)."""
+    if text.lower() == "none":
+        return None
+    try:
+        return float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected seconds or 'none', got {text!r}"
         ) from None
 
 
@@ -140,6 +153,32 @@ def _add_config_flags(parser: argparse.ArgumentParser) -> None:
         action=argparse.BooleanOptionalAction,
         default=None,
         help="use compiled bitmask decision tables",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-executions of a failed chunk before giving up (0 disables)",
+    )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=_parse_chunk_timeout,
+        default=_UNSET,
+        metavar="SECONDS|none",
+        help=(
+            "per-chunk deadline after which the worker counts as dead or "
+            "hung and the chunk is re-queued ('none' waits forever)"
+        ),
+    )
+    parser.add_argument(
+        "--degrade",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "degrade gracefully (shm->pickle, then parallel->inline) when "
+            "retries exhaust, instead of aborting the run"
+        ),
     )
     parser.add_argument(
         "--param",
@@ -207,6 +246,26 @@ def build_parser() -> argparse.ArgumentParser:
         default="json",
         help="snapshot format for --metrics (default: json)",
     )
+    run.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help=(
+            "abort on the first worker failure: shorthand for "
+            "--max-retries 0 --no-degrade, overriding both"
+        ),
+    )
+    run.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "deterministic fault schedule for chaos testing, e.g. "
+            "'worker_crash:chunk=3' or "
+            "'chunk_error:chunk=0,attempt=any;stall:chunk=2,seconds=1.5' "
+            "(a session option: fingerprints are identical with or "
+            "without it)"
+        ),
+    )
     run.set_defaults(func=_cmd_fleet_run)
 
     scenarios = commands.add_parser("scenarios", help="inspect the scenario registry")
@@ -265,6 +324,8 @@ _FLAG_FIELDS = (
     ("spec_transfer", "spec_transfer"),
     ("reuse_cars", "reuse_cars"),
     ("compile_tables", "compile_tables"),
+    ("max_retries", "retry"),
+    ("degrade", "degrade"),
 )
 
 
@@ -277,6 +338,8 @@ def _resolve_config(args: argparse.Namespace) -> ExperimentConfig:
             overrides[fieldname] = value
     if args.inbox_limit is not _UNSET:
         overrides["inbox_limit"] = args.inbox_limit
+    if args.chunk_timeout is not _UNSET:
+        overrides["chunk_timeout_s"] = args.chunk_timeout
     if args.param:
         overrides["scenario_parameters"] = dict(args.param)
 
@@ -314,8 +377,13 @@ def _resolve_config(args: argparse.Namespace) -> ExperimentConfig:
 
 def _cmd_fleet_run(args: argparse.Namespace) -> int:
     config = _resolve_config(args)
+    if args.fail_fast:
+        config = config.with_overrides(retry=0, degrade=False)
+    fault_plan = (
+        FaultPlan.parse(args.inject_faults) if args.inject_faults else None
+    )
     telemetry = bool(args.metrics_path)
-    with FleetSession(config, telemetry=telemetry) as session:
+    with FleetSession(config, telemetry=telemetry, fault_plan=fault_plan) as session:
         count = 0
         for outcome in session.iter_outcomes():
             count += 1
@@ -436,6 +504,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         # Downstream consumer (e.g. ``| head``) closed the pipe; that is
         # not an experiment failure.
         return 0
+    except FleetExecutionError as error:
+        # A worker-side failure that survived the retry budget: one
+        # diagnostic line, not a raw multiprocessing traceback.
+        print(f"{PROG}: error: {error}", file=sys.stderr)
+        return 3
     except (ValueError, KeyError, OSError) as error:
         message = error.args[0] if error.args else error
         print(f"{PROG}: error: {message}", file=sys.stderr)

@@ -35,6 +35,7 @@ import shlex
 from dataclasses import dataclass
 
 from repro.can.trace import TraceLevel
+from repro.fleet.resilience import RetryPolicy
 from repro.fleet.runner import DEFAULT_FLEET_INBOX_LIMIT
 from repro.fleet.scenarios import ENFORCEMENT_LABELS, _check_keys, _freeze
 from repro.fleet.transfer import SPEC_TRANSFER_MODES
@@ -53,6 +54,9 @@ _OPTIONAL_KEYS = (
     "spec_transfer",
     "reuse_cars",
     "compile_tables",
+    "retry",
+    "chunk_timeout_s",
+    "degrade",
 )
 
 #: Field overrides applied by :meth:`ExperimentConfig.preset`.
@@ -63,6 +67,9 @@ PRESETS: dict[str, dict[str, object]] = {
         "inbox_limit": None,
         "reuse_cars": False,
         "compile_tables": True,
+        # Debugging wants failures loud and immediate, not healed.
+        "retry": 0,
+        "degrade": False,
     },
     "throughput": {
         "workers": 4,
@@ -71,6 +78,11 @@ PRESETS: dict[str, dict[str, object]] = {
         "spec_transfer": "shm",
         "reuse_cars": True,
         "compile_tables": True,
+        # Long multiprocess runs ride out transient worker loss: bounded
+        # retries, a dead-worker timeout, and graceful degradation.
+        "retry": 2,
+        "chunk_timeout_s": 120.0,
+        "degrade": True,
     },
     "faithful": {
         "workers": 1,
@@ -79,6 +91,8 @@ PRESETS: dict[str, dict[str, object]] = {
         "spec_transfer": "pickle",
         "reuse_cars": False,
         "compile_tables": False,
+        "retry": 0,
+        "degrade": False,
     },
 }
 
@@ -132,6 +146,24 @@ class ExperimentConfig:
     reuse_cars / compile_tables:
         The pool and compiled-decision-table toggles (both default on;
         fingerprints are identical either way).
+    retry:
+        Times a failed chunk is re-executed before the run gives up on
+        parallel execution of it (``0`` disables retries).  Because
+        every chunk is a pure function of its specs, a retried chunk is
+        bit-identical to the original -- retries move wall time around,
+        never results.
+    chunk_timeout_s:
+        Seconds the parent waits for one chunk before treating its
+        worker as dead or hung and re-queueing the chunk (``None``, the
+        default, waits forever -- the pre-resilience behaviour).  A
+        too-small timeout costs spurious retries, never correctness.
+    degrade:
+        When retries exhaust (or the circuit breaker trips), degrade
+        gracefully -- shm transfer falls back to pickle, then parallel
+        execution falls back to inline-in-parent -- instead of aborting
+        the run.  ``False`` surfaces a
+        :class:`~repro.fleet.resilience.ChunkFailedError` instead.
+        Fingerprints are identical along the whole ladder.
     """
 
     scenario: str
@@ -147,6 +179,9 @@ class ExperimentConfig:
     spec_transfer: str = "shm"
     reuse_cars: bool = True
     compile_tables: bool = True
+    retry: int = 2
+    chunk_timeout_s: float | None = None
+    degrade: bool = True
 
     def __post_init__(self) -> None:
         if not isinstance(self.scenario, str) or not self.scenario.strip():
@@ -182,6 +217,12 @@ class ExperimentConfig:
                 f"unknown spec_transfer {self.spec_transfer!r}; "
                 f"known: {SPEC_TRANSFER_MODES}"
             )
+        if self.retry < 0:
+            raise ValueError("retry must be >= 0")
+        if self.chunk_timeout_s is not None:
+            object.__setattr__(self, "chunk_timeout_s", float(self.chunk_timeout_s))
+            if self.chunk_timeout_s <= 0:
+                raise ValueError("chunk_timeout_s must be > 0 or None")
 
     # -- derivation -----------------------------------------------------------
 
@@ -202,6 +243,13 @@ class ExperimentConfig:
             return self.chunk_size
         total = self.vehicles if total is None else total
         return max(8, total // (self.workers * 4) or 1)
+
+    def retry_policy(self) -> RetryPolicy:
+        """The chunk :class:`~repro.fleet.resilience.RetryPolicy` this
+        config means: ``retry`` extra executions on top of the first,
+        with the module's default deterministic backoff schedule.
+        """
+        return RetryPolicy(max_attempts=self.retry + 1)
 
     # -- presets --------------------------------------------------------------
 
@@ -253,6 +301,9 @@ class ExperimentConfig:
             "spec_transfer": self.spec_transfer,
             "reuse_cars": self.reuse_cars,
             "compile_tables": self.compile_tables,
+            "retry": self.retry,
+            "chunk_timeout_s": self.chunk_timeout_s,
+            "degrade": self.degrade,
         }
 
     @classmethod
@@ -304,7 +355,13 @@ class ExperimentConfig:
             "none" if self.inbox_limit is None else str(self.inbox_limit),
             "--spec-transfer",
             self.spec_transfer,
+            "--max-retries",
+            str(self.retry),
+            "--chunk-timeout",
+            "none" if self.chunk_timeout_s is None else str(self.chunk_timeout_s),
         ]
+        if not self.degrade:
+            args += ["--no-degrade"]
         if self.first_vehicle_id:
             args += ["--first-vehicle-id", str(self.first_vehicle_id)]
         if self.enforcement is not None:

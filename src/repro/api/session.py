@@ -50,6 +50,12 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.casestudy.builder import CarPool, CaseStudyBuilder
 from repro.fleet import runner as _fleet_runner
+from repro.fleet.resilience import (
+    ChunkFailedError,
+    CircuitBreaker,
+    FaultPlan,
+    RetryPolicy,
+)
 from repro.fleet.results import FleetResult, StreamingFleetAggregator, VehicleOutcome
 from repro.fleet.runner import (
     _chunked,
@@ -69,6 +75,7 @@ from repro.fleet.scenarios import FleetScenario, VehicleSpec, get_scenario
 from repro.fleet.transfer import (
     SHM_AVAILABLE,
     OutcomeBlock,
+    ShmHandle,
     SpecBlock,
     discard_segment,
     read_block,
@@ -77,6 +84,45 @@ from repro.fleet.transfer import (
 )
 
 from repro.api.config import ExperimentConfig
+
+
+class _ChunkAttempt:
+    """One chunk's execution state across retries.
+
+    The parallel loop keeps either the chunk's spec list (pickle
+    transfer) or its encoded :class:`SpecBlock` bytes (shm transfer --
+    far smaller than the objects, keeping the parent O(encoded-chunk))
+    so a failed attempt can be re-queued without regenerating specs.
+    ``attempt`` counts *failed* executions so far; ``result`` and
+    ``spec_handle`` always describe the in-flight attempt, and both are
+    cleared whenever that attempt is abandoned.
+    """
+
+    __slots__ = ("index", "specs", "payload", "attempt", "result", "spec_handle",
+                 "transfer", "last_error")
+
+    def __init__(self, index: int, specs: list[VehicleSpec]):
+        self.index = index
+        self.specs: list[VehicleSpec] | None = specs
+        self.payload: bytes | None = None
+        self.attempt = 0
+        self.result = None
+        self.spec_handle: ShmHandle | None = None
+        self.transfer = "pickle"
+        self.last_error: BaseException | None = None
+
+    def discard_spec_segment(self) -> None:
+        """Unlink the in-flight attempt's spec segment, if one exists."""
+        if self.spec_handle is not None:
+            discard_segment(self.spec_handle.name)
+            self.spec_handle = None
+
+    def materialise_specs(self) -> list[VehicleSpec]:
+        """The chunk's specs, decoding the retained block if needed."""
+        if self.specs is not None:
+            return self.specs
+        assert self.payload is not None
+        return SpecBlock.from_bytes(self.payload).decode()
 
 
 class FleetSession:
@@ -104,6 +150,13 @@ class FleetSession:
         the combined parent + worker view.  Telemetry is deliberately
         *not* part of :class:`ExperimentConfig`: enabling it changes no
         config hash, no fingerprint and no outcome bit.
+    fault_plan:
+        Optional :class:`~repro.fleet.resilience.FaultPlan` of injected
+        failures for the session's parallel runs -- the chaos-testing
+        hook behind ``--inject-faults``.  Like telemetry it is a
+        *session* option, not a config field: a plan changes which
+        attempts fail, never what the surviving run computes, so
+        fingerprints are identical with or without one.
     """
 
     #: Largest fleet ``run_matrix`` will record for consecutive-entry
@@ -120,11 +173,17 @@ class FleetSession:
         config: ExperimentConfig,
         builder: CaseStudyBuilder | None = None,
         telemetry: "bool | MetricsRegistry" = False,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if not isinstance(config, ExperimentConfig):
             raise TypeError(
                 f"config must be an ExperimentConfig, not {type(config).__name__}"
             )
+        if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+            raise TypeError(
+                f"fault_plan must be a FaultPlan, not {type(fault_plan).__name__}"
+            )
+        self._fault_plan = fault_plan
         self.config = config
         self._builder = builder
         if telemetry is True:
@@ -458,6 +517,10 @@ class FleetSession:
         chunk_size = config.effective_chunk_size(total)
         chunks = _chunked(specs, chunk_size)
         transfer = resolve_spec_transfer(config.spec_transfer)
+        policy = config.retry_policy()
+        plan = self._fault_plan
+        breaker = CircuitBreaker(enabled=config.degrade)
+        registry = self._registry
         # Workers get their own registry per chunk and ship back drained
         # snapshots; the telemetry flag rides in the worker kwargs, NOT
         # in the config -- fingerprints cannot see it.
@@ -466,75 +529,175 @@ class FleetSession:
             inbox_limit=config.inbox_limit,
             reuse_cars=config.reuse_cars,
             compile_tables=config.compile_tables,
-            telemetry=self._registry.enabled,
+            telemetry=registry.enabled,
         )
         pool = self._mp_pool(config.workers)
-        if transfer == "shm":
-            # Columnar shared-memory transfer: the chunk is packed into
-            # a SpecBlock segment the worker decodes (and unlinks), and
-            # the outcome batch comes back as an OutcomeBlock segment
-            # this side unlinks -- only (name, size) handles (plus, for
-            # telemetry runs, the chunk's small metrics snapshot) cross
-            # the pipe in either direction.
-            simulate = partial(_simulate_chunk_shm, **worker_kwargs)
+        simulate_shm = partial(_simulate_chunk_shm, **worker_kwargs)
+        simulate_pickle = partial(_simulate_chunk, **worker_kwargs)
 
-            def submit(chunk: list[VehicleSpec]):
-                with span("run.encode"):
-                    handle = write_block(SpecBlock.encode(chunk).to_bytes())
+        def submit(record: _ChunkAttempt) -> None:
+            """(Re)submit one chunk attempt, honouring degradation.
+
+            shm transfer packs the chunk into a SpecBlock segment the
+            worker decodes (and unlinks); the encoded bytes are retained
+            on the record so a retry re-writes a fresh segment without
+            regenerating or re-encoding specs.  On any submit failure
+            the segment is unlinked before the error propagates -- no
+            worker will ever consume it.
+            """
+            mode = "pickle" if breaker.transfer_degraded else transfer
+            if mode != transfer and registry.enabled:
+                registry.inc("resilience.transfer_downgrades")
+            fault = plan.worker_fault(record.index, record.attempt) if plan else None
+            record.transfer = mode
+            if mode == "shm":
+                if record.payload is None:
+                    with span("run.encode"):
+                        record.payload = SpecBlock.encode(record.specs).to_bytes()
+                    record.specs = None  # O(encoded-chunk), not O(objects)
+                handle = write_block(record.payload)
+                record.spec_handle = handle
                 try:
-                    return pool.apply_async(simulate, (handle,)), handle
+                    record.result = pool.apply_async(
+                        simulate_shm, (handle,), {"fault": fault}
+                    )
                 except BaseException:
-                    discard_segment(handle.name)  # no worker will consume it
+                    record.discard_spec_segment()
                     raise
+                if plan is not None and plan.fires(
+                    "shm_drop", record.index, record.attempt
+                ):
+                    # Injected infrastructure fault: the segment
+                    # vanishes between submit and the worker's read.
+                    record.discard_spec_segment()
+            else:
+                record.spec_handle = None
+                record.result = pool.apply_async(
+                    simulate_pickle, (record.materialise_specs(),), {"fault": fault}
+                )
 
-            def consume(payload) -> list[VehicleOutcome]:
+        def fail_attempt(record: _ChunkAttempt, error: BaseException, lost: bool) -> None:
+            """Book one failed attempt and release everything it held."""
+            record.discard_spec_segment()
+            if lost and record.result is not None:
+                # The worker is dead or merely hung -- indistinguishable
+                # from here.  Park the stale result so a late outcome
+                # segment from a survivor is swept (next run / close)
+                # instead of leaking; a truly dead worker's result never
+                # readies and the pool replaces the process itself.
+                self._orphan_results.append(record.result)
+            record.result = None
+            record.attempt += 1
+            record.last_error = error
+            breaker.record_failure()
+            if registry.enabled:
+                registry.inc("resilience.chunk_failures")
+                if lost:
+                    registry.inc("resilience.worker_deaths")
+
+        def run_inline(record: _ChunkAttempt) -> list[VehicleOutcome]:
+            """Last rung of the degradation ladder: simulate in-parent.
+
+            Bit-identical to a worker execution (location is invisible
+            to outcomes), and immune to pool, pipe and shm failures.
+            Injected worker faults deliberately do not apply here --
+            they model infrastructure failures, and inline execution
+            has no infrastructure left to fail.
+            """
+            if registry.enabled:
+                registry.inc("resilience.degraded_chunks")
+            return list(self._simulate_inline(config, record.materialise_specs()))
+
+        def complete(record: _ChunkAttempt):
+            """Drive one chunk to completion through retries.
+
+            Returns ``(payload, outcomes)`` -- exactly one is set:
+            a worker payload still to be consumed, or inline-fallback
+            outcomes.  Raises :class:`ChunkFailedError` only when the
+            attempt budget is spent and degradation is off.
+            """
+            while True:
+                if record.result is None:
+                    if record.attempt >= policy.max_attempts or breaker.inline_degraded:
+                        if config.degrade:
+                            return None, run_inline(record)
+                        raise ChunkFailedError(
+                            record.index, record.attempt, record.last_error
+                        )
+                    if record.attempt > 0:
+                        delay = policy.backoff_delay(
+                            config.seed, record.index, record.attempt
+                        )
+                        if registry.enabled:
+                            registry.inc("resilience.retries")
+                            registry.observe(
+                                "resilience.backoff_delay_seconds", delay
+                            )
+                        if delay > 0:
+                            clock.sleep(delay)
+                    submit(record)
+                try:
+                    with span("run.wait"):
+                        payload = record.result.get(config.chunk_timeout_s)
+                except multiprocessing.TimeoutError:
+                    fail_attempt(
+                        record,
+                        TimeoutError(
+                            f"no result within chunk_timeout_s="
+                            f"{config.chunk_timeout_s}: worker dead or hung"
+                        ),
+                        lost=True,
+                    )
+                    continue
+                except Exception as error:
+                    # The worker raised (or its spec segment vanished):
+                    # the exception travelled back, so the worker
+                    # itself is alive -- re-queue on the same pool.
+                    fail_attempt(record, error, lost=False)
+                    continue
+                breaker.record_success()
+                return payload, None
+
+        def consume(record: _ChunkAttempt, payload) -> list[VehicleOutcome]:
+            if record.transfer == "shm":
                 handle, snapshot = payload
                 self._fold_worker_snapshot(snapshot)
                 with span("run.decode"):
                     return OutcomeBlock.from_bytes(
                         read_block(handle, unlink=True)
                     ).decode()
-
-        else:
-            simulate = partial(_simulate_chunk, **worker_kwargs)
-
-            def submit(chunk: list[VehicleSpec]):
-                return pool.apply_async(simulate, (chunk,)), None
-
-            def consume(payload) -> list[VehicleOutcome]:
-                outcomes, snapshot = payload
-                self._fold_worker_snapshot(snapshot)
-                return outcomes
+            outcomes, snapshot = payload
+            self._fold_worker_snapshot(snapshot)
+            return outcomes
 
         # Windowed submission with ordered consumption: at most
         # ``workers + 2`` chunks are in flight (running or finished but
-        # unconsumed), and results are taken in submission order --
+        # unconsumed), and chunks are *completed* in submission order --
         # vehicle-id order -- so the stream is deterministic and the
         # incremental fold matches the batch sort-then-fold bit for
-        # bit.  Unlike ``Pool.imap`` (which submits everything up front
-        # and buffers completed chunks without limit), a consumer
+        # bit.  Retries preserve that invariant for free: a re-queued
+        # chunk is a pure function of its specs, so whichever attempt
+        # finally lands contributes identical bytes in an identical
+        # position.  Unlike ``Pool.imap`` (which submits everything up
+        # front and buffers completed chunks without limit), a consumer
         # slower than the workers exerts backpressure here: no new
         # chunk is submitted until one has been drained, keeping
         # buffered outcomes bounded by the window whatever the fleet
         # size.  Because ``chunks`` slices the lazy spec stream, specs
         # are also *generated* only as the window advances -- the
         # parent is O(chunk) end to end.
-        in_flight: deque = deque()
+        in_flight: deque[_ChunkAttempt] = deque()
+        next_index = 0
+        current: _ChunkAttempt | None = None
         try:
             for chunk in islice(chunks, config.workers + 2):
-                in_flight.append(submit(chunk))
+                record = _ChunkAttempt(next_index, chunk)
+                next_index += 1
+                submit(record)
+                in_flight.append(record)
             while in_flight:
-                result, spec_handle = in_flight.popleft()
-                try:
-                    with span("run.wait"):
-                        payload = result.get()
-                except BaseException:
-                    # The worker died before (or while) consuming its
-                    # spec segment -- it left in_flight with popleft,
-                    # so the finally block below won't see it.
-                    if spec_handle is not None:
-                        discard_segment(spec_handle.name)
-                    raise
+                current = in_flight.popleft()
+                payload, outcomes = complete(current)
                 try:
                     # Pulling the next chunk runs scenario script code
                     # (the stream is lazy) and another write_block; if
@@ -542,17 +705,31 @@ class FleetSession:
                     # back for this chunk must not be orphaned.
                     next_chunk = next(chunks, None)
                     if next_chunk is not None:
-                        in_flight.append(submit(next_chunk))
+                        record = _ChunkAttempt(next_index, next_chunk)
+                        next_index += 1
+                        submit(record)
+                        in_flight.append(record)
                 except BaseException:
-                    if transfer == "shm":
+                    if payload is not None and current.transfer == "shm":
                         discard_segment(payload[0].name)
                     raise
-                yield from consume(payload)
+                if plan is not None:
+                    stall = plan.fires("consumer_stall", current.index, current.attempt)
+                    if stall is not None:
+                        clock.sleep(stall.seconds)
+                if outcomes is None:
+                    outcomes = consume(current, payload)
+                current = None  # fully consumed: nothing left to reclaim
+                yield from outcomes
         finally:
-            if transfer == "shm" and in_flight:
-                self._discard_in_flight(in_flight)
+            leftovers = list(in_flight)
+            if current is not None:
+                leftovers.append(current)
+            if leftovers:
+                self._discard_in_flight(leftovers)
+            in_flight.clear()
 
-    def _discard_in_flight(self, in_flight: deque) -> None:
+    def _discard_in_flight(self, records: "list[_ChunkAttempt]") -> None:
         """Cleanup of shm segments for an abandoned or failed stream.
 
         Spec segments whose worker never ran (or died) are unlinked
@@ -566,12 +743,14 @@ class FleetSession:
         ``close`` mid-write are reclaimed by the shared resource
         tracker at process shutdown.)
         """
-        for result, spec_handle in in_flight:
-            if spec_handle is not None:
-                discard_segment(spec_handle.name)
-            if not self._discard_result_segment(result):
-                self._orphan_results.append(result)
-        in_flight.clear()
+        for record in records:
+            record.discard_spec_segment()
+            if record.result is None:
+                continue
+            if record.transfer != "shm":
+                continue  # pickle payloads hold no segments
+            if not self._discard_result_segment(record.result):
+                self._orphan_results.append(record.result)
 
     def _fold_worker_snapshot(self, snapshot: dict | None) -> None:
         """Merge one chunk's drained worker metrics into the session total."""
@@ -590,7 +769,10 @@ class FleetSession:
             outcome_handle, _snapshot = result.get(0)
         except Exception:
             return True  # worker failed: nothing was written back
-        discard_segment(outcome_handle.name)
+        if isinstance(outcome_handle, ShmHandle):
+            # Timed-out pickle-mode results ready with a plain outcome
+            # list: nothing to unlink, draining the result sufficed.
+            discard_segment(outcome_handle.name)
         return True
 
     def _sweep_orphans(self) -> None:

@@ -27,11 +27,26 @@ thousands of vehicles in one call:
   fleet metrics (block rates, enforcement latency percentiles,
   frames/sec) with a determinism fingerprint; the streaming variant
   folds in vehicle-id order without retaining outcomes.
+* :mod:`repro.fleet.resilience` -- fault tolerance for the parallel
+  path: deterministic retry backoff (:class:`RetryPolicy`), the
+  shm->pickle->inline degradation ladder (:class:`CircuitBreaker`) and
+  the seeded fault-injection harness (:class:`FaultPlan`).  Chunks are
+  pure functions of their specs, so recovery never moves a fingerprint
+  bit.
 
 Aggregates are bit-identical for any worker count at the same seed.
 """
 
 from repro.fleet.kernel import FleetKernel
+from repro.fleet.resilience import (
+    ChunkFailedError,
+    CircuitBreaker,
+    FaultEvent,
+    FaultPlan,
+    FleetExecutionError,
+    InjectedFaultError,
+    RetryPolicy,
+)
 from repro.fleet.results import (
     FleetAggregator,
     FleetResult,
@@ -51,12 +66,19 @@ from repro.fleet.scenarios import (
 )
 
 __all__ = [
+    "ChunkFailedError",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultPlan",
     "FleetAggregator",
+    "FleetExecutionError",
     "FleetKernel",
     "FleetResult",
     "FleetRunner",
     "FleetScenario",
+    "InjectedFaultError",
     "OutcomeBlock",
+    "RetryPolicy",
     "ShmHandle",
     "SpecBlock",
     "StreamingFleetAggregator",

@@ -40,6 +40,7 @@ from repro.casestudy.builder import CarPool, CaseStudyBuilder
 from repro.core.enforcement import EnforcementConfig
 from repro.core.updates import PolicyUpdateBundle, PolicyUpdateClient
 from repro.fleet.kernel import FleetKernel
+from repro.fleet.resilience import FaultEvent, apply_worker_fault
 from repro.fleet.results import FleetResult, VehicleOutcome
 from repro.fleet.scenarios import FleetScenario, VehicleAction, VehicleSpec, get_scenario
 from repro.fleet.transfer import (
@@ -458,8 +459,10 @@ def _simulate_chunk(
     reuse_cars: bool = True,
     compile_tables: bool = True,
     telemetry: bool = False,
+    fault: "FaultEvent | None" = None,
 ) -> tuple[list[VehicleOutcome], dict | None]:
     """Simulate one pickled chunk; returns ``(outcomes, metrics snapshot)``."""
+    apply_worker_fault(fault)
     registry = _begin_chunk_telemetry(telemetry)
     with span("simulate"):
         outcomes = _simulate_specs(
@@ -493,6 +496,7 @@ def _simulate_chunk_shm(
     reuse_cars: bool = True,
     compile_tables: bool = True,
     telemetry: bool = False,
+    fault: "FaultEvent | None" = None,
 ) -> tuple[ShmHandle, dict | None]:
     """Worker entry point for shared-memory spec transfer.
 
@@ -503,7 +507,11 @@ def _simulate_chunk_shm(
     plus (telemetry runs only) the chunk's drained metrics snapshot.
     Telemetry activates before the spec read and drains after the
     outcome write so the worker-side shm counters cover both segments.
+    Injected faults strike *before* the spec read: a crashing worker
+    leaves its segment behind for the parent's timeout path to reclaim,
+    exactly like a real mid-flight death.
     """
+    apply_worker_fault(fault)
     registry = _begin_chunk_telemetry(telemetry)
     with span("simulate.decode_specs"):
         specs = SpecBlock.from_bytes(read_block(handle, unlink=True)).decode()

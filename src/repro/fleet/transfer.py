@@ -486,16 +486,43 @@ def read_block(handle: ShmHandle, unlink: bool = True) -> bytes:
     return payload
 
 
-def discard_segment(name: str) -> None:
-    """Best-effort unlink of a segment whose consumer will never run."""
+def discard_segment(name: str) -> bool:
+    """Best-effort unlink of a segment whose consumer will never run.
+
+    Returns ``True`` when this call actually unlinked the segment and
+    ``False`` when it was already gone (the consumer or a racing
+    discard won) -- callers that count reclaimed segments
+    (``shm.segments_discarded``) only book genuine unlinks.
+    """
     if _shared_memory is None:  # pragma: no cover - guarded by resolve_*
-        return
+        return False
     try:
         segment = _shared_memory.SharedMemory(name=name)
     except FileNotFoundError:
-        return
+        return False
     segment.close()
     try:
         segment.unlink()
     except FileNotFoundError:
-        pass  # unlink race lost: the winner also unregistered (see read_block)
+        return False  # unlink race lost: the winner also unregistered
+    registry = _obs_metrics.ACTIVE
+    if registry.enabled:
+        registry.inc("shm.segments_discarded")
+    return True
+
+
+def shm_segment_names() -> frozenset[str]:
+    """Names of the live POSIX shared-memory segments (``/dev/shm``).
+
+    The observability hook behind the leak regression tests and the CI
+    chaos job: snapshot before a run, snapshot after, and any new
+    ``psm_*`` name still present is a leaked spec/outcome segment.
+    Empty where shared memory is unavailable.
+    """
+    if not SHM_AVAILABLE:
+        return frozenset()
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:  # pragma: no cover - /dev/shm vanished mid-run
+        return frozenset()
+    return frozenset(name for name in entries if name.startswith("psm_"))

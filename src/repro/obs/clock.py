@@ -27,3 +27,10 @@ wall = _time.perf_counter
 #: the calling process, excluding sleep -- the companion reading that
 #: separates "slow because computing" from "slow because waiting".
 cpu = _time.process_time
+
+#: Block the calling thread for a duration (``time.sleep``): the retry
+#: layer's backoff primitive and the fault harness's stall primitive.
+#: Sleeping is a *host*-side act -- it can never influence kernel time
+#: or an outcome bit -- but it is still a wall-clock dependency, so it
+#: crosses the boundary here where the determinism lint can see it.
+sleep = _time.sleep

@@ -32,6 +32,9 @@ class TestValidation:
             ({"enforcement": "tinfoil"}, "enforcement label"),
             ({"inbox_limit": 0}, "inbox_limit"),
             ({"chunk_size": 0}, "chunk_size"),
+            ({"retry": -1}, "retry"),
+            ({"chunk_timeout_s": 0}, "chunk_timeout_s"),
+            ({"chunk_timeout_s": -2.5}, "chunk_timeout_s"),
         ],
     )
     def test_bad_fields_raise(self, overrides, match):
@@ -71,6 +74,25 @@ class TestValidation:
         with pytest.raises(ValueError):
             config.with_overrides(workers=0)
 
+    def test_resilience_defaults(self):
+        config = ExperimentConfig(scenario="x", vehicles=4)
+        assert config.retry == 2
+        assert config.chunk_timeout_s is None
+        assert config.degrade is True
+
+    def test_chunk_timeout_coerces_to_float(self):
+        config = ExperimentConfig(scenario="x", vehicles=4, chunk_timeout_s=30)
+        assert isinstance(config.chunk_timeout_s, float)
+        assert config.chunk_timeout_s == 30.0
+
+    def test_retry_policy_counts_the_first_attempt(self):
+        assert ExperimentConfig(
+            scenario="x", vehicles=4, retry=2
+        ).retry_policy().max_attempts == 3
+        assert ExperimentConfig(
+            scenario="x", vehicles=4, retry=0
+        ).retry_policy().max_attempts == 1
+
 
 class TestPresets:
     def test_debug_is_fully_inspectable(self):
@@ -103,6 +125,16 @@ class TestPresets:
 
     def test_preset_registry_names(self):
         assert set(PRESETS) == {"debug", "throughput", "faithful"}
+
+    def test_resilience_posture_per_preset(self):
+        # Debug and faithful want failures loud; throughput heals them.
+        assert ExperimentConfig.debug("x", 5).retry == 0
+        assert ExperimentConfig.debug("x", 5).degrade is False
+        assert ExperimentConfig.faithful("x", 5).retry == 0
+        throughput = ExperimentConfig.throughput("x", 5)
+        assert throughput.retry == 2
+        assert throughput.chunk_timeout_s == 120.0
+        assert throughput.degrade is True
 
 
 class TestSerialisation:
@@ -170,10 +202,16 @@ class TestSerialisation:
         chunk_size=st.one_of(st.none(), st.integers(min_value=1, max_value=512)),
         reuse_cars=st.booleans(),
         compile_tables=st.booleans(),
+        retry=st.integers(min_value=0, max_value=5),
+        chunk_timeout_s=st.one_of(
+            st.none(), st.floats(min_value=0.001, max_value=3600.0)
+        ),
+        degrade=st.booleans(),
     )
     def test_property_round_trips(self, scenario, vehicles, seed, first_vehicle_id,
                                   enforcement, params, trace_level, inbox_limit,
-                                  workers, chunk_size, reuse_cars, compile_tables):
+                                  workers, chunk_size, reuse_cars, compile_tables,
+                                  retry, chunk_timeout_s, degrade):
         config = ExperimentConfig(
             scenario=scenario,
             vehicles=vehicles,
@@ -187,6 +225,9 @@ class TestSerialisation:
             chunk_size=chunk_size,
             reuse_cars=reuse_cars,
             compile_tables=compile_tables,
+            retry=retry,
+            chunk_timeout_s=chunk_timeout_s,
+            degrade=degrade,
         )
         assert ExperimentConfig.from_dict(config.to_dict()) == config
         assert ExperimentConfig.from_json(config.to_json()) == config
@@ -210,6 +251,9 @@ class TestCliEquivalence:
             chunk_size=4,
             reuse_cars=False,
             compile_tables=False,
+            retry=4,
+            chunk_timeout_s=45.0,
+            degrade=False,
         )
         from repro.api.cli import _resolve_config
 

@@ -73,6 +73,20 @@ class TestCheckerCatchesViolations:
         violations = _check_source(tmp_path, "from random import randint\n")
         assert len(violations) == 1
 
+    def test_unseeded_random_ctor(self, tmp_path):
+        violations = _check_source(
+            tmp_path, "import random\nrng = random.Random()\n"
+        )
+        assert len(violations) == 1
+        assert "without a seed" in violations[0].message
+
+    def test_unseeded_bare_random_ctor(self, tmp_path):
+        violations = _check_source(
+            tmp_path, "from random import Random\nrng = Random()\n"
+        )
+        assert len(violations) == 1
+        assert "without a seed" in violations[0].message
+
     def test_reports_path_and_line(self, tmp_path):
         violations = _check_source(tmp_path, "x = 1\nimport time\n")
         assert violations[0].line == 2
@@ -111,6 +125,57 @@ class TestCheckerAllowsSanctionedPatterns:
     def test_relative_imports_untouched(self, tmp_path):
         violations = _check_source(tmp_path, "from . import time\n")
         assert violations == []
+
+
+class TestResilienceSeedDiscipline:
+    """``resilience.py`` RNGs must be seeded through ``derive_seed``."""
+
+    def _check_resilience(self, tmp_path, source: str):
+        path = tmp_path / "resilience.py"
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return check_determinism.check_file(path)
+
+    def test_derive_seed_call_passes(self, tmp_path):
+        violations = self._check_resilience(
+            tmp_path,
+            """
+            import random
+
+            from repro.core.seeding import derive_seed
+
+            def jitter(seed: int, chunk: int, attempt: int) -> float:
+                stream = random.Random(
+                    derive_seed(seed, f"resilience/backoff/chunk={chunk}")
+                )
+                return stream.random()
+            """,
+        )
+        assert violations == []
+
+    def test_plain_seed_flagged(self, tmp_path):
+        violations = self._check_resilience(
+            tmp_path, "import random\nrng = random.Random(42)\n"
+        )
+        assert len(violations) == 1
+        assert "derive_seed" in violations[0].message
+
+    def test_same_source_allowed_outside_resilience(self, tmp_path):
+        # The derive_seed requirement is scoped to resilience.py; a
+        # plain explicit seed stays legal everywhere else.
+        path = tmp_path / "elsewhere.py"
+        path.write_text("import random\nrng = random.Random(42)\n", encoding="utf-8")
+        assert check_determinism.check_file(path) == []
+
+    def test_unseeded_still_flagged_as_unseeded(self, tmp_path):
+        violations = self._check_resilience(
+            tmp_path, "import random\nrng = random.Random()\n"
+        )
+        assert len(violations) == 1
+        assert "without a seed" in violations[0].message
+
+    def test_shipped_resilience_module_is_clean(self):
+        path = REPO_ROOT / "src" / "repro" / "fleet" / "resilience.py"
+        assert check_determinism.check_file(path) == []
 
 
 class TestCommandLine:

@@ -14,7 +14,14 @@ module.  This checker walks the simulation packages' ASTs and rejects:
   quantity may depend on the calendar;
 * bare module-level randomness (``random.random()``, ``from random
   import randint``) -- all randomness must flow through explicitly
-  seeded ``random.Random(seed)`` instances, which remain allowed.
+  seeded ``random.Random(seed)`` instances, which remain allowed;
+* unseeded generators (``random.Random()`` with no arguments) -- an
+  argument-less ``Random`` seeds itself from the OS, which is ambient
+  randomness with extra steps;
+* in ``resilience.py`` specifically, every ``random.Random(...)`` seed
+  argument must be a :func:`repro.core.seeding.derive_seed` call -- the
+  retry layer's backoff jitter replays bit-identically only when its
+  streams come from the SHA-256 derivation machinery.
 
 Run directly (``python tools/check_determinism.py``) or through the
 tier-1 suite (``tests/test_no_wallclock_in_kernel.py``).  Extra roots
@@ -48,6 +55,10 @@ FORBIDDEN_MODULES = {
 
 #: ``random`` attributes that are allowed (seeded generator types).
 ALLOWED_RANDOM_ATTRS = {"Random", "SystemRandom"}
+
+#: File names whose ``random.Random`` seeds must be ``derive_seed(...)``
+#: calls: the resilience layer's jitter streams must replay exactly.
+DERIVED_SEED_FILES = {"resilience.py"}
 
 
 class Violation:
@@ -113,6 +124,44 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 "use a seeded random.Random instance",
             )
         self.generic_visit(node)
+
+    @staticmethod
+    def _is_random_ctor(func: ast.AST) -> bool:
+        """Is this call expression ``random.Random(...)`` or ``Random(...)``?"""
+        if isinstance(func, ast.Attribute):
+            return (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr == "Random"
+            )
+        return isinstance(func, ast.Name) and func.id == "Random"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_random_ctor(node.func):
+            if not node.args and not node.keywords:
+                self._flag(
+                    node,
+                    "random.Random() without a seed draws from the OS; "
+                    "pass an explicit seed",
+                )
+            elif self.path.name in DERIVED_SEED_FILES and not (
+                len(node.args) == 1
+                and isinstance(node.args[0], ast.Call)
+                and self._is_derive_seed(node.args[0].func)
+            ):
+                self._flag(
+                    node,
+                    "resilience RNG streams must be seeded via "
+                    "derive_seed(...): backoff jitter has to replay "
+                    "bit-identically",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_derive_seed(func: ast.AST) -> bool:
+        if isinstance(func, ast.Attribute):
+            return func.attr == "derive_seed"
+        return isinstance(func, ast.Name) and func.id == "derive_seed"
 
 
 def check_file(path: Path) -> list[Violation]:
