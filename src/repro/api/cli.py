@@ -17,6 +17,12 @@ Commands::
     repro scenarios show fleet_replay_storm           # one workload in detail
     repro config presets                              # named preset overrides
     repro config show --preset throughput --scenario mixed_ev_dos --vehicles 500
+    repro service start --db service.db --port 8320 --drain-workers 2
+    repro jobs submit --scenario mixed_ev_dos --vehicles 500 --wait
+    repro jobs list --state done
+    repro jobs show 3
+    repro jobs cancel 3
+    repro jobs gc --db service.db --max-age 86400     # drop old terminal jobs
 
 ``fleet run --json PATH`` writes ``{"config", "summary", "fingerprint"}``;
 feeding ``config`` back through ``--config`` (or
@@ -31,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 from typing import Sequence
 
@@ -46,8 +53,14 @@ from repro.obs.export import (
     to_prometheus,
     write_snapshot,
 )
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import ExperimentService
+from repro.service.store import JOB_STATES, ServiceStore
 
 PROG = "repro"
+
+#: Default endpoint the ``jobs`` client verbs talk to.
+DEFAULT_SERVICE_URL = "http://127.0.0.1:8320"
 
 #: Sentinel distinguishing "--inbox-limit none" (an explicit None) from
 #: the flag not being passed at all.
@@ -304,6 +317,115 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_flags(show_config)
     show_config.set_defaults(func=_cmd_config_show)
 
+    service = commands.add_parser(
+        "service", help="run the persistent experiment service"
+    )
+    service_commands = service.add_subparsers(dest="subcommand", required=True)
+    start = service_commands.add_parser(
+        "start", help="start the HTTP endpoint and its drain workers"
+    )
+    start.add_argument(
+        "--db", required=True, metavar="PATH", help="SQLite job-store path"
+    )
+    start.add_argument("--host", default="127.0.0.1")
+    start.add_argument("--port", type=int, default=8320)
+    start.add_argument(
+        "--drain-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="drain-worker processes executing queued jobs (default 1)",
+    )
+    start.add_argument(
+        "--lease",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="job lease duration; a crashed worker's job requeues after this",
+    )
+    start.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="idle worker poll interval",
+    )
+    start.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+    start.set_defaults(func=_cmd_service_start)
+
+    jobs = commands.add_parser(
+        "jobs", help="submit and inspect jobs on a running service"
+    )
+    jobs_commands = jobs.add_subparsers(dest="subcommand", required=True)
+
+    submit = jobs_commands.add_parser(
+        "submit", help="submit one experiment (same flags as fleet run)"
+    )
+    submit.add_argument("--url", default=DEFAULT_SERVICE_URL, help="service endpoint")
+    submit.add_argument("--config", dest="config_file", metavar="PATH")
+    submit.add_argument("--preset", choices=sorted(PRESETS))
+    _add_config_flags(submit)
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="executions before the job fails terminally (default 3)",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job finishes and print its fingerprint",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help="--wait deadline (client-side; the job keeps running)",
+    )
+    submit.set_defaults(func=_cmd_jobs_submit)
+
+    jobs_list = jobs_commands.add_parser("list", help="list jobs, newest first")
+    jobs_list.add_argument("--url", default=DEFAULT_SERVICE_URL)
+    jobs_list.add_argument("--state", choices=list(JOB_STATES), default=None)
+    jobs_list.add_argument("--limit", type=int, default=100)
+    jobs_list.add_argument("--json", dest="as_json", action="store_true")
+    jobs_list.set_defaults(func=_cmd_jobs_list)
+
+    jobs_show = jobs_commands.add_parser("show", help="show one job in detail")
+    jobs_show.add_argument("job_id", type=int)
+    jobs_show.add_argument("--url", default=DEFAULT_SERVICE_URL)
+    jobs_show.add_argument("--json", dest="as_json", action="store_true")
+    jobs_show.set_defaults(func=_cmd_jobs_show)
+
+    jobs_cancel = jobs_commands.add_parser(
+        "cancel", help="cancel a queued or leased job"
+    )
+    jobs_cancel.add_argument("job_id", type=int)
+    jobs_cancel.add_argument("--url", default=DEFAULT_SERVICE_URL)
+    jobs_cancel.set_defaults(func=_cmd_jobs_cancel)
+
+    jobs_gc = jobs_commands.add_parser(
+        "gc", help="delete old terminal jobs straight from the store"
+    )
+    jobs_gc.add_argument("--db", required=True, metavar="PATH")
+    jobs_gc.add_argument(
+        "--max-age",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="only delete jobs finished at least this long ago (default: all)",
+    )
+    jobs_gc.add_argument(
+        "--include-results",
+        action="store_true",
+        help="also drop cached results no surviving job references",
+    )
+    jobs_gc.set_defaults(func=_cmd_jobs_gc)
+
     return parser
 
 
@@ -489,6 +611,114 @@ def _cmd_config_show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_service_start(args: argparse.Namespace) -> int:
+    service = ExperimentService(
+        args.db,
+        host=args.host,
+        port=args.port,
+        drain_workers=args.drain_workers,
+        lease_s=args.lease,
+        poll_s=args.poll,
+        quiet=not args.verbose,
+    )
+
+    def _request_stop(signum, frame):  # noqa: ARG001 (signal signature)
+        service.request_stop()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    service.start()
+    print(f"service        : {service.url}")
+    print(f"database       : {args.db}")
+    print(f"drain workers  : {args.drain_workers} (lease {args.lease:g}s)")
+    print("stop with SIGTERM or Ctrl-C", flush=True)
+    try:
+        while not service._stop_requested.wait(0.2):
+            pass
+    finally:
+        service.stop()
+    print("service stopped")
+    return 0
+
+
+def _job_lines(payload: dict) -> list[str]:
+    lines = [
+        f"job            : {payload['id']} ({payload['state']})",
+        f"config hash    : {payload['config_hash']}",
+        f"attempts       : {payload['attempts']}/{payload['max_attempts']}",
+    ]
+    if payload.get("worker"):
+        lines.append(f"worker         : {payload['worker']}")
+    if payload.get("error"):
+        lines.append(f"error          : {payload['error']}")
+    result = payload.get("result")
+    if result is not None:
+        lines.append(f"fingerprint    : {result['fingerprint']}")
+    return lines
+
+
+def _cmd_jobs_submit(args: argparse.Namespace) -> int:
+    config = _resolve_config(args)
+    client = ServiceClient(args.url)
+    payload = client.submit(
+        config, priority=args.priority, max_attempts=args.max_attempts
+    )
+    cached = " (result already cached)" if payload.get("cached") else ""
+    print(f"submitted      : job {payload['id']}{cached}")
+    print(f"config hash    : {payload['config_hash']}")
+    if not args.wait:
+        return 0
+    final = client.wait(payload["id"], timeout_s=args.timeout)
+    for line in _job_lines(final):
+        print(line)
+    return 0 if final["state"] == "done" else 3
+
+
+def _cmd_jobs_list(args: argparse.Namespace) -> int:
+    jobs = ServiceClient(args.url).jobs(state=args.state, limit=args.limit)
+    if args.as_json:
+        print(json.dumps(jobs, indent=2, sort_keys=True))
+        return 0
+    for job in jobs:
+        error = f"  {job['error']}" if job.get("error") else ""
+        print(
+            f"{job['id']:>6}  {job['state']:<9} "
+            f"{job['config_hash'][:12]}  "
+            f"attempts {job['attempts']}/{job['max_attempts']}{error}"
+        )
+    if not jobs:
+        print("(no jobs)")
+    return 0
+
+
+def _cmd_jobs_show(args: argparse.Namespace) -> int:
+    payload = ServiceClient(args.url).job(args.job_id)
+    if args.as_json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for line in _job_lines(payload):
+        print(line)
+    return 0
+
+
+def _cmd_jobs_cancel(args: argparse.Namespace) -> int:
+    payload = ServiceClient(args.url).cancel(args.job_id)
+    print(f"cancelled      : job {payload['id']}")
+    return 0
+
+
+def _cmd_jobs_gc(args: argparse.Namespace) -> int:
+    with ServiceStore(args.db) as store:
+        stats = store.cache_stats()
+        deleted = store.gc(
+            max_age_s=args.max_age, include_results=args.include_results
+        )
+    print(f"jobs deleted   : {deleted['jobs']}")
+    print(f"results deleted: {deleted['results']}")
+    print(f"cache          : {stats['entries']} entries, {stats['hits']} hits")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -509,6 +739,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         # diagnostic line, not a raw multiprocessing traceback.
         print(f"{PROG}: error: {error}", file=sys.stderr)
         return 3
+    except ServiceError as error:
+        # The service refused or is unreachable: a client-side problem
+        # with a clean one-line diagnosis.
+        print(f"{PROG}: error: {error}", file=sys.stderr)
+        return 2
     except (ValueError, KeyError, OSError) as error:
         message = error.args[0] if error.args else error
         print(f"{PROG}: error: {message}", file=sys.stderr)

@@ -30,6 +30,7 @@ equivalence suites prove it).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import shlex
 from dataclasses import dataclass
@@ -319,6 +320,31 @@ class ExperimentConfig:
     def to_json(self, indent: int | None = 2) -> str:
         """The config as a JSON document."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def canonical_json(self) -> str:
+        """The *canonical* JSON form: sorted keys, no whitespace.
+
+        The unique serialisation :meth:`config_hash` digests.  Two
+        configs have the same canonical JSON iff they are equal, however
+        their dict forms were ordered and however many ``to_dict`` /
+        ``from_dict`` round trips they took (``__post_init__``
+        canonicalises parameter values on every construction).
+        """
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":"), default=list
+        )
+
+    def config_hash(self) -> str:
+        """SHA-256 hex digest of :meth:`canonical_json`.
+
+        The experiment service's dedup key: runs are pure functions of
+        their config, so equal hashes mean bit-identical
+        :class:`~repro.fleet.results.FleetResult` fingerprints and the
+        cached result can be served without simulating.  Stable across
+        processes, dict key orderings and serialisation round trips --
+        pinned by the hash-invariance tests.
+        """
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
 
     @classmethod
     def from_json(cls, text: str) -> "ExperimentConfig":

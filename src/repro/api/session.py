@@ -298,6 +298,40 @@ class FleetSession:
         """Run the session's config and return the fleet aggregate."""
         return self._drain(self.iter_outcomes())
 
+    def run_config(self, config: ExperimentConfig) -> FleetResult:
+        """Run an arbitrary config through this session's warm pools.
+
+        The session-reuse hook behind the experiment service's drain
+        workers (and anything else with a stream of heterogeneous
+        configs): one long-lived session executes many configs while
+        the builder, warm :class:`~repro.casestudy.builder.CarPool` and
+        per-worker-count process pools amortise across all of them --
+        ``run()`` is exactly ``run_config(self.config)``.  Results are a
+        pure function of the config: fingerprints are bit-identical to a
+        fresh single-config session at any worker count.
+        """
+        return self._drain(self.iter_outcomes_for(config))
+
+    def iter_outcomes_for(self, config: ExperimentConfig) -> Iterator[VehicleOutcome]:
+        """Stream an arbitrary config's outcomes through this session.
+
+        The streaming half of the session-reuse hook (:meth:`run_config`
+        is this generator, drained): identical semantics to
+        :meth:`iter_outcomes`, for a config other than the session's
+        own.
+        """
+        if not isinstance(config, ExperimentConfig):
+            raise TypeError(
+                f"config must be an ExperimentConfig, not {type(config).__name__}"
+            )
+        self._last_result = None
+        return self._stream(
+            config,
+            self.iter_vehicle_specs(config),
+            config.scenario,
+            total=config.vehicles,
+        )
+
     def iter_outcomes(self) -> Iterator[VehicleOutcome]:
         """Stream the config's outcomes one vehicle at a time, in id order.
 
@@ -311,13 +345,7 @@ class FleetSession:
         to ``None`` as soon as this method is called and stays ``None``
         if the stream is abandoned before the final vehicle.
         """
-        self._last_result = None
-        return self._stream(
-            self.config,
-            self.iter_vehicle_specs(),
-            self.config.scenario,
-            total=self.config.vehicles,
-        )
+        return self.iter_outcomes_for(self.config)
 
     def run_specs(
         self, specs: Sequence[VehicleSpec], scenario_name: str

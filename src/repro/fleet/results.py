@@ -17,7 +17,20 @@ deliberately excluded from the fingerprint.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+
+def _check_result_keys(data: dict, kind: str, allowed: tuple[str, ...]) -> None:
+    """Reject unknown/missing keys with a precise error (mirrors
+    ``repro.fleet.scenarios._check_keys`` for the results layer)."""
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown {kind} key(s) {unknown}; allowed keys: {sorted(allowed)}"
+        )
+    missing = sorted(set(allowed) - set(data))
+    if missing:
+        raise ValueError(f"missing required {kind} key(s) {missing}")
 
 
 @dataclass(frozen=True)
@@ -61,6 +74,26 @@ class VehicleOutcome:
             repr(self.mean_decision_latency_s),
             self.healthy,
         )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (round-trips via :meth:`from_dict`).
+
+        Exact: floats serialise through ``json`` as shortest
+        round-tripping ``repr``, so ``from_dict(json round trip)``
+        rebuilds an outcome whose :meth:`deterministic_tuple` -- and
+        therefore any fingerprint folded from it -- is bit-identical.
+        The NDJSON wire format of the experiment service is one such
+        dict per line.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VehicleOutcome":
+        """Rebuild an outcome serialised by :meth:`to_dict` (strict keys)."""
+        _check_result_keys(
+            data, "VehicleOutcome", tuple(f.name for f in fields(cls))
+        )
+        return cls(**data)
 
 
 #: Columnar layout of :class:`VehicleOutcome` shared with
@@ -184,6 +217,37 @@ class FleetResult:
         same fingerprint regardless of worker count or chunking.
         """
         return self._fingerprint
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (round-trips via :meth:`from_dict`).
+
+        Exact by construction: ints stay ints, floats serialise as their
+        shortest round-tripping ``repr`` (the ``json`` module's float
+        form), the enforcement mix is a plain name->count object and the
+        fingerprint rides along verbatim -- so a result that crosses the
+        experiment service's SQLite store or HTTP boundary comes back
+        bit-identical, fingerprint included.
+        """
+        data = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ("enforcement_mix", "_fingerprint")
+        }
+        data["enforcement_mix"] = dict(self.enforcement_mix)
+        data["fingerprint"] = self._fingerprint
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetResult":
+        """Rebuild a result serialised by :meth:`to_dict` (strict keys)."""
+        allowed = tuple(
+            f.name for f in fields(cls) if f.name != "_fingerprint"
+        ) + ("fingerprint",)
+        _check_result_keys(data, "FleetResult", allowed)
+        payload = dict(data)
+        fingerprint = payload.pop("fingerprint")
+        payload["enforcement_mix"] = dict(payload.get("enforcement_mix", {}))
+        return cls(_fingerprint=fingerprint, **payload)
 
     def summary(self) -> dict[str, float | int | str]:
         """Headline numbers for reports and benchmarks."""

@@ -34,3 +34,13 @@ cpu = _time.process_time
 #: or an outcome bit -- but it is still a wall-clock dependency, so it
 #: crosses the boundary here where the determinism lint can see it.
 sleep = _time.sleep
+
+#: Calendar time in Unix-epoch seconds (``time.time``): the *service*
+#: layer's clock for lease deadlines, submission timestamps and job
+#: latency -- quantities that must compare across processes and survive
+#: a restart, which the monotonic :func:`wall` reading cannot do.
+#: Calendar time is the most dangerous clock of all for determinism, so
+#: the lint confines it to its sanctioned callers (``repro/service``):
+#: a ``clock.now()`` inside a simulation package is a violation even
+#: though the import itself is legal.
+now = _time.time

@@ -55,6 +55,20 @@ DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
     1.0, 2.5, 5.0, 10.0,
 )
 
+#: Buckets for *job-scale* durations (queue wait + execution of a whole
+#: experiment): 1 ms out to 10 minutes.  The experiment service records
+#: its ``service.job_*_seconds`` histograms against these; like the
+#: default buckets they are fixed and shared so per-worker histograms
+#: always merge bucket-for-bucket.
+LONG_TIME_BUCKETS: tuple[float, ...] = (
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 25.0, 60.0,
+    120.0, 300.0, 600.0,
+)
+
 
 class Counter:
     """A monotonically increasing integer."""

@@ -1,0 +1,164 @@
+"""A small stdlib client for the experiment service.
+
+Wraps the HTTP surface of :class:`~repro.service.server.ExperimentService`
+in typed calls: submit configs, poll jobs to completion, decode cached
+:class:`~repro.fleet.results.FleetResult` aggregates, stream per-vehicle
+:class:`~repro.fleet.results.VehicleOutcome` values off the chunked
+NDJSON endpoint, and fetch the merged metrics snapshot.  Pure
+``urllib`` -- the client has exactly the dependencies of the repo
+itself (none).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.api.config import ExperimentConfig
+from repro.fleet.results import FleetResult, VehicleOutcome
+from repro.obs import clock
+from repro.obs.export import MetricsSnapshot
+
+#: Job states a :meth:`ServiceClient.wait` call returns on.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class ServiceError(RuntimeError):
+    """An error response (or transport failure) from the service."""
+
+    def __init__(self, message: str, status: int | None = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``ServiceClient("http://127.0.0.1:8320")``."""
+
+    def __init__(self, base_url: str, timeout_s: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    # -- transport ------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> urllib.request.addinfourl:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout_s)
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+            except (ValueError, AttributeError):
+                detail = ""
+            message = f"{method} {path} -> {exc.code}"
+            if detail:
+                message += f": {detail}"
+            raise ServiceError(message, status=exc.code) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"{method} {path} -> {exc.reason}") from None
+
+    def _json(self, method: str, path: str, body: dict | None = None) -> dict:
+        with self._request(method, path, body) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # -- jobs -----------------------------------------------------------------
+
+    def submit(
+        self,
+        config: ExperimentConfig | dict,
+        priority: int = 0,
+        max_attempts: int = 3,
+    ) -> dict:
+        """Submit one experiment; the job payload (with ``cached`` flag)."""
+        if isinstance(config, ExperimentConfig):
+            config = config.to_dict()
+        return self._json(
+            "POST",
+            "/experiments",
+            {"config": config, "priority": priority, "max_attempts": max_attempts},
+        )
+
+    def job(self, job_id: int) -> dict:
+        """One job payload (``result`` attached once done)."""
+        return self._json("GET", f"/experiments/{job_id}")
+
+    def jobs(self, state: str | None = None, limit: int = 100) -> list[dict]:
+        path = f"/experiments?limit={limit}"
+        if state is not None:
+            path += f"&state={state}"
+        return self._json("GET", path)["jobs"]
+
+    def cancel(self, job_id: int) -> dict:
+        return self._json("POST", f"/experiments/{job_id}/cancel")
+
+    def wait(
+        self, job_id: int, timeout_s: float = 120.0, poll_s: float = 0.1
+    ) -> dict:
+        """Poll until the job reaches a terminal state; its final payload.
+
+        Raises :class:`ServiceError` if *timeout_s* elapses first (the
+        job keeps running server-side; this is a client-side bound).
+        """
+        deadline = clock.wall() + timeout_s
+        while True:
+            payload = self.job(job_id)
+            if payload["state"] in TERMINAL_STATES:
+                return payload
+            if clock.wall() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {payload['state']!r} "
+                    f"after {timeout_s:g}s"
+                )
+            clock.sleep(poll_s)
+
+    def result(self, job_id: int, timeout_s: float = 120.0) -> FleetResult:
+        """Wait for the job and decode its :class:`FleetResult`.
+
+        Raises :class:`ServiceError` when the job ends ``failed`` or
+        ``cancelled`` instead of ``done``.
+        """
+        payload = self.wait(job_id, timeout_s=timeout_s)
+        if payload["state"] != "done" or payload.get("result") is None:
+            raise ServiceError(
+                f"job {job_id} ended {payload['state']!r}: "
+                f"{payload.get('error') or 'no result'}"
+            )
+        return FleetResult.from_dict(payload["result"])
+
+    # -- outcome streaming ----------------------------------------------------
+
+    def iter_outcomes(self, job_id: int):
+        """Stream the job's per-vehicle outcomes (NDJSON, id order).
+
+        Yields :class:`~repro.fleet.results.VehicleOutcome` values as
+        chunks arrive -- ``urllib`` undoes the chunked transfer
+        encoding, so each line is one complete JSON object.
+        """
+        with self._request("GET", f"/experiments/{job_id}/outcomes") as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield VehicleOutcome.from_dict(json.loads(line))
+
+    # -- service state --------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def metrics(self) -> MetricsSnapshot:
+        """The service's merged metrics as a :class:`MetricsSnapshot`."""
+        return MetricsSnapshot.from_dict(self._json("GET", "/metrics?format=json"))
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus exposition."""
+        with self._request("GET", "/metrics") as response:
+            return response.read().decode("utf-8")

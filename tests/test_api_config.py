@@ -236,6 +236,94 @@ class TestSerialisation:
         ) == config
 
 
+class TestConfigHash:
+    """The service's dedup key: canonical, order-blind, round-trip stable."""
+
+    def test_hash_is_sha256_hex(self):
+        digest = ExperimentConfig(scenario="x", vehicles=3).config_hash()
+        assert len(digest) == 64
+        assert int(digest, 16) >= 0  # valid hex
+
+    def test_equal_configs_hash_equal(self):
+        a = ExperimentConfig(scenario="mixed_ev_dos", vehicles=10, seed=4)
+        b = ExperimentConfig(scenario="mixed_ev_dos", vehicles=10, seed=4)
+        assert a.config_hash() == b.config_hash()
+
+    def test_any_field_change_changes_the_hash(self):
+        base = ExperimentConfig(scenario="mixed_ev_dos", vehicles=10)
+        for override in (
+            {"vehicles": 11},
+            {"seed": 1},
+            {"workers": 2},
+            {"enforcement": "hpe-only"},
+            {"scenario_parameters": {"frames": 9}},
+        ):
+            assert base.with_overrides(**override).config_hash() != base.config_hash()
+
+    def test_hash_invariant_to_dict_key_order(self):
+        config = ExperimentConfig(
+            scenario="mixed_ev_dos",
+            vehicles=7,
+            seed=2,
+            scenario_parameters={"b": 1, "a": 2},
+        )
+        data = config.to_dict()
+        reversed_data = dict(reversed(list(data.items())))
+        assert list(reversed_data) != list(data)
+        assert (
+            ExperimentConfig.from_dict(reversed_data).config_hash()
+            == config.config_hash()
+        )
+
+    def test_hash_invariant_to_parameter_order(self):
+        a = ExperimentConfig(
+            scenario="x", vehicles=3, scenario_parameters={"p": 1, "q": 2}
+        )
+        b = ExperimentConfig(
+            scenario="x", vehicles=3, scenario_parameters={"q": 2, "p": 1}
+        )
+        assert a.config_hash() == b.config_hash()
+
+    def test_hash_stable_across_serialisation_round_trips(self):
+        config = ExperimentConfig(
+            scenario="mixed_ev_dos",
+            vehicles=5,
+            scenario_parameters={"window": (0.25, 0.5), "tags": ["a", "b"]},
+            trace_level="ring",
+        )
+        once = ExperimentConfig.from_dict(config.to_dict())
+        twice = ExperimentConfig.from_json(once.to_json())
+        assert once.config_hash() == config.config_hash()
+        assert twice.config_hash() == config.config_hash()
+
+    def test_canonical_json_has_sorted_keys_and_no_whitespace(self):
+        text = ExperimentConfig(scenario="x", vehicles=3).canonical_json()
+        assert ": " not in text and ", " not in text
+        keys = list(json.loads(text))
+        assert keys == sorted(keys)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        params=st.dictionaries(
+            st.text(min_size=1, max_size=8),
+            st.one_of(
+                st.integers(min_value=-(10**6), max_value=10**6),
+                st.floats(allow_nan=False, allow_infinity=False),
+                st.text(max_size=12),
+                st.booleans(),
+            ),
+            max_size=4,
+        ),
+    )
+    def test_property_hash_survives_round_trip(self, seed, params):
+        config = ExperimentConfig(
+            scenario="x", vehicles=3, seed=seed, scenario_parameters=params
+        )
+        rebuilt = ExperimentConfig.from_json(config.to_json())
+        assert rebuilt.config_hash() == config.config_hash()
+
+
 class TestCliEquivalence:
     def test_cli_arguments_parse_back_to_the_same_config(self):
         config = ExperimentConfig(

@@ -1,9 +1,14 @@
 """Tests for fleet outcome aggregation and the determinism fingerprint."""
 
+import json
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.fleet.results import (
     FleetAggregator,
+    FleetResult,
     StreamingFleetAggregator,
     VehicleOutcome,
 )
@@ -133,3 +138,120 @@ class TestFingerprint:
         aggregator.add(make_outcome(0))
         result = aggregator.result()
         assert result.summary()["fingerprint"] == result.fingerprint()[:16]
+
+
+#: Exact-value float strategy: any finite double (including awkward
+#: shortest-repr cases) must survive the JSON wire bit for bit.
+_floats = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+
+class TestVehicleOutcomeRoundTrip:
+    def test_dict_round_trip_is_exact(self):
+        outcome = make_outcome(3, mean_decision_latency_s=1 / 3, wall_seconds=0.1 + 0.2)
+        rebuilt = VehicleOutcome.from_dict(json.loads(json.dumps(outcome.to_dict())))
+        assert rebuilt == outcome
+        assert rebuilt.deterministic_tuple() == outcome.deterministic_tuple()
+
+    def test_unknown_keys_rejected(self):
+        data = make_outcome(0).to_dict()
+        data["frames_dropped"] = 1
+        with pytest.raises(ValueError, match="frames_dropped"):
+            VehicleOutcome.from_dict(data)
+
+    def test_missing_keys_rejected(self):
+        data = make_outcome(0).to_dict()
+        del data["healthy"]
+        with pytest.raises(ValueError, match="healthy"):
+            VehicleOutcome.from_dict(data)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        simulated=_floats,
+        latency=_floats,
+        wall=_floats,
+        frames=st.integers(min_value=0, max_value=2**53),
+        healthy=st.booleans(),
+    )
+    def test_property_json_round_trip(self, simulated, latency, wall, frames, healthy):
+        outcome = make_outcome(
+            1,
+            simulated_seconds=simulated,
+            mean_decision_latency_s=latency,
+            wall_seconds=wall,
+            frames_transmitted=frames,
+            healthy=healthy,
+        )
+        rebuilt = VehicleOutcome.from_dict(json.loads(json.dumps(outcome.to_dict())))
+        assert rebuilt == outcome
+
+
+class TestFleetResultRoundTrip:
+    def _result(self, count: int = 9) -> FleetResult:
+        aggregator = FleetAggregator("test")
+        for i in range(count):
+            aggregator.add(
+                make_outcome(
+                    i,
+                    frames_blocked=i * 3,
+                    mean_decision_latency_s=(i + 1) / 7,
+                    healthy=bool(i % 2),
+                )
+            )
+        return aggregator.result(wall_seconds=1 / 3)
+
+    def test_dict_round_trip_is_exact(self):
+        result = self._result()
+        rebuilt = FleetResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert rebuilt == result
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_fingerprint_preserved_verbatim(self):
+        result = self._result()
+        rebuilt = FleetResult.from_dict(result.to_dict())
+        assert rebuilt.fingerprint() == result.fingerprint()
+        assert len(rebuilt.fingerprint()) == 64
+
+    def test_floats_are_exact_not_approximate(self):
+        result = self._result()
+        rebuilt = FleetResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        for name in (
+            "simulated_vehicle_seconds",
+            "latency_p50_s",
+            "latency_p95_s",
+            "latency_p99_s",
+            "wall_seconds",
+        ):
+            assert getattr(rebuilt, name) == getattr(result, name), name
+
+    def test_enforcement_mix_round_trips_as_plain_dict(self):
+        result = self._result()
+        data = json.loads(json.dumps(result.to_dict()))
+        assert isinstance(data["enforcement_mix"], dict)
+        assert FleetResult.from_dict(data).enforcement_mix == result.enforcement_mix
+
+    def test_unknown_keys_rejected(self):
+        data = self._result().to_dict()
+        data["vehicels"] = 5
+        with pytest.raises(ValueError, match="vehicels"):
+            FleetResult.from_dict(data)
+
+    def test_missing_fingerprint_rejected(self):
+        data = self._result().to_dict()
+        del data["fingerprint"]
+        with pytest.raises(ValueError, match="fingerprint"):
+            FleetResult.from_dict(data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        latencies=st.lists(_floats, min_size=1, max_size=20),
+        wall=_floats,
+    )
+    def test_property_json_round_trip(self, latencies, wall):
+        aggregator = FleetAggregator("test")
+        for i, latency in enumerate(latencies):
+            aggregator.add(make_outcome(i, mean_decision_latency_s=latency))
+        result = aggregator.result(wall_seconds=wall)
+        rebuilt = FleetResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert rebuilt == result
+        assert rebuilt.fingerprint() == result.fingerprint()
+        assert rebuilt.to_dict() == result.to_dict()

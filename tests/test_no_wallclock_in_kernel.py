@@ -127,6 +127,72 @@ class TestCheckerAllowsSanctionedPatterns:
         assert violations == []
 
 
+class TestCalendarClockRule:
+    """``clock.now`` is reserved for the service layer (per-root exemption)."""
+
+    def test_clock_now_attribute_flagged(self, tmp_path):
+        violations = _check_source(
+            tmp_path,
+            """
+            from repro.obs import clock
+
+            def stamp():
+                return clock.now()
+            """,
+        )
+        assert len(violations) == 1
+        assert "calendar time" in violations[0].message
+
+    def test_from_clock_import_now_flagged(self, tmp_path):
+        violations = _check_source(
+            tmp_path, "from repro.obs.clock import now\n"
+        )
+        assert len(violations) == 1
+        assert "service layer" in violations[0].message
+
+    def test_durations_still_allowed(self, tmp_path):
+        violations = _check_source(
+            tmp_path,
+            """
+            from repro.obs import clock
+
+            def span():
+                return clock.wall(), clock.cpu()
+            """,
+        )
+        assert violations == []
+
+    def test_exemption_allows_clock_now(self, tmp_path):
+        path = tmp_path / "store.py"
+        path.write_text(
+            "from repro.obs import clock\nstamp = clock.now()\n",
+            encoding="utf-8",
+        )
+        assert check_determinism.check_file(path, allow_calendar_clock=True) == []
+
+    def test_service_roots_exist(self):
+        for root in check_determinism.SERVICE_ROOTS:
+            assert (REPO_ROOT / root).is_dir(), root
+
+    def test_service_package_needs_the_exemption(self):
+        # The shipped service code really does read calendar time (lease
+        # deadlines, job timestamps), so linting it *strictly* must flag
+        # it -- proof the exemption is load-bearing and the package is
+        # actually walked by the lint.
+        strict = check_determinism.check_roots(
+            [REPO_ROOT / root for root in check_determinism.SERVICE_ROOTS]
+        )
+        assert any("calendar time" in v.message for v in strict)
+        # ... while every *other* rule holds there: the only strict-mode
+        # complaints are calendar-clock ones.
+        assert all("calendar time" in v.message for v in strict)
+
+    def test_service_package_clean_under_default_rules(self):
+        # check_roots() with no arguments applies the per-root pairing:
+        # simulation packages strict, service packages exempted.
+        assert check_determinism.check_roots() == []
+
+
 class TestResilienceSeedDiscipline:
     """``resilience.py`` RNGs must be seeded through ``derive_seed``."""
 

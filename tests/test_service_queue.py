@@ -1,0 +1,200 @@
+"""Tests for lease/ack queue semantics: ordering, single-flight, expiry."""
+
+import pytest
+
+from repro.api.config import ExperimentConfig
+from repro.fleet.resilience import RetryPolicy
+from repro.service.queue import JobQueue
+from repro.service.store import ServiceStore
+
+from test_service_store import FakeClock
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def store(tmp_path, clock):
+    with ServiceStore(tmp_path / "svc.db", now=clock) as store:
+        yield store
+
+
+@pytest.fixture()
+def queue(store):
+    return JobQueue(store, lease_s=10.0)
+
+
+def submit(store, **overrides):
+    values = dict(scenario="mixed_ev_dos", vehicles=5, seed=0)
+    priority = overrides.pop("priority", 0)
+    max_attempts = overrides.pop("max_attempts", 3)
+    values.update(overrides)
+    job, _ = store.submit(
+        ExperimentConfig(**values), priority=priority, max_attempts=max_attempts
+    )
+    return job
+
+
+class TestLease:
+    def test_lease_marks_job_and_counts_the_attempt(self, store, queue, clock):
+        job = submit(store)
+        leased = queue.lease("w0")
+        assert leased.id == job.id
+        assert leased.state == "leased"
+        assert leased.worker == "w0"
+        assert leased.attempts == 1
+        assert leased.lease_deadline == clock.time + 10.0
+        assert leased.started_at == clock.time
+
+    def test_empty_queue_leases_none(self, queue):
+        assert queue.lease("w0") is None
+
+    def test_priority_then_submission_order(self, store, queue):
+        low = submit(store, seed=1)
+        high = submit(store, seed=2, priority=5)
+        later = submit(store, seed=3)
+        assert queue.lease("w0").id == high.id
+        assert queue.lease("w0").id == low.id
+        assert queue.lease("w0").id == later.id
+
+    def test_not_before_backoff_respected(self, store, queue, clock):
+        job = submit(store)
+        store.transition(job.id, "leased")
+        store.transition(job.id, "queued", not_before=clock.time + 30.0)
+        assert queue.lease("w0") is None
+        clock.advance(30.0)
+        assert queue.lease("w0").id == job.id
+
+    def test_single_flight_per_config_hash(self, store, queue):
+        first = submit(store, seed=7)
+        duplicate = submit(store, seed=7)
+        distinct = submit(store, seed=8)
+        leased = queue.lease("w0")
+        assert leased.id == first.id
+        # The duplicate's hash is in flight: the next lease must skip it
+        # (never two concurrent simulations of one config) and take the
+        # distinct config instead.
+        assert queue.lease("w1").id == distinct.id
+        assert queue.lease("w2") is None
+        queue.ack_done(first.id, "w0")
+        assert queue.lease("w2").id == duplicate.id
+
+    def test_rejects_nonpositive_lease(self, store):
+        with pytest.raises(ValueError, match="lease_s"):
+            JobQueue(store, lease_s=0.0)
+
+    def test_renew_extends_the_deadline(self, store, queue, clock):
+        job = submit(store)
+        queue.lease("w0")
+        clock.advance(8.0)
+        assert queue.renew(job.id, "w0")
+        assert store.job(job.id).lease_deadline == clock.time + 10.0
+
+    def test_renew_refuses_other_workers(self, store, queue):
+        job = submit(store)
+        queue.lease("w0")
+        assert not queue.renew(job.id, "w1")
+
+
+class TestAcks:
+    def test_ack_done_finishes_the_job(self, store, queue, clock):
+        job = submit(store)
+        queue.lease("w0")
+        clock.advance(2.0)
+        done = queue.ack_done(job.id, "w0")
+        assert done.state == "done"
+        assert done.finished_at == clock.time
+        assert done.lease_deadline is None
+
+    def test_ack_from_non_leaseholder_is_refused(self, store, queue):
+        job = submit(store)
+        queue.lease("w0")
+        assert queue.ack_done(job.id, "w1") is None
+        assert store.job(job.id).state == "leased"
+
+    def test_ack_failed_requeues_with_backoff(self, store, queue, clock):
+        job = submit(store)
+        queue.lease("w0")
+        failed = queue.ack_failed(job.id, "w0", "boom")
+        assert failed.state == "queued"
+        assert failed.error == "boom"
+        assert failed.attempts == 1
+        assert failed.not_before > clock.time
+        assert failed.worker is None
+
+    def test_backoff_schedule_is_deterministic(self, tmp_path, clock):
+        delays = []
+        for name in ("a.db", "b.db"):
+            with ServiceStore(tmp_path / name, now=clock) as store:
+                queue = JobQueue(store, lease_s=10.0)
+                job = submit(store)
+                queue.lease("w0")
+                requeued = queue.ack_failed(job.id, "w0", "boom")
+                delays.append(requeued.not_before - clock.time)
+        assert delays[0] == delays[1]
+
+    def test_attempts_exhaust_to_terminal_failure(self, store, queue, clock):
+        job = submit(store, max_attempts=2)
+        for attempt in (1, 2):
+            clock.advance(60.0)  # clear any backoff
+            leased = queue.lease("w0")
+            assert leased is not None and leased.attempts == attempt
+            final = queue.ack_failed(job.id, "w0", f"boom {attempt}")
+        assert final.state == "failed"
+        assert final.error == "boom 2"
+        assert final.finished_at == clock.time
+
+    def test_job_max_attempts_tightens_the_policy(self, store, clock):
+        queue = JobQueue(store, lease_s=10.0, retry=RetryPolicy(max_attempts=5))
+        job = submit(store, max_attempts=1)
+        queue.lease("w0")
+        assert queue.ack_failed(job.id, "w0", "boom").state == "failed"
+
+
+class TestExpiry:
+    def test_expired_lease_requeues_with_attempt_spent(self, store, queue, clock):
+        job = submit(store)
+        queue.lease("w0")
+        clock.advance(10.0)
+        swept = queue.requeue_expired()
+        assert [j.id for j in swept] == [job.id]
+        assert swept[0].state == "queued"
+        assert swept[0].attempts == 1
+        assert "lease expired" in swept[0].error
+        assert "'w0'" in swept[0].error
+
+    def test_live_leases_are_left_alone(self, store, queue, clock):
+        submit(store)
+        queue.lease("w0")
+        clock.advance(9.0)
+        assert queue.requeue_expired() == []
+
+    def test_expiry_exhausts_to_terminal_failure(self, store, clock):
+        queue = JobQueue(store, lease_s=10.0)
+        job = submit(store, max_attempts=1)
+        queue.lease("w0")
+        clock.advance(10.0)
+        swept = queue.requeue_expired()
+        assert swept[0].state == "failed"
+        assert store.job(job.id).state == "failed"
+
+    def test_requeued_job_leases_after_backoff(self, store, queue, clock):
+        job = submit(store)
+        queue.lease("w0")
+        clock.advance(10.0)
+        queue.requeue_expired()
+        clock.advance(60.0)  # past any backoff
+        leased = queue.lease("w1")
+        assert leased.id == job.id
+        assert leased.attempts == 2
+        assert leased.worker == "w1"
+
+    def test_depth_reports_per_state_counts(self, store, queue):
+        submit(store, seed=1)
+        submit(store, seed=2)
+        queue.lease("w0")
+        depth = queue.depth()
+        assert depth["queued"] == 1
+        assert depth["leased"] == 1

@@ -21,12 +21,23 @@ module.  This checker walks the simulation packages' ASTs and rejects:
 * in ``resilience.py`` specifically, every ``random.Random(...)`` seed
   argument must be a :func:`repro.core.seeding.derive_seed` call -- the
   retry layer's backoff jitter replays bit-identically only when its
-  streams come from the SHA-256 derivation machinery.
+  streams come from the SHA-256 derivation machinery;
+* calendar-time readings (``clock.now`` from :mod:`repro.obs.clock`,
+  the epoch clock) anywhere *except* the sanctioned callers: the
+  experiment service (``src/repro/service``) legitimately needs wall
+  time for lease deadlines and job timestamps, but a ``clock.now()``
+  inside a simulation package would be ambient time wearing a
+  sanctioned import, so the exemption is per-root, not global.
+
+The service package is linted too -- every rule above except the
+calendar-clock one applies there, so the queue/worker/server layer can
+never re-import ``time`` directly or reach for ambient randomness.
 
 Run directly (``python tools/check_determinism.py``) or through the
 tier-1 suite (``tests/test_no_wallclock_in_kernel.py``).  Extra roots
-may be passed as arguments; defaults cover every package whose code
-executes inside a vehicle simulation.
+may be passed as arguments (linted with the strict simulation rules);
+defaults cover every package whose code executes inside a vehicle
+simulation plus the service layer.
 """
 
 from __future__ import annotations
@@ -46,6 +57,13 @@ DEFAULT_ROOTS = (
     "src/repro/attacks",
     "src/repro/selinux",
 )
+
+#: Sanctioned calendar-clock callers: linted with every rule *except*
+#: the ``clock.now`` one.  Lease expiry, submission timestamps and job
+#: latency are calendar quantities by nature -- they still must route
+#: through :mod:`repro.obs.clock` (a direct ``time`` import here is as
+#: forbidden as anywhere else).
+SERVICE_ROOTS = ("src/repro/service",)
 
 #: Modules that must not be imported at all in simulation code.
 FORBIDDEN_MODULES = {
@@ -76,8 +94,9 @@ class Violation:
 
 
 class _DeterminismVisitor(ast.NodeVisitor):
-    def __init__(self, path: Path) -> None:
+    def __init__(self, path: Path, allow_calendar_clock: bool = False) -> None:
         self.path = path
+        self.allow_calendar_clock = allow_calendar_clock
         self.violations: list[Violation] = []
 
     def _flag(self, node: ast.AST, message: str) -> None:
@@ -105,6 +124,18 @@ class _DeterminismVisitor(ast.NodeVisitor):
                             f"from random import {alias.name!r} forbidden: use a "
                             "seeded random.Random instance",
                         )
+            if (
+                not self.allow_calendar_clock
+                and (node.module or "").endswith("obs.clock")
+            ):
+                for alias in node.names:
+                    if alias.name == "now":
+                        self._flag(
+                            node,
+                            "clock.now (calendar time) is reserved for the "
+                            "service layer; simulation code may only use "
+                            "clock.wall/clock.cpu durations",
+                        )
         self.generic_visit(node)
 
     def visit_Attribute(self, node: ast.Attribute) -> None:
@@ -122,6 +153,20 @@ class _DeterminismVisitor(ast.NodeVisitor):
                 node,
                 f"random.{node.attr} uses the shared module-level generator; "
                 "use a seeded random.Random instance",
+            )
+        # Calendar time through the sanctioned clock module is still
+        # calendar time: only the service layer may read it.
+        if (
+            not self.allow_calendar_clock
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "clock"
+            and node.attr == "now"
+        ):
+            self._flag(
+                node,
+                "clock.now (calendar time) is reserved for the service "
+                "layer; simulation code may only use clock.wall/clock.cpu "
+                "durations",
             )
         self.generic_visit(node)
 
@@ -164,25 +209,35 @@ class _DeterminismVisitor(ast.NodeVisitor):
         return isinstance(func, ast.Name) and func.id == "derive_seed"
 
 
-def check_file(path: Path) -> list[Violation]:
+def check_file(path: Path, allow_calendar_clock: bool = False) -> list[Violation]:
     """Determinism violations in one Python source file."""
     tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-    visitor = _DeterminismVisitor(path)
+    visitor = _DeterminismVisitor(path, allow_calendar_clock=allow_calendar_clock)
     visitor.visit(tree)
     return visitor.violations
 
 
 def check_roots(roots: list[Path] | None = None, repo_root: Path | None = None) -> list[Violation]:
-    """Violations across every ``.py`` file under the given roots."""
+    """Violations across every ``.py`` file under the given roots.
+
+    With no explicit *roots*, the defaults are linted: the simulation
+    packages under the strict rules and the service packages under the
+    calendar-clock exemption.  Explicit roots are linted strictly.
+    """
     repo_root = repo_root or Path(__file__).resolve().parents[1]
     if roots is None:
-        roots = [repo_root / root for root in DEFAULT_ROOTS]
+        pairs = [(repo_root / root, False) for root in DEFAULT_ROOTS]
+        pairs += [(repo_root / root, True) for root in SERVICE_ROOTS]
+    else:
+        pairs = [(root, False) for root in roots]
     violations: list[Violation] = []
-    for root in roots:
+    for root, allow_calendar_clock in pairs:
         if not root.exists():
             raise FileNotFoundError(f"determinism lint root does not exist: {root}")
         for path in sorted(root.rglob("*.py")):
-            violations.extend(check_file(path))
+            violations.extend(
+                check_file(path, allow_calendar_clock=allow_calendar_clock)
+            )
     return violations
 
 
