@@ -58,7 +58,22 @@ _OPTIONAL_KEYS = (
     "retry",
     "chunk_timeout_s",
     "degrade",
+    "backend",
 )
+
+#: Valid ``ExperimentConfig.backend`` values: the authoritative object
+#: kernel, the numpy lockstep backend, or runtime auto-selection.
+BACKENDS = ("object", "vectorised", "auto")
+
+
+class ConfigError(ValueError):
+    """An experiment config is invalid or unsatisfiable in this environment.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    handlers (the CLI's error path included) keep working; raised with
+    actionable messages for config-level failures such as selecting
+    ``backend="vectorised"`` without numpy installed.
+    """
 
 #: Field overrides applied by :meth:`ExperimentConfig.preset`.
 PRESETS: dict[str, dict[str, object]] = {
@@ -84,6 +99,10 @@ PRESETS: dict[str, dict[str, object]] = {
         "retry": 2,
         "chunk_timeout_s": 120.0,
         "degrade": True,
+        # Auto-select the vectorised lockstep backend when numpy is
+        # installed and the parity gate passes; object otherwise.
+        # Fingerprints are bit-identical either way.
+        "backend": "auto",
     },
     "faithful": {
         "workers": 1,
@@ -165,6 +184,17 @@ class ExperimentConfig:
         the run.  ``False`` surfaces a
         :class:`~repro.fleet.resilience.ChunkFailedError` instead.
         Fingerprints are identical along the whole ladder.
+    backend:
+        Execution backend for chunk simulation.  ``"object"`` (default)
+        runs every vehicle through the authoritative object kernel;
+        ``"vectorised"`` runs eligible chunks in numpy lockstep (see
+        :mod:`repro.fleet.vectorised`) and requires
+        ``trace_level="counters"``, ``compile_tables=True`` and numpy
+        installed (``pip install repro[fast]``) -- selecting it without
+        numpy raises :class:`ConfigError` at session time; ``"auto"``
+        picks vectorised when eligible and available, object otherwise.
+        Fingerprints are bit-identical across backends (enforced by the
+        registry-wide parity gate before vectorised is selectable).
     """
 
     scenario: str
@@ -183,6 +213,7 @@ class ExperimentConfig:
     retry: int = 2
     chunk_timeout_s: float | None = None
     degrade: bool = True
+    backend: str = "object"
 
     def __post_init__(self) -> None:
         if not isinstance(self.scenario, str) or not self.scenario.strip():
@@ -224,6 +255,25 @@ class ExperimentConfig:
             object.__setattr__(self, "chunk_timeout_s", float(self.chunk_timeout_s))
             if self.chunk_timeout_s <= 0:
                 raise ValueError("chunk_timeout_s must be > 0 or None")
+        if self.backend not in BACKENDS:
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; known: {BACKENDS}"
+            )
+        if self.backend == "vectorised":
+            # The lockstep regime is exactly what the parity gate proves;
+            # "auto" relaxes to the object kernel outside it instead.
+            if self.trace_level is not TraceLevel.COUNTERS:
+                raise ConfigError(
+                    "backend='vectorised' requires trace_level='counters' "
+                    f"(got {self.trace_level.value!r}); use backend='auto' "
+                    "to fall back to the object kernel instead"
+                )
+            if not self.compile_tables:
+                raise ConfigError(
+                    "backend='vectorised' requires compile_tables=True; "
+                    "use backend='auto' to fall back to the object kernel "
+                    "instead"
+                )
 
     # -- derivation -----------------------------------------------------------
 
@@ -305,6 +355,7 @@ class ExperimentConfig:
             "retry": self.retry,
             "chunk_timeout_s": self.chunk_timeout_s,
             "degrade": self.degrade,
+            "backend": self.backend,
         }
 
     @classmethod
@@ -381,6 +432,8 @@ class ExperimentConfig:
             "none" if self.inbox_limit is None else str(self.inbox_limit),
             "--spec-transfer",
             self.spec_transfer,
+            "--backend",
+            self.backend,
             "--max-retries",
             str(self.retry),
             "--chunk-timeout",

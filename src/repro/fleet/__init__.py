@@ -33,6 +33,12 @@ thousands of vehicles in one call:
   the seeded fault-injection harness (:class:`FaultPlan`).  Chunks are
   pure functions of their specs, so recovery never moves a fingerprint
   bit.
+* :mod:`repro.fleet.vectorised` -- the numpy lockstep backend for
+  counters-mode chunks (``ExperimentConfig(backend="vectorised")`` /
+  ``"auto"``): same-behaviour vehicles share one object-kernel run and
+  their outcome columns broadcast as array ops, guarded by a
+  registry-wide parity gate asserting bit-identical fingerprints
+  against the object kernel.
 
 Aggregates are bit-identical for any worker count at the same seed.
 """
@@ -55,6 +61,15 @@ from repro.fleet.results import (
 )
 from repro.fleet.runner import FleetRunner, VehicleSpec, simulate_vehicle
 from repro.fleet.transfer import OutcomeBlock, ShmHandle, SpecBlock
+from repro.fleet.vectorised import (
+    BackendParityError,
+    BackendUnavailableError,
+    numpy_available,
+    parity_gate,
+    scenario_backend_eligibility,
+    simulate_specs_vectorised,
+    spec_eligibility,
+)
 from repro.fleet.scenarios import (
     FleetScenario,
     VehicleAction,
@@ -66,6 +81,8 @@ from repro.fleet.scenarios import (
 )
 
 __all__ = [
+    "BackendParityError",
+    "BackendUnavailableError",
     "ChunkFailedError",
     "CircuitBreaker",
     "FaultEvent",
@@ -86,9 +103,14 @@ __all__ = [
     "VehicleOutcome",
     "VehicleSpec",
     "get_scenario",
+    "numpy_available",
+    "parity_gate",
     "register_scenario",
     "registered_scenarios",
+    "scenario_backend_eligibility",
+    "simulate_specs_vectorised",
     "simulate_vehicle",
+    "spec_eligibility",
     "temporary_scenario",
     "unregister_scenario",
 ]

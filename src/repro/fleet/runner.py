@@ -460,14 +460,32 @@ def _simulate_chunk(
     compile_tables: bool = True,
     telemetry: bool = False,
     fault: "FaultEvent | None" = None,
+    backend: str = "object",
 ) -> tuple[list[VehicleOutcome], dict | None]:
-    """Simulate one pickled chunk; returns ``(outcomes, metrics snapshot)``."""
+    """Simulate one pickled chunk; returns ``(outcomes, metrics snapshot)``.
+
+    ``backend="vectorised"`` routes the chunk through the numpy
+    lockstep backend (imported lazily -- object-backend workers never
+    touch it); the session only ever sends that value after its parity
+    gate passed, and outcomes are bit-identical either way.
+    """
     apply_worker_fault(fault)
     registry = _begin_chunk_telemetry(telemetry)
     with span("simulate"):
-        outcomes = _simulate_specs(
-            specs, trace_level, inbox_limit, reuse_cars, compile_tables
-        )
+        if backend == "vectorised":
+            from repro.fleet.vectorised import simulate_specs_vectorised
+
+            outcomes = simulate_specs_vectorised(
+                specs,
+                trace_level=trace_level,
+                inbox_limit=inbox_limit,
+                reuse_cars=reuse_cars,
+                compile_tables=compile_tables,
+            )
+        else:
+            outcomes = _simulate_specs(
+                specs, trace_level, inbox_limit, reuse_cars, compile_tables
+            )
     return outcomes, _drain_chunk_telemetry(registry)
 
 
@@ -497,6 +515,7 @@ def _simulate_chunk_shm(
     compile_tables: bool = True,
     telemetry: bool = False,
     fault: "FaultEvent | None" = None,
+    backend: str = "object",
 ) -> tuple[ShmHandle, dict | None]:
     """Worker entry point for shared-memory spec transfer.
 
@@ -514,11 +533,25 @@ def _simulate_chunk_shm(
     apply_worker_fault(fault)
     registry = _begin_chunk_telemetry(telemetry)
     with span("simulate.decode_specs"):
-        specs = SpecBlock.from_bytes(read_block(handle, unlink=True)).decode()
+        block = SpecBlock.from_bytes(read_block(handle, unlink=True))
+        # The vectorised backend decodes selectively from the columns;
+        # only the object path materialises every spec here.
+        specs = None if backend == "vectorised" else block.decode()
     with span("simulate"):
-        outcomes = _simulate_specs(
-            specs, trace_level, inbox_limit, reuse_cars, compile_tables
-        )
+        if backend == "vectorised":
+            from repro.fleet.vectorised import simulate_block_vectorised
+
+            outcomes = simulate_block_vectorised(
+                block,
+                trace_level=trace_level,
+                inbox_limit=inbox_limit,
+                reuse_cars=reuse_cars,
+                compile_tables=compile_tables,
+            )
+        else:
+            outcomes = _simulate_specs(
+                specs, trace_level, inbox_limit, reuse_cars, compile_tables
+            )
     with span("simulate.encode_outcomes"):
         out_handle = write_block(OutcomeBlock.encode(outcomes).to_bytes())
     return out_handle, _drain_chunk_telemetry(registry)

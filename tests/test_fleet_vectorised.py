@@ -1,0 +1,511 @@
+"""Parity and gating tests for :mod:`repro.fleet.vectorised`.
+
+The lockstep backend's whole contract is outcome-exactness: every
+deterministic field of every outcome it returns must equal what the
+object kernel produces for the same spec, per-vehicle, bit for bit.
+These tests assert that contract on every registered scenario, on
+hand-built and hypothesis-generated spec streams (including mixed
+eligible/fallback chunks and out-of-64-bit escape params), through both
+the spec-list and columnar SpecBlock entry points, and end to end
+through sessions at 1 and 4 workers in both transfer modes.  The gate,
+the numpy-optionality story and the config surface are pinned too.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ConfigError, ExperimentConfig, FleetSession
+from repro.core.compiled import ID_SPACE, CompiledDecisionTable, build_mask
+from repro.fleet import vectorised
+from repro.fleet.runner import simulate_vehicle
+from repro.fleet.scenarios import (
+    ENFORCEMENT_LABELS,
+    VehicleAction,
+    VehicleSpec,
+    get_scenario,
+    registered_scenarios,
+    temporary_scenario,
+)
+from repro.fleet.transfer import SpecBlock
+from repro.fleet.vectorised import (
+    VECTORISABLE_KINDS,
+    BackendParityError,
+    BackendUnavailableError,
+    parity_gate,
+    permit_mask_probe,
+    scenario_backend_eligibility,
+    simulate_block_vectorised,
+    simulate_specs_vectorised,
+    spec_eligibility,
+    table_permits,
+)
+
+SCENARIO_NAMES = [scenario.name for scenario in registered_scenarios()]
+
+requires_numpy = pytest.mark.skipif(
+    not vectorised.numpy_available(), reason="numpy (repro[fast]) not installed"
+)
+
+
+def _tuples(outcomes):
+    return [outcome.deterministic_tuple() for outcome in outcomes]
+
+
+def _object_tuples(specs):
+    return _tuples(simulate_vehicle(spec) for spec in specs)
+
+
+def _spec(vehicle_id, actions, enforcement="hpe+selinux", duration_s=0.1, seed=7):
+    return VehicleSpec(
+        vehicle_id=vehicle_id,
+        scenario="hand-built",
+        enforcement=enforcement,
+        seed=seed,
+        duration_s=duration_s,
+        actions=tuple(actions),
+    )
+
+
+class TestEligibility:
+    def test_plain_drive_spec_is_eligible(self):
+        spec = _spec(0, [VehicleAction(0.0, "drive", {"accel": 55})])
+        assert spec_eligibility(spec) == (True, None)
+
+    def test_fuzz_spec_is_ineligible_with_named_reason(self):
+        spec = _spec(0, [VehicleAction(0.0, "fuzz", {"frames": 10})])
+        ok, reason = spec_eligibility(spec)
+        assert not ok
+        assert "fuzz" in reason
+        assert "seeded RNG" in reason
+
+    def test_fuzz_is_the_only_excluded_builtin_kind(self):
+        # Pin the subset against the runner's dispatch table: every kind
+        # the kernel understands except fuzz is vectorisable.
+        assert VECTORISABLE_KINDS == {
+            "drive",
+            "park_and_arm",
+            "attack",
+            "targeted_dos",
+            "flood",
+            "replay",
+            "policy_update",
+        }
+
+    def test_scenario_eligibility_does_not_need_numpy(self, monkeypatch):
+        monkeypatch.setattr(vectorised, "_np", None)
+        report = scenario_backend_eligibility(get_scenario("fuzz_probe"))
+        assert report["vectorisable"] is False
+        assert "fuzz" in report["reason"]
+        assert "fuzz" in report["action_kinds"]
+
+    def test_every_registered_scenario_classifies(self):
+        vectorisable = {
+            name: scenario_backend_eligibility(get_scenario(name))["vectorisable"]
+            for name in SCENARIO_NAMES
+        }
+        assert vectorisable["baseline_cruise"] is True
+        assert vectorisable["fuzz_probe"] is False
+        for name, ok in vectorisable.items():
+            report = scenario_backend_eligibility(get_scenario(name))
+            if ok:
+                assert report["reason"] is None
+            else:
+                assert report["reason"]
+
+
+@requires_numpy
+class TestPermitMaskProbe:
+    def _table(self, seed=3):
+        import random
+
+        rng = random.Random(seed)
+        read_ids = frozenset(rng.sample(range(ID_SPACE), k=64))
+        write_ids = frozenset(rng.sample(range(ID_SPACE), k=64))
+        return CompiledDecisionTable(
+            node="probe-test",
+            read_mask=build_mask(read_ids),
+            write_mask=build_mask(write_ids),
+        )
+
+    def test_probe_matches_object_checks_over_the_whole_id_space(self):
+        table = self._table()
+        all_ids = range(ID_SPACE)
+        for direction in ("read", "write"):
+            probe = getattr(table, f"may_{direction}")
+            mask = table_permits(table, list(all_ids), direction)
+            assert [bool(bit) for bit in mask] == [probe(i) for i in all_ids]
+
+    def test_out_of_range_ids_rejected(self):
+        table = self._table()
+        with pytest.raises(ValueError, match="standard space"):
+            table_permits(table, [0, ID_SPACE], "read")
+        with pytest.raises(ValueError, match="standard space"):
+            table_permits(table, [-1], "write")
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError, match="direction"):
+            table_permits(self._table(), [0], "execute")
+
+    def test_probe_reads_the_mask_zero_copy(self):
+        mask = bytearray(256)
+        mask[0] = 0b0000_0101  # ids 0 and 2
+        got = permit_mask_probe(memoryview(bytes(mask)), [0, 1, 2, 3])
+        assert [bool(bit) for bit in got] == [True, False, True, False]
+
+
+@requires_numpy
+class TestChunkParity:
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_spec_list_path_is_outcome_exact(self, name):
+        specs = get_scenario(name).vehicle_specs(10, seed=2018)
+        assert _tuples(simulate_specs_vectorised(specs)) == _object_tuples(specs)
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_columnar_block_path_is_outcome_exact(self, name):
+        specs = get_scenario(name).vehicle_specs(10, seed=2018)
+        block = SpecBlock.from_bytes(SpecBlock.encode(specs).to_bytes())
+        assert _tuples(simulate_block_vectorised(block)) == _object_tuples(specs)
+
+    def test_mixed_eligibility_chunk_falls_back_per_vehicle(self):
+        # Interleave lockstep-able vehicles with fuzz vehicles: the
+        # fallbacks run the object kernel in place, the rest broadcast,
+        # and the chunk stays outcome-exact in original order.
+        specs = []
+        for i in range(9):
+            if i % 3 == 2:
+                actions = [VehicleAction(0.0, "fuzz", {"frames": 10})]
+            else:
+                actions = [VehicleAction(0.0, "drive", {"accel": 40 + 10 * (i % 2)})]
+            specs.append(_spec(i, actions, seed=100 + i))
+        assert _tuples(simulate_specs_vectorised(specs)) == _object_tuples(specs)
+        block = SpecBlock.from_bytes(SpecBlock.encode(specs).to_bytes())
+        assert _tuples(simulate_block_vectorised(block)) == _object_tuples(specs)
+
+    def test_identical_behaviour_distinct_seeds_share_one_class(self):
+        # The load-bearing seed-independence property: same behaviour
+        # key, wildly different seeds, identical deterministic rows.
+        actions = [VehicleAction(0.0, "drive", {"accel": 60})]
+        specs = [_spec(i, actions, seed=i * 977 + 5) for i in range(6)]
+        outcomes = simulate_specs_vectorised(specs)
+        rows = {outcome.deterministic_tuple()[3:] for outcome in outcomes}
+        assert len(rows) == 1
+        assert _tuples(outcomes) == _object_tuples(specs)
+
+    def test_out_of_band_escape_params_split_classes_not_correctness(self):
+        # Params above the codec's 64-bit columns ride the escape table;
+        # they must neither crash the block path nor merge classes.
+        big = 2**80 + 17
+        specs = [
+            _spec(0, [VehicleAction(0.0, "drive", {"accel": 50, "band": big})]),
+            _spec(1, [VehicleAction(0.0, "drive", {"accel": 50, "band": big})]),
+            _spec(2, [VehicleAction(0.0, "drive", {"accel": 50, "band": big + 1})]),
+            _spec(3, [VehicleAction(0.0, "drive", {"accel": 50})]),
+        ]
+        assert _tuples(simulate_specs_vectorised(specs)) == _object_tuples(specs)
+        block = SpecBlock.from_bytes(SpecBlock.encode(specs).to_bytes())
+        assert _tuples(simulate_block_vectorised(block)) == _object_tuples(specs)
+
+    def test_int_valued_hand_built_specs_match_across_paths(self):
+        # Int durations/times canonicalise to floats on construction, so
+        # the spec-list and columnar paths agree on the behaviour key.
+        specs = [
+            _spec(i, [VehicleAction(0, "park_and_arm", {})], duration_s=1)
+            for i in range(4)
+        ]
+        expected = _object_tuples(specs)
+        assert _tuples(simulate_specs_vectorised(specs)) == expected
+        block = SpecBlock.from_bytes(SpecBlock.encode(specs).to_bytes())
+        assert _tuples(simulate_block_vectorised(block)) == expected
+
+    def test_lockstep_refuses_non_counters_retention(self):
+        specs = [_spec(0, [VehicleAction(0.0, "drive", {})])]
+        with pytest.raises(ValueError, match="counters"):
+            simulate_specs_vectorised(specs, trace_level="full")
+        with pytest.raises(ValueError, match="compile_tables"):
+            simulate_specs_vectorised(specs, compile_tables=False)
+
+
+def _benign_action():
+    drive = st.builds(
+        lambda accel: VehicleAction(0.0, "drive", {"accel": accel}),
+        st.integers(min_value=30, max_value=90),
+    )
+    park = st.just(VehicleAction(0.0, "park_and_arm", {}))
+    update = st.just(VehicleAction(0.0, "policy_update", {"description": "sweep"}))
+    return st.one_of(drive, park, update)
+
+
+def _attack_action():
+    # Attack primitives attach named rogue nodes, so the kernel allows
+    # at most one per vehicle timeline -- the strategy mirrors that.
+    attack = st.builds(
+        lambda tid: VehicleAction(0.05, "attack", {"threat_id": tid}),
+        st.sampled_from(["T01", "T05", "T13"]),
+    )
+    dos = st.builds(
+        lambda target: VehicleAction(
+            0.05, "targeted_dos", {"target": target, "repetitions": 1}
+        ),
+        st.sampled_from(["EV-ECU", "Engine", "EPS"]),
+    )
+    flood = st.builds(
+        lambda frames: VehicleAction(
+            0.05, "flood", {"frames": frames, "window_s": 0.05}
+        ),
+        st.integers(min_value=5, max_value=15),
+    )
+    replay = st.just(
+        VehicleAction(
+            0.05,
+            "replay",
+            {"messages": ("DOOR_UNLOCK_CMD",), "capture_duration_s": 0.05},
+        )
+    )
+    fuzz = st.builds(
+        lambda frames: VehicleAction(0.05, "fuzz", {"frames": frames}),
+        st.integers(min_value=5, max_value=15),
+    )
+    return st.one_of(attack, dos, flood, replay, fuzz)
+
+
+def _spec_stream():
+    def build(rows):
+        return [
+            _spec(
+                i,
+                [a for a in (benign, attacky) if a is not None],
+                enforcement=enforcement,
+                seed=seed,
+            )
+            for i, (benign, attacky, enforcement, seed) in enumerate(rows)
+        ]
+
+    row = st.tuples(
+        st.none() | _benign_action(),
+        st.none() | _attack_action(),
+        st.sampled_from(ENFORCEMENT_LABELS),
+        st.integers(min_value=0, max_value=2**32),
+    )
+    return st.builds(build, st.lists(row, min_size=1, max_size=4))
+
+
+@requires_numpy
+class TestHypothesisParity:
+    @settings(max_examples=10, deadline=None)
+    @given(specs=_spec_stream())
+    def test_random_spec_streams_are_outcome_exact(self, specs):
+        expected = _object_tuples(specs)
+        assert _tuples(simulate_specs_vectorised(specs)) == expected
+        block = SpecBlock.from_bytes(SpecBlock.encode(specs).to_bytes())
+        assert _tuples(simulate_block_vectorised(block)) == expected
+
+
+@requires_numpy
+class TestParityGate:
+    def test_gate_passes_and_caches_the_verdict(self):
+        parity_gate()
+        key = vectorised._registry_key()
+        assert vectorised._GATE_CACHE[key] is None
+        parity_gate()  # cached: no recompute, no raise
+
+    def test_registry_change_invalidates_the_cache_key(self):
+        before = vectorised._registry_key()
+        variant = dataclasses.replace(
+            get_scenario("baseline_cruise"), name="gate_probe_variant"
+        )
+        with temporary_scenario(variant):
+            assert vectorised._registry_key() != before
+        assert vectorised._registry_key() == before
+
+    def test_forced_divergence_raises_and_is_cached(self, monkeypatch):
+        def corrupted(specs, **kwargs):
+            outcomes = [simulate_vehicle(spec) for spec in specs]
+            outcomes[0] = dataclasses.replace(
+                outcomes[0], frames_transmitted=outcomes[0].frames_transmitted + 1
+            )
+            return outcomes
+
+        monkeypatch.setattr(vectorised, "simulate_specs_vectorised", corrupted)
+        try:
+            with pytest.raises(BackendParityError, match="diverge"):
+                parity_gate(force=True)
+            # The failure verdict is cached: a later non-forced call
+            # still refuses, even with the real implementation back.
+            monkeypatch.undo()
+            with pytest.raises(BackendParityError, match="diverge"):
+                parity_gate()
+        finally:
+            vectorised._GATE_CACHE.clear()
+        parity_gate()  # clean cache, real implementation: passes again
+
+    def test_auto_backend_falls_back_when_the_gate_fails(self, monkeypatch):
+        def failing_gate(force=False):
+            raise BackendParityError("synthetic gate failure")
+
+        monkeypatch.setattr(vectorised, "parity_gate", failing_gate)
+        config = ExperimentConfig(
+            scenario="baseline_cruise", vehicles=4, seed=2018, backend="auto"
+        )
+        with FleetSession(config) as session:
+            assert session._resolve_backend(config) == "object"
+        explicit = ExperimentConfig(
+            scenario="baseline_cruise", vehicles=4, seed=2018, backend="vectorised"
+        )
+        with FleetSession(explicit) as session:
+            with pytest.raises(BackendParityError):
+                session._resolve_backend(explicit)
+
+
+@requires_numpy
+class TestSessionBackends:
+    @pytest.mark.parametrize("transfer", ["shm", "pickle"])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_fingerprints_identical_on_every_scenario(self, transfer, workers):
+        # The ISSUE acceptance criterion, literally: every registered
+        # scenario, both worker counts, both transfer modes.
+        for name in SCENARIO_NAMES:
+            fingerprints = {}
+            for backend in ("object", "vectorised"):
+                config = ExperimentConfig(
+                    scenario=name,
+                    vehicles=12,
+                    seed=2018,
+                    workers=workers,
+                    spec_transfer=transfer,
+                    backend=backend,
+                )
+                with FleetSession(config) as session:
+                    fingerprints[backend] = session.run().fingerprint()
+            assert fingerprints["object"] == fingerprints["vectorised"], (
+                name,
+                workers,
+                transfer,
+            )
+
+    def test_all_fallback_scenario_still_exact_under_vectorised(self):
+        fingerprints = {}
+        for backend in ("object", "vectorised"):
+            config = ExperimentConfig(
+                scenario="fuzz_probe", vehicles=8, seed=2018, backend=backend
+            )
+            with FleetSession(config) as session:
+                fingerprints[backend] = session.run().fingerprint()
+        assert fingerprints["object"] == fingerprints["vectorised"]
+
+    def test_auto_resolves_vectorised_only_in_the_proven_regime(self):
+        eligible = ExperimentConfig(
+            scenario="baseline_cruise", vehicles=4, backend="auto"
+        )
+        full_trace = ExperimentConfig(
+            scenario="baseline_cruise", vehicles=4, backend="auto", trace_level="full"
+        )
+        with FleetSession(eligible) as session:
+            assert session._resolve_backend(eligible) == "vectorised"
+            assert session._resolve_backend(full_trace) == "object"
+
+    def test_telemetry_reports_lockstep_and_fallback_counters(self):
+        config = ExperimentConfig(
+            scenario="baseline_cruise", vehicles=10, seed=2018, backend="vectorised"
+        )
+        with FleetSession(config, telemetry=True) as session:
+            session.run()
+            snapshot = session.metrics_snapshot()
+        assert snapshot.counter("backend.vectorised.chunks") >= 1
+        assert snapshot.counter("backend.vectorised.vehicles") == 10
+        assert 1 <= snapshot.counter("backend.vectorised.classes") <= 10
+        assert snapshot.counter("backend.fallback_vehicles") == 0
+
+        mixed = ExperimentConfig(
+            scenario="fuzz_probe", vehicles=6, seed=2018, backend="vectorised"
+        )
+        with FleetSession(mixed, telemetry=True) as session:
+            session.run()
+            snapshot = session.metrics_snapshot()
+        assert snapshot.counter("backend.fallback_vehicles") == 6
+
+
+class TestWithoutNumpy:
+    def test_numpy_available_reflects_the_import(self, monkeypatch):
+        monkeypatch.setattr(vectorised, "_np", None)
+        assert vectorised.numpy_available() is False
+
+    def test_lockstep_entry_points_fail_fast(self, monkeypatch):
+        monkeypatch.setattr(vectorised, "_np", None)
+        specs = [_spec(0, [VehicleAction(0.0, "drive", {})])]
+        with pytest.raises(BackendUnavailableError, match="repro\\[fast\\]"):
+            simulate_specs_vectorised(specs)
+        with pytest.raises(BackendUnavailableError):
+            simulate_block_vectorised(SpecBlock.encode(specs))
+        with pytest.raises(BackendUnavailableError):
+            parity_gate()
+
+    def test_explicit_vectorised_backend_is_a_config_error(self, monkeypatch):
+        monkeypatch.setattr(vectorised, "_np", None)
+        config = ExperimentConfig(
+            scenario="baseline_cruise", vehicles=4, backend="vectorised"
+        )
+        with FleetSession(config) as session:
+            with pytest.raises(ConfigError, match="numpy"):
+                session.run()
+
+    def test_auto_backend_degrades_to_the_object_kernel(self, monkeypatch):
+        plain = ExperimentConfig(scenario="baseline_cruise", vehicles=6, seed=2018)
+        with FleetSession(plain) as session:
+            expected = session.run().fingerprint()
+        monkeypatch.setattr(vectorised, "_np", None)
+        auto = ExperimentConfig(
+            scenario="baseline_cruise", vehicles=6, seed=2018, backend="auto"
+        )
+        with FleetSession(auto) as session:
+            assert session.run().fingerprint() == expected
+
+
+class TestConfigSurface:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="backend"):
+            ExperimentConfig(scenario="baseline_cruise", vehicles=4, backend="gpu")
+
+    def test_vectorised_requires_counters_retention(self):
+        with pytest.raises(ConfigError, match="counters"):
+            ExperimentConfig(
+                scenario="baseline_cruise",
+                vehicles=4,
+                backend="vectorised",
+                trace_level="full",
+            )
+
+    def test_vectorised_requires_compiled_tables(self):
+        with pytest.raises(ConfigError, match="compile_tables"):
+            ExperimentConfig(
+                scenario="baseline_cruise",
+                vehicles=4,
+                backend="vectorised",
+                compile_tables=False,
+            )
+
+    def test_auto_is_always_a_legal_config(self):
+        # auto in a non-eligible regime is not an error -- it resolves
+        # to the object kernel at session time instead.
+        config = ExperimentConfig(
+            scenario="baseline_cruise", vehicles=4, backend="auto", trace_level="full"
+        )
+        assert config.backend == "auto"
+
+    def test_backend_round_trips_and_reaches_the_cli(self):
+        config = ExperimentConfig(
+            scenario="baseline_cruise", vehicles=4, backend="auto"
+        )
+        as_dict = config.to_dict()
+        assert as_dict["backend"] == "auto"
+        assert ExperimentConfig.from_dict(as_dict) == config
+        arguments = config.cli_arguments()
+        flag = arguments.index("--backend")
+        assert arguments[flag + 1] == "auto"
+
+    def test_throughput_preset_opts_into_auto(self):
+        assert (
+            ExperimentConfig.throughput("baseline_cruise", 8).backend == "auto"
+        )
